@@ -1,0 +1,61 @@
+//! EXP-ABL-2: ablation of the multilevel pipeline — coarsening threshold θ and
+//! the Eq. 6 score weights (α, β) — on a medium planted-partition graph.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qhdcd_core::coarsen::CoarsenConfig;
+use qhdcd_core::multilevel::{detect, MultilevelConfig};
+use qhdcd_graph::generators::{self, PlantedPartitionConfig};
+use qhdcd_qhd::QhdSolver;
+
+fn bench_multilevel_ablation(c: &mut Criterion) {
+    let pg = generators::planted_partition(&PlantedPartitionConfig {
+        num_nodes: 250,
+        num_communities: 6,
+        p_in: 0.2,
+        p_out: 0.01,
+        seed: 3,
+    })
+    .expect("valid generator configuration");
+    let solver = QhdSolver::builder().samples(2).steps(80).seed(4).build();
+
+    let mut group = c.benchmark_group("multilevel_ablation");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+
+    // Threshold sweep.
+    for &threshold in &[40usize, 80, 150] {
+        let config = MultilevelConfig {
+            num_communities: 6,
+            coarsen: CoarsenConfig { threshold, ..CoarsenConfig::default() },
+            ..MultilevelConfig::default()
+        };
+        let out = detect(&pg.graph, &solver, &config).expect("pipeline succeeds");
+        eprintln!(
+            "multilevel_ablation: theta={threshold} -> Q = {:.4}, levels = {}",
+            out.modularity, out.levels
+        );
+        group.bench_with_input(BenchmarkId::new("threshold", threshold), &config, |b, cfg| {
+            b.iter(|| detect(&pg.graph, &solver, cfg).expect("pipeline succeeds"))
+        });
+    }
+
+    // Eq. 6 (α, β) sweep at a fixed threshold.
+    for &(alpha, beta) in &[(1.0f64, 0.0f64), (0.5, 0.5), (0.0, 1.0)] {
+        let config = MultilevelConfig {
+            num_communities: 6,
+            coarsen: CoarsenConfig { alpha, beta, threshold: 100, ..CoarsenConfig::default() },
+            ..MultilevelConfig::default()
+        };
+        let out = detect(&pg.graph, &solver, &config).expect("pipeline succeeds");
+        eprintln!("multilevel_ablation: alpha={alpha} beta={beta} -> Q = {:.4}", out.modularity);
+        let label = format!("a{alpha}_b{beta}");
+        group.bench_with_input(BenchmarkId::new("eq6_weights", label), &config, |b, cfg| {
+            b.iter(|| detect(&pg.graph, &solver, cfg).expect("pipeline succeeds"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_multilevel_ablation);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! EXP-ABL-1: ablation of the QUBO penalty weights (assignment λ_A multiplier
+//! and balance λ_S multiplier) on a fixed Table I-sized instance.
+//!
+//! Criterion measures wall-clock; the achieved modularity for each setting is
+//! printed once to stderr so quality and cost can be read side by side.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qhdcd_bench::matched_graph;
+use qhdcd_core::direct::{detect, DirectConfig};
+use qhdcd_core::formulation::FormulationConfig;
+use qhdcd_qhd::QhdSolver;
+
+fn bench_penalty_ablation(c: &mut Criterion) {
+    let pg = matched_graph(100, 750, 21).expect("valid row");
+    let solver = QhdSolver::builder().samples(2).steps(80).seed(9).build();
+    let mut group = c.benchmark_group("penalty_ablation");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    for &(assignment, balance) in
+        &[(1.0f64, 0.0f64), (2.0, 0.0), (2.0, 0.05), (2.0, 0.5), (4.0, 0.05)]
+    {
+        let config = DirectConfig {
+            formulation: FormulationConfig {
+                num_communities: 4,
+                assignment_weight: assignment,
+                balance_weight: balance,
+                ..FormulationConfig::default()
+            },
+            ..DirectConfig::default()
+        };
+        let quality = detect(&pg.graph, &solver, &config).expect("pipeline succeeds").modularity;
+        eprintln!("penalty_ablation: lambda_A x{assignment}, balance {balance} -> Q = {quality:.4}");
+        let label = format!("a{assignment}_s{balance}");
+        group.bench_with_input(BenchmarkId::new("qhd_direct", label), &config, |b, cfg| {
+            b.iter(|| detect(&pg.graph, &solver, cfg).expect("pipeline succeeds"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_penalty_ablation);
+criterion_main!(benches);

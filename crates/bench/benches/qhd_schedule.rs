@@ -1,0 +1,59 @@
+//! EXP-ABL-3: ablation of the QHD solver's own knobs — integration steps,
+//! sample count, grid resolution and evolution time — on a fixed
+//! community-detection QUBO.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qhdcd_bench::cd_qubo;
+use qhdcd_graph::generators::{self, PlantedPartitionConfig};
+use qhdcd_qhd::QhdSolver;
+use qhdcd_qubo::QuboSolver;
+
+fn bench_qhd_schedule(c: &mut Criterion) {
+    let pg = generators::planted_partition(&PlantedPartitionConfig {
+        num_nodes: 60,
+        num_communities: 4,
+        p_in: 0.35,
+        p_out: 0.05,
+        seed: 17,
+    })
+    .expect("valid generator configuration");
+    let model = cd_qubo(&pg.graph, 4).expect("valid formulation").model().clone();
+
+    let mut group = c.benchmark_group("qhd_schedule");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+
+    for &steps in &[50usize, 100, 200] {
+        let solver = QhdSolver::builder().samples(2).steps(steps).seed(1).build();
+        let quality = solver.solve(&model).expect("solve succeeds").objective;
+        eprintln!("qhd_schedule: steps={steps} -> energy = {quality:.3}");
+        group.bench_with_input(BenchmarkId::new("steps", steps), &solver, |b, s| {
+            b.iter(|| s.solve(&model).expect("solve succeeds"))
+        });
+    }
+    for &samples in &[1usize, 4, 8] {
+        let solver = QhdSolver::builder().samples(samples).steps(80).seed(1).build();
+        group.bench_with_input(BenchmarkId::new("samples", samples), &solver, |b, s| {
+            b.iter(|| s.solve(&model).expect("solve succeeds"))
+        });
+    }
+    for &resolution in &[16usize, 32, 64] {
+        let solver =
+            QhdSolver::builder().samples(2).steps(80).grid_resolution(resolution).seed(1).build();
+        group.bench_with_input(BenchmarkId::new("grid_resolution", resolution), &solver, |b, s| {
+            b.iter(|| s.solve(&model).expect("solve succeeds"))
+        });
+    }
+    for &total_time in &[5.0f64, 10.0, 20.0] {
+        let solver = QhdSolver::builder().samples(2).steps(80).total_time(total_time).seed(1).build();
+        let label = format!("{total_time}");
+        group.bench_with_input(BenchmarkId::new("total_time", label), &solver, |b, s| {
+            b.iter(|| s.solve(&model).expect("solve succeeds"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_qhd_schedule);
+criterion_main!(benches);

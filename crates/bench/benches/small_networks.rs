@@ -1,0 +1,33 @@
+//! EXP-T1 / EXP-F5 timing companion: the direct QUBO pipeline on Table I-sized
+//! networks, QHD against the exact branch-and-bound baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qhdcd_bench::{communities_for, matched_graph};
+use qhdcd_core::direct::{detect, DirectConfig};
+use qhdcd_qhd::QhdSolver;
+use qhdcd_solvers::BranchAndBound;
+use std::time::Duration;
+
+fn bench_small_networks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("small_networks_table1");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    // The three smallest Table I rows keep the bench fast; exp_table1 runs all ten.
+    for &(id, nodes, edges) in &[("3980", 52usize, 146usize), ("698", 61, 270), ("414", 150, 1_693)] {
+        let pg = matched_graph(nodes, edges, 77).expect("valid row");
+        let config = DirectConfig::with_communities(communities_for(nodes));
+        group.bench_with_input(BenchmarkId::new("qhd_direct", id), &pg.graph, |b, g| {
+            let solver = QhdSolver::builder().samples(2).steps(80).seed(3).build();
+            b.iter(|| detect(g, &solver, &config).expect("pipeline succeeds"))
+        });
+        group.bench_with_input(BenchmarkId::new("exact_direct_200ms", id), &pg.graph, |b, g| {
+            let solver = BranchAndBound::with_time_limit(Duration::from_millis(200));
+            b.iter(|| detect(g, &solver, &config).expect("pipeline succeeds"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_small_networks);
+criterion_main!(benches);

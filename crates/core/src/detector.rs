@@ -1,0 +1,346 @@
+//! A one-stop front end over all community-detection pipelines.
+//!
+//! [`CommunityDetector`] selects a [`Method`] (QHD direct, QHD multilevel, the
+//! branch-and-bound / simulated-annealing classical substitutes, Louvain or
+//! label propagation), carries the shared knobs (number of communities, seed,
+//! time limit) and returns a uniform [`DetectionResult`].
+
+use crate::direct::{self, DirectConfig};
+use crate::formulation::FormulationConfig;
+use crate::multilevel::{self, MultilevelConfig};
+use crate::{label_propagation, louvain, CdError};
+use qhdcd_graph::{Graph, Partition};
+use qhdcd_qhd::QhdSolver;
+use qhdcd_qubo::SolverOptions;
+use qhdcd_solvers::{BranchAndBound, SimulatedAnnealing};
+use std::time::{Duration, Instant};
+
+/// The detection algorithm to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Method {
+    /// Direct QUBO formulation solved by the QHD solver (small/medium graphs).
+    QhdDirect,
+    /// Multilevel pipeline with the QHD solver on the coarsest graph.
+    QhdMultilevel,
+    /// Direct QUBO formulation solved by branch-and-bound (the GUROBI stand-in).
+    BranchAndBoundDirect,
+    /// Multilevel pipeline with simulated annealing on the coarsest graph.
+    AnnealingMultilevel,
+    /// Classical Louvain baseline (no QUBO involved).
+    Louvain,
+    /// Classical label-propagation baseline (no QUBO involved).
+    LabelPropagation,
+    /// Classical spectral clustering baseline (Laplacian embedding + k-means).
+    Spectral,
+    /// Classical greedy modularity agglomeration (Clauset–Newman–Moore style).
+    Agglomerative,
+}
+
+impl std::fmt::Display for Method {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Method::QhdDirect => "qhd-direct",
+            Method::QhdMultilevel => "qhd-multilevel",
+            Method::BranchAndBoundDirect => "branch-and-bound-direct",
+            Method::AnnealingMultilevel => "annealing-multilevel",
+            Method::Louvain => "louvain",
+            Method::LabelPropagation => "label-propagation",
+            Method::Spectral => "spectral",
+            Method::Agglomerative => "agglomerative",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Result of a [`CommunityDetector::detect`] call.
+#[derive(Debug, Clone)]
+pub struct DetectionResult {
+    /// The detected partition (renumbered).
+    pub partition: Partition,
+    /// Modularity of [`DetectionResult::partition`].
+    pub modularity: f64,
+    /// Number of communities found.
+    pub num_communities: usize,
+    /// The method that produced the result.
+    pub method: Method,
+    /// Total wall-clock time of the detection.
+    pub elapsed: Duration,
+}
+
+/// High-level community detector with a builder-style configuration.
+///
+/// # Example
+///
+/// ```
+/// use qhdcd_core::{CommunityDetector, Method};
+/// use qhdcd_graph::generators;
+///
+/// # fn main() -> Result<(), qhdcd_core::CdError> {
+/// let graph = generators::karate_club();
+/// let result = CommunityDetector::new(Method::Louvain).detect(&graph)?;
+/// assert!(result.modularity > 0.38);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct CommunityDetector {
+    method: Method,
+    num_communities: usize,
+    seed: u64,
+    time_limit: Option<Duration>,
+    qhd_samples: usize,
+    qhd_steps: usize,
+    coarsen_threshold: usize,
+    balance_weight: f64,
+}
+
+impl CommunityDetector {
+    /// Creates a detector for the given method with default parameters.
+    pub fn new(method: Method) -> Self {
+        CommunityDetector {
+            method,
+            num_communities: 4,
+            seed: 0,
+            time_limit: None,
+            qhd_samples: 8,
+            qhd_steps: 120,
+            coarsen_threshold: 200,
+            balance_weight: FormulationConfig::default().balance_weight,
+        }
+    }
+
+    /// Shorthand for the paper's recommended configuration: QHD with the
+    /// multilevel pipeline (falls back to direct behaviour on small graphs,
+    /// because small graphs are never coarsened).
+    pub fn qhd() -> Self {
+        CommunityDetector::new(Method::QhdMultilevel)
+    }
+
+    /// Shorthand for the classical exact baseline (branch-and-bound direct).
+    pub fn classical_exact() -> Self {
+        CommunityDetector::new(Method::BranchAndBoundDirect)
+    }
+
+    /// Sets the number of communities `k` used by the QUBO formulations.
+    pub fn with_communities(mut self, k: usize) -> Self {
+        self.num_communities = k;
+        self
+    }
+
+    /// Sets the RNG seed shared by all randomised components.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets a wall-clock time limit for the underlying QUBO solver.
+    pub fn with_time_limit(mut self, limit: Duration) -> Self {
+        self.time_limit = Some(limit);
+        self
+    }
+
+    /// Sets the number of QHD samples (ignored by classical methods).
+    pub fn with_qhd_samples(mut self, samples: usize) -> Self {
+        self.qhd_samples = samples.max(1);
+        self
+    }
+
+    /// Sets the number of QHD integration steps (ignored by classical methods).
+    pub fn with_qhd_steps(mut self, steps: usize) -> Self {
+        self.qhd_steps = steps.max(1);
+        self
+    }
+
+    /// Sets the coarsening threshold `θ` of the multilevel pipelines.
+    pub fn with_coarsen_threshold(mut self, threshold: usize) -> Self {
+        self.coarsen_threshold = threshold.max(1);
+        self
+    }
+
+    /// Sets the relative weight of the balanced-community-size penalty.
+    pub fn with_balance_weight(mut self, weight: f64) -> Self {
+        self.balance_weight = weight;
+        self
+    }
+
+    /// The method this detector runs.
+    pub fn method(&self) -> Method {
+        self.method
+    }
+
+    fn formulation(&self) -> FormulationConfig {
+        FormulationConfig {
+            num_communities: self.num_communities,
+            balance_weight: self.balance_weight,
+            ..FormulationConfig::default()
+        }
+    }
+
+    fn multilevel_config(&self) -> MultilevelConfig {
+        let mut config = MultilevelConfig::with_communities(self.num_communities);
+        config.coarsen.threshold = self.coarsen_threshold;
+        config.formulation = self.formulation();
+        config
+    }
+
+    fn qhd_solver(&self) -> QhdSolver {
+        QhdSolver::builder()
+            .samples(self.qhd_samples)
+            .steps(self.qhd_steps)
+            .seed(self.seed)
+            .build()
+    }
+
+    /// Runs the configured method on `graph`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CdError`] from the underlying pipeline.
+    pub fn detect(&self, graph: &Graph) -> Result<DetectionResult, CdError> {
+        let start = Instant::now();
+        let (partition, modularity) = match self.method {
+            Method::QhdDirect => {
+                let config = DirectConfig {
+                    formulation: self.formulation(),
+                    ..DirectConfig::default()
+                };
+                let out = direct::detect(graph, &self.qhd_solver(), &config)?;
+                (out.partition, out.modularity)
+            }
+            Method::QhdMultilevel => {
+                let out = multilevel::detect(graph, &self.qhd_solver(), &self.multilevel_config())?;
+                (out.partition, out.modularity)
+            }
+            Method::BranchAndBoundDirect => {
+                let solver = match self.time_limit {
+                    Some(limit) => BranchAndBound::with_time_limit(limit),
+                    None => BranchAndBound::default(),
+                };
+                let config = DirectConfig {
+                    formulation: self.formulation(),
+                    ..DirectConfig::default()
+                };
+                let out = direct::detect(graph, &solver, &config)?;
+                (out.partition, out.modularity)
+            }
+            Method::AnnealingMultilevel => {
+                let mut solver = SimulatedAnnealing::default().with_seed(self.seed);
+                if let Some(limit) = self.time_limit {
+                    solver.options = SolverOptions::with_time_limit(limit).seeded(self.seed);
+                }
+                let out = multilevel::detect(graph, &solver, &self.multilevel_config())?;
+                (out.partition, out.modularity)
+            }
+            Method::Louvain => {
+                let out = louvain::detect(graph, &louvain::LouvainConfig::default())?;
+                (out.partition, out.modularity)
+            }
+            Method::LabelPropagation => {
+                let out = label_propagation::detect(
+                    graph,
+                    &label_propagation::LabelPropagationConfig { seed: self.seed, ..Default::default() },
+                )?;
+                (out.partition, out.modularity)
+            }
+            Method::Spectral => {
+                let out = crate::spectral::detect(
+                    graph,
+                    &crate::spectral::SpectralConfig {
+                        num_communities: self.num_communities,
+                        seed: self.seed,
+                        ..Default::default()
+                    },
+                )?;
+                (out.partition, out.modularity)
+            }
+            Method::Agglomerative => {
+                let out = crate::agglomerative::detect(
+                    graph,
+                    &crate::agglomerative::AgglomerativeConfig::default(),
+                )?;
+                (out.partition, out.modularity)
+            }
+        };
+        Ok(DetectionResult {
+            num_communities: partition.num_communities(),
+            partition,
+            modularity,
+            method: self.method,
+            elapsed: start.elapsed(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qhdcd_graph::generators;
+
+    #[test]
+    fn method_display_names() {
+        assert_eq!(Method::QhdDirect.to_string(), "qhd-direct");
+        assert_eq!(Method::Louvain.to_string(), "louvain");
+        assert_eq!(Method::AnnealingMultilevel.to_string(), "annealing-multilevel");
+    }
+
+    #[test]
+    fn every_method_runs_on_the_karate_club() {
+        let g = generators::karate_club();
+        for method in [
+            Method::QhdDirect,
+            Method::QhdMultilevel,
+            Method::AnnealingMultilevel,
+            Method::Louvain,
+            Method::LabelPropagation,
+            Method::Spectral,
+            Method::Agglomerative,
+        ] {
+            let detector = CommunityDetector::new(method)
+                .with_communities(4)
+                .with_seed(3)
+                .with_qhd_samples(2)
+                .with_qhd_steps(60);
+            let result = detector.detect(&g).unwrap();
+            assert_eq!(result.method, method);
+            assert!(result.modularity > 0.2, "{method}: q={}", result.modularity);
+            assert_eq!(result.partition.num_nodes(), 34);
+            assert_eq!(result.num_communities, result.partition.num_communities());
+        }
+    }
+
+    #[test]
+    fn branch_and_bound_direct_with_time_limit_runs() {
+        let pg = generators::ring_of_cliques(3, 4).unwrap();
+        let result = CommunityDetector::classical_exact()
+            .with_communities(3)
+            .with_time_limit(Duration::from_millis(300))
+            .detect(&pg.graph)
+            .unwrap();
+        assert!(result.modularity > 0.4, "q={}", result.modularity);
+    }
+
+    #[test]
+    fn builder_setters_are_applied() {
+        let d = CommunityDetector::qhd()
+            .with_communities(7)
+            .with_seed(9)
+            .with_qhd_samples(3)
+            .with_qhd_steps(50)
+            .with_coarsen_threshold(123)
+            .with_balance_weight(0.2);
+        assert_eq!(d.method(), Method::QhdMultilevel);
+        assert_eq!(d.num_communities, 7);
+        assert_eq!(d.seed, 9);
+        assert_eq!(d.qhd_samples, 3);
+        assert_eq!(d.qhd_steps, 50);
+        assert_eq!(d.coarsen_threshold, 123);
+        assert_eq!(d.balance_weight, 0.2);
+    }
+
+    #[test]
+    fn invalid_community_count_errors() {
+        let g = generators::karate_club();
+        let result = CommunityDetector::qhd().with_communities(0).detect(&g);
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,71 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the community-detection pipelines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CdError {
+    /// An error bubbled up from the graph substrate.
+    Graph(qhdcd_graph::GraphError),
+    /// An error bubbled up from the QUBO substrate or a solver.
+    Qubo(qhdcd_qubo::QuboError),
+    /// A pipeline was configured inconsistently.
+    InvalidConfig {
+        /// Human readable description of the problem.
+        reason: String,
+    },
+}
+
+impl fmt::Display for CdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CdError::Graph(e) => write!(f, "graph error: {e}"),
+            CdError::Qubo(e) => write!(f, "qubo error: {e}"),
+            CdError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+        }
+    }
+}
+
+impl Error for CdError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CdError::Graph(e) => Some(e),
+            CdError::Qubo(e) => Some(e),
+            CdError::InvalidConfig { .. } => None,
+        }
+    }
+}
+
+impl From<qhdcd_graph::GraphError> for CdError {
+    fn from(e: qhdcd_graph::GraphError) -> Self {
+        CdError::Graph(e)
+    }
+}
+
+impl From<qhdcd_qubo::QuboError> for CdError {
+    fn from(e: qhdcd_qubo::QuboError) -> Self {
+        CdError::Qubo(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source_chain() {
+        let e: CdError = qhdcd_graph::GraphError::EmptyPartition.into();
+        assert!(e.to_string().contains("graph error"));
+        assert!(e.source().is_some());
+        let e: CdError = qhdcd_qubo::QuboError::InvalidConfig { reason: "x".into() }.into();
+        assert!(e.to_string().contains("qubo error"));
+        let e = CdError::InvalidConfig { reason: "bad k".into() };
+        assert!(e.to_string().contains("bad k"));
+        assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CdError>();
+    }
+}

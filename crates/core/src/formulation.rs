@@ -1,0 +1,458 @@
+//! The community-detection → QUBO encoding (Algorithm 1 of the paper).
+//!
+//! Binary variables `x_{i,c} ∈ {0,1}` indicate that node `i` belongs to
+//! community `c ∈ {0, …, k−1}`, flattened as `idx(i, c) = i·k + c`. The QUBO to
+//! *minimise* is
+//!
+//! ```text
+//! Q = −w₁ · Σ_{i,j} B_ij Σ_c x_{i,c} x_{j,c}          (modularity reward, Eq. 2)
+//!   + λ_A · Σ_i (1 − Σ_c x_{i,c})²                     (assignment constraint, Eq. 3)
+//!   + λ_S · Σ_c (Σ_i x_{i,c} − n/k)²                   (balanced sizes, Eq. 4)
+//! ```
+//!
+//! with `B_ij = A_ij − d_i d_j / (2m)` the modularity matrix. The decoder maps
+//! a binary solution back to a [`Partition`], repairing nodes whose one-hot
+//! constraint is violated.
+
+use crate::CdError;
+use qhdcd_graph::{modularity, Graph, Partition};
+use qhdcd_qubo::{BinarySolution, QuboBuilder, QuboModel};
+
+/// Configuration of the QUBO encoding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FormulationConfig {
+    /// Number of communities `k` (the number of one-hot slots per node).
+    pub num_communities: usize,
+    /// Weight `w₁` of the modularity reward term.
+    pub modularity_weight: f64,
+    /// Weight multiplier for the assignment penalty `λ_A`. The actual penalty is
+    /// `assignment_weight × (largest per-node modularity stake)`, so the default
+    /// of 2.0 guarantees that violating the one-hot constraint never pays off.
+    pub assignment_weight: f64,
+    /// Relative weight of the balanced-size penalty `λ_S`. It is scaled by
+    /// `2m·k²/n²` internally so that a size deviation of the order of a whole
+    /// community costs about `balance_weight × 2m` — comparable to, but by
+    /// default much smaller than, the total modularity stake.
+    pub balance_weight: f64,
+}
+
+impl Default for FormulationConfig {
+    fn default() -> Self {
+        FormulationConfig {
+            num_communities: 4,
+            modularity_weight: 1.0,
+            assignment_weight: 2.0,
+            balance_weight: 0.05,
+        }
+    }
+}
+
+impl FormulationConfig {
+    /// Convenience constructor fixing only the number of communities.
+    pub fn with_communities(num_communities: usize) -> Self {
+        FormulationConfig { num_communities, ..FormulationConfig::default() }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CdError::InvalidConfig`] if `num_communities` is zero or any
+    /// weight is negative or non-finite.
+    pub fn validate(&self) -> Result<(), CdError> {
+        if self.num_communities == 0 {
+            return Err(CdError::InvalidConfig { reason: "num_communities must be > 0".into() });
+        }
+        for (name, w) in [
+            ("modularity_weight", self.modularity_weight),
+            ("assignment_weight", self.assignment_weight),
+            ("balance_weight", self.balance_weight),
+        ] {
+            if !w.is_finite() || w < 0.0 {
+                return Err(CdError::InvalidConfig {
+                    reason: format!("{name} must be finite and non-negative, got {w}"),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A community-detection QUBO together with the data needed to decode solutions.
+#[derive(Debug, Clone)]
+pub struct CdQubo {
+    model: QuboModel,
+    num_nodes: usize,
+    num_communities: usize,
+}
+
+impl CdQubo {
+    /// The underlying QUBO model (`n·k` variables).
+    pub fn model(&self) -> &QuboModel {
+        &self.model
+    }
+
+    /// Number of graph nodes encoded.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of community slots per node.
+    pub fn num_communities(&self) -> usize {
+        self.num_communities
+    }
+
+    /// Flat variable index of `x_{node, community}` (Algorithm 1's `idx`).
+    pub fn variable_index(&self, node: usize, community: usize) -> usize {
+        node * self.num_communities + community
+    }
+
+    /// Encodes a partition as a binary assignment of the QUBO variables.
+    /// Community labels are taken modulo `k`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CdError::Graph`] if the partition covers a different number of
+    /// nodes than the encoded graph.
+    pub fn encode(&self, partition: &Partition) -> Result<BinarySolution, CdError> {
+        if partition.num_nodes() != self.num_nodes {
+            return Err(CdError::Graph(qhdcd_graph::GraphError::PartitionSizeMismatch {
+                labels: partition.num_nodes(),
+                nodes: self.num_nodes,
+            }));
+        }
+        let mut x = vec![false; self.num_nodes * self.num_communities];
+        let renum = partition.renumbered();
+        for node in 0..self.num_nodes {
+            let c = renum.community_of(node) % self.num_communities;
+            x[self.variable_index(node, c)] = true;
+        }
+        Ok(x)
+    }
+
+    /// Decodes a binary assignment into a [`Partition`].
+    ///
+    /// Nodes violating the one-hot constraint are repaired: if several
+    /// community bits are set the lowest-index one wins; if none is set the
+    /// node joins the community that most of its neighbours' decoded bits point
+    /// to (community 0 if it has no decided neighbours). The result is
+    /// renumbered.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CdError::Qubo`] if the solution length does not match the model.
+    pub fn decode(&self, graph: &Graph, solution: &[bool]) -> Result<Partition, CdError> {
+        self.model.check_solution(solution)?;
+        let k = self.num_communities;
+        let mut labels: Vec<Option<usize>> = vec![None; self.num_nodes];
+        for node in 0..self.num_nodes {
+            for c in 0..k {
+                if solution[self.variable_index(node, c)] {
+                    labels[node] = Some(c);
+                    break;
+                }
+            }
+        }
+        // Repair unassigned nodes from their neighbourhood majority.
+        let mut final_labels = vec![0usize; self.num_nodes];
+        for node in 0..self.num_nodes {
+            final_labels[node] = match labels[node] {
+                Some(c) => c,
+                None => {
+                    let mut weight_per_community = vec![0.0f64; k];
+                    for (v, w) in graph.neighbors(node) {
+                        if let Some(c) = labels[v] {
+                            weight_per_community[c] += w;
+                        }
+                    }
+                    weight_per_community
+                        .iter()
+                        .enumerate()
+                        .max_by(|a, b| a.1.partial_cmp(b.1).expect("weights are finite"))
+                        .map(|(c, _)| c)
+                        .unwrap_or(0)
+                }
+            };
+        }
+        Ok(Partition::from_labels(final_labels).map_err(CdError::Graph)?.renumbered())
+    }
+}
+
+/// Builds the community-detection QUBO for `graph` (Algorithm 1).
+///
+/// # Errors
+///
+/// Returns [`CdError::InvalidConfig`] for invalid configurations or graphs with
+/// no nodes, and [`CdError::Qubo`] if the model construction fails.
+///
+/// # Example
+///
+/// ```
+/// use qhdcd_core::formulation::{build_qubo, FormulationConfig};
+/// use qhdcd_graph::generators;
+///
+/// # fn main() -> Result<(), qhdcd_core::CdError> {
+/// let graph = generators::karate_club();
+/// let qubo = build_qubo(&graph, &FormulationConfig::with_communities(4))?;
+/// assert_eq!(qubo.model().num_variables(), 34 * 4);
+/// # Ok(())
+/// # }
+/// ```
+pub fn build_qubo(graph: &Graph, config: &FormulationConfig) -> Result<CdQubo, CdError> {
+    config.validate()?;
+    let n = graph.num_nodes();
+    if n == 0 {
+        return Err(CdError::InvalidConfig { reason: "graph has no nodes".into() });
+    }
+    let k = config.num_communities;
+    let two_m = 2.0 * graph.total_edge_weight();
+    let mut builder = QuboBuilder::new(n * k);
+    let idx = |i: usize, c: usize| i * k + c;
+
+    // --- Modularity reward: −w₁ Σ_{i,j} B_ij Σ_c x_ic x_jc.
+    // Sparse pass over edges for the A_ij part, plus the dense degree-product
+    // correction collapsed per node pair only where it matters:
+    //   Σ_{i,j} B_ij x_ic x_jc = Σ_{i,j} A_ij x_ic x_jc − (Σ_i d_i x_ic)²/(2m).
+    // The second term is a quadratic form over the per-community degree sums,
+    // which expands into k · O(n²)/2 pairs. For the direct formulation (small
+    // graphs) we add it exactly; it is what makes the encoding faithful to Eq. 2.
+    let w1 = config.modularity_weight;
+    if two_m > 0.0 {
+        // A_ij part (off-diagonal edges contribute to ordered pairs twice).
+        for (u, v, w) in graph.edges() {
+            let a_uv = if u == v { 2.0 * w } else { w };
+            for c in 0..k {
+                if u == v {
+                    builder.add_linear(idx(u, c), -w1 * a_uv)?;
+                } else {
+                    // Ordered pairs (u,v) and (v,u) both appear in Eq. 2.
+                    builder.add_quadratic(idx(u, c), idx(v, c), -2.0 * w1 * a_uv)?;
+                }
+            }
+        }
+        // −(Σ_i d_i x_ic)² / (2m) correction, expanded exactly.
+        for c in 0..k {
+            for i in 0..n {
+                let d_i = graph.degree(i);
+                if d_i == 0.0 {
+                    continue;
+                }
+                // Diagonal: x_ic² = x_ic.
+                builder.add_linear(idx(i, c), w1 * d_i * d_i / two_m)?;
+                for j in (i + 1)..n {
+                    let d_j = graph.degree(j);
+                    if d_j == 0.0 {
+                        continue;
+                    }
+                    builder.add_quadratic(idx(i, c), idx(j, c), 2.0 * w1 * d_i * d_j / two_m)?;
+                }
+            }
+        }
+    }
+
+    // --- Assignment constraint λ_A Σ_i (1 − Σ_c x_ic)².
+    // λ_A is scaled to dominate the largest per-node modularity stake so that
+    // violating the one-hot constraint can never be energetically favourable.
+    let max_stake = (0..n)
+        .map(|i| {
+            let row: f64 = graph.neighbors(i).map(|(_, w)| w).sum::<f64>()
+                + if two_m > 0.0 { graph.degree(i) * graph.degree(i) / two_m } else { 0.0 };
+            2.0 * w1 * row
+        })
+        .fold(1.0f64, f64::max);
+    let lambda_a = config.assignment_weight * max_stake;
+    for i in 0..n {
+        let vars: Vec<usize> = (0..k).map(|c| idx(i, c)).collect();
+        builder.add_penalty_exactly_one(&vars, lambda_a)?;
+    }
+
+    // --- Balanced-size constraint λ_S Σ_c (Σ_i x_ic − n/k)².
+    if config.balance_weight > 0.0 {
+        let lambda_s = config.balance_weight * two_m.max(1.0) * (k as f64).powi(2)
+            / (n as f64).powi(2);
+        let target = n as f64 / k as f64;
+        for c in 0..k {
+            let vars: Vec<usize> = (0..n).map(|i| idx(i, c)).collect();
+            builder.add_penalty_sum_equals(&vars, target, lambda_s)?;
+        }
+    }
+
+    Ok(CdQubo { model: builder.build(), num_nodes: n, num_communities: k })
+}
+
+/// Evaluates the *modularity* (not the raw QUBO energy) that a binary solution
+/// decodes to — convenience for tests and experiment harnesses.
+///
+/// # Errors
+///
+/// Returns [`CdError::Qubo`] if the solution does not match the encoded model.
+pub fn decoded_modularity(
+    qubo: &CdQubo,
+    graph: &Graph,
+    solution: &[bool],
+) -> Result<f64, CdError> {
+    let partition = qubo.decode(graph, solution)?;
+    Ok(modularity::modularity(graph, &partition))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qhdcd_graph::{generators, GraphBuilder};
+    use qhdcd_qubo::QuboSolver;
+    use qhdcd_solvers::ExhaustiveSearch;
+
+    fn two_triangles() -> Graph {
+        GraphBuilder::from_unweighted_edges(
+            6,
+            [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(FormulationConfig::default().validate().is_ok());
+        assert!(FormulationConfig::with_communities(0).validate().is_err());
+        let bad = FormulationConfig { modularity_weight: -1.0, ..FormulationConfig::default() };
+        assert!(bad.validate().is_err());
+        let bad = FormulationConfig { balance_weight: f64::NAN, ..FormulationConfig::default() };
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn variable_layout_matches_algorithm_one() {
+        let g = two_triangles();
+        let qubo = build_qubo(&g, &FormulationConfig::with_communities(3)).unwrap();
+        assert_eq!(qubo.model().num_variables(), 18);
+        assert_eq!(qubo.variable_index(0, 0), 0);
+        assert_eq!(qubo.variable_index(0, 2), 2);
+        assert_eq!(qubo.variable_index(1, 0), 3);
+        assert_eq!(qubo.num_nodes(), 6);
+        assert_eq!(qubo.num_communities(), 3);
+    }
+
+    #[test]
+    fn encode_decode_round_trip_is_identity_for_valid_partitions() {
+        let g = two_triangles();
+        let qubo = build_qubo(&g, &FormulationConfig::with_communities(2)).unwrap();
+        let p = Partition::from_labels(vec![0, 0, 0, 1, 1, 1]).unwrap();
+        let x = qubo.encode(&p).unwrap();
+        let decoded = qubo.decode(&g, &x).unwrap();
+        assert_eq!(decoded, p.renumbered());
+        // Mismatched partition size is rejected.
+        assert!(qubo.encode(&Partition::singletons(4)).is_err());
+        // Wrong solution length is rejected.
+        assert!(qubo.decode(&g, &[true]).is_err());
+    }
+
+    #[test]
+    fn qubo_energy_orders_partitions_by_modularity() {
+        // The QUBO energy of encoded valid partitions must rank the natural
+        // 2-community split strictly better than the all-in-one and the
+        // alternating split.
+        let g = two_triangles();
+        let config = FormulationConfig { balance_weight: 0.0, ..FormulationConfig::with_communities(2) };
+        let qubo = build_qubo(&g, &config).unwrap();
+        let energy = |labels: Vec<usize>| {
+            let p = Partition::from_labels(labels).unwrap();
+            let x = qubo.encode(&p).unwrap();
+            qubo.model().evaluate(&x).unwrap()
+        };
+        let natural = energy(vec![0, 0, 0, 1, 1, 1]);
+        let merged = energy(vec![0; 6]);
+        let alternating = energy(vec![0, 1, 0, 1, 0, 1]);
+        assert!(natural < merged, "natural={natural} merged={merged}");
+        assert!(natural < alternating, "natural={natural} alternating={alternating}");
+    }
+
+    #[test]
+    fn qubo_energy_of_valid_partitions_tracks_negative_modularity() {
+        // For valid (one-hot) assignments with balance_weight = 0, the QUBO energy
+        // is an affine function of the partition's modularity: E = −w₁·2m·Q + const.
+        let g = two_triangles();
+        let config = FormulationConfig { balance_weight: 0.0, ..FormulationConfig::with_communities(2) };
+        let qubo = build_qubo(&g, &config).unwrap();
+        let two_m = 2.0 * g.total_edge_weight();
+        let mut checked = 0;
+        let mut reference: Option<f64> = None;
+        for labels in [vec![0, 0, 0, 1, 1, 1], vec![0, 1, 0, 1, 0, 1], vec![0, 0, 1, 1, 1, 0]] {
+            let p = Partition::from_labels(labels).unwrap();
+            let q = modularity::modularity(&g, &p);
+            let x = qubo.encode(&p).unwrap();
+            let e = qubo.model().evaluate(&x).unwrap();
+            let constant = e + two_m * q;
+            match reference {
+                None => reference = Some(constant),
+                Some(r) => assert!((constant - r).abs() < 1e-9, "constant {constant} vs {r}"),
+            }
+            checked += 1;
+        }
+        assert_eq!(checked, 3);
+    }
+
+    #[test]
+    fn solving_the_qubo_recovers_the_natural_communities() {
+        let g = two_triangles();
+        let qubo = build_qubo(&g, &FormulationConfig::with_communities(2)).unwrap();
+        let report = ExhaustiveSearch::default().solve(qubo.model()).unwrap();
+        let partition = qubo.decode(&g, &report.solution).unwrap();
+        let expected = Partition::from_labels(vec![0, 0, 0, 1, 1, 1]).unwrap().renumbered();
+        assert_eq!(partition.renumbered(), expected);
+        let q = modularity::modularity(&g, &partition);
+        assert!(q > 0.35, "q={q}");
+    }
+
+    #[test]
+    fn decoder_repairs_violated_one_hot_constraints() {
+        let g = two_triangles();
+        let qubo = build_qubo(&g, &FormulationConfig::with_communities(2)).unwrap();
+        // Node 0: no community bit set; node 1: both set; rest valid.
+        let p = Partition::from_labels(vec![0, 0, 0, 1, 1, 1]).unwrap();
+        let mut x = qubo.encode(&p).unwrap();
+        x[qubo.variable_index(0, 0)] = false;
+        x[qubo.variable_index(1, 1)] = true;
+        let decoded = qubo.decode(&g, &x).unwrap();
+        assert_eq!(decoded.num_nodes(), 6);
+        // Node 0's neighbours are all in community 0, so the repair puts it there.
+        assert_eq!(decoded.community_of(0), decoded.community_of(2));
+    }
+
+    #[test]
+    fn empty_graph_and_zero_weight_graphs_are_handled() {
+        assert!(build_qubo(&GraphBuilder::new(0).build(), &FormulationConfig::default()).is_err());
+        // A graph with nodes but no edges still builds (modularity term vanishes).
+        let g = GraphBuilder::new(3).build();
+        let qubo = build_qubo(&g, &FormulationConfig::with_communities(2)).unwrap();
+        assert_eq!(qubo.model().num_variables(), 6);
+    }
+
+    #[test]
+    fn decoded_modularity_matches_direct_computation() {
+        let g = generators::karate_club();
+        let qubo = build_qubo(&g, &FormulationConfig::with_communities(4)).unwrap();
+        let p = generators::karate_club_communities();
+        let x = qubo.encode(&p).unwrap();
+        let via_decode = decoded_modularity(&qubo, &g, &x).unwrap();
+        let direct = modularity::modularity(&g, &p);
+        assert!((via_decode - direct).abs() < 1e-12);
+    }
+
+    #[test]
+    fn balance_term_discourages_extremely_unbalanced_partitions() {
+        // Ring of cliques with k = 2 slots: with a strong balance term, putting
+        // everything into one community is more expensive than splitting.
+        let pg = generators::ring_of_cliques(2, 5).unwrap();
+        let config = FormulationConfig {
+            num_communities: 2,
+            balance_weight: 1.0,
+            ..FormulationConfig::default()
+        };
+        let qubo = build_qubo(&pg.graph, &config).unwrap();
+        let all_one = qubo.encode(&Partition::all_in_one(10)).unwrap();
+        let split = qubo.encode(&pg.ground_truth).unwrap();
+        assert!(
+            qubo.model().evaluate(&split).unwrap() < qubo.model().evaluate(&all_one).unwrap()
+        );
+    }
+}

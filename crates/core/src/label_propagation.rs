@@ -1,0 +1,166 @@
+//! Asynchronous label propagation — a cheap classical baseline.
+//!
+//! Every node starts in its own community; nodes are visited in a random order
+//! and adopt the label carried by the (weighted) majority of their neighbours,
+//! until labels stop changing or the sweep budget is exhausted. Near-linear
+//! time, no parameters beyond the seed — useful as a speed baseline and as an
+//! initial partition for the refinement step.
+
+use crate::CdError;
+use qhdcd_graph::{modularity, Graph, Partition};
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+
+/// Configuration of the label-propagation baseline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LabelPropagationConfig {
+    /// Maximum number of full sweeps.
+    pub max_sweeps: usize,
+    /// RNG seed controlling the node visit order and tie breaking.
+    pub seed: u64,
+}
+
+impl Default for LabelPropagationConfig {
+    fn default() -> Self {
+        LabelPropagationConfig { max_sweeps: 50, seed: 0 }
+    }
+}
+
+/// Outcome of a label-propagation run.
+#[derive(Debug, Clone)]
+pub struct LabelPropagationOutcome {
+    /// The detected partition (renumbered).
+    pub partition: Partition,
+    /// Modularity of [`LabelPropagationOutcome::partition`].
+    pub modularity: f64,
+    /// Number of sweeps performed.
+    pub sweeps: usize,
+}
+
+/// Runs asynchronous label propagation on `graph`.
+///
+/// # Errors
+///
+/// Returns [`CdError::InvalidConfig`] if the sweep budget is zero or the graph
+/// is empty.
+///
+/// # Example
+///
+/// ```
+/// use qhdcd_core::label_propagation::{detect, LabelPropagationConfig};
+/// use qhdcd_graph::generators;
+///
+/// # fn main() -> Result<(), qhdcd_core::CdError> {
+/// let pg = generators::ring_of_cliques(6, 6)?;
+/// let out = detect(&pg.graph, &LabelPropagationConfig::default())?;
+/// assert!(out.modularity > 0.6);
+/// # Ok(())
+/// # }
+/// ```
+pub fn detect(
+    graph: &Graph,
+    config: &LabelPropagationConfig,
+) -> Result<LabelPropagationOutcome, CdError> {
+    if config.max_sweeps == 0 {
+        return Err(CdError::InvalidConfig { reason: "max_sweeps must be > 0".into() });
+    }
+    let n = graph.num_nodes();
+    if n == 0 {
+        return Err(CdError::InvalidConfig { reason: "graph has no nodes".into() });
+    }
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    let mut labels: Vec<usize> = (0..n).collect();
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut sweeps = 0usize;
+    for _ in 0..config.max_sweeps {
+        sweeps += 1;
+        order.shuffle(&mut rng);
+        let mut changed = false;
+        for &node in &order {
+            let mut weight_per_label: std::collections::HashMap<usize, f64> =
+                std::collections::HashMap::new();
+            for (v, w) in graph.neighbors(node) {
+                if v == node {
+                    continue;
+                }
+                *weight_per_label.entry(labels[v]).or_insert(0.0) += w;
+            }
+            if weight_per_label.is_empty() {
+                continue;
+            }
+            let best_weight = weight_per_label
+                .values()
+                .fold(f64::NEG_INFINITY, |acc, &w| acc.max(w));
+            let mut best_labels: Vec<usize> = weight_per_label
+                .iter()
+                .filter(|(_, &w)| (w - best_weight).abs() < 1e-12)
+                .map(|(&l, _)| l)
+                .collect();
+            best_labels.sort_unstable();
+            let new_label = if best_labels.contains(&labels[node]) {
+                labels[node]
+            } else {
+                *best_labels.choose(&mut rng).expect("at least one best label")
+            };
+            if new_label != labels[node] {
+                labels[node] = new_label;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let partition = Partition::from_labels(labels).map_err(CdError::Graph)?.renumbered();
+    let q = modularity::modularity(graph, &partition);
+    Ok(LabelPropagationOutcome { partition, modularity: q, sweeps })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qhdcd_graph::{generators, metrics, GraphBuilder};
+
+    #[test]
+    fn recovers_well_separated_communities() {
+        let pg = generators::ring_of_cliques(6, 8).unwrap();
+        let out = detect(&pg.graph, &LabelPropagationConfig::default()).unwrap();
+        let nmi = metrics::normalized_mutual_information(&out.partition, &pg.ground_truth);
+        assert!(nmi > 0.9, "nmi={nmi}");
+        assert!(out.sweeps >= 1);
+    }
+
+    #[test]
+    fn isolated_nodes_keep_their_own_label() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1, 1.0).unwrap();
+        let g = b.build();
+        let out = detect(&g, &LabelPropagationConfig::default()).unwrap();
+        // Nodes 2 and 3 are isolated: they stay in singleton communities.
+        assert_ne!(out.partition.community_of(2), out.partition.community_of(3));
+        assert_eq!(out.partition.community_of(0), out.partition.community_of(1));
+    }
+
+    #[test]
+    fn rejects_degenerate_inputs() {
+        let g = generators::karate_club();
+        assert!(detect(&g, &LabelPropagationConfig { max_sweeps: 0, seed: 0 }).is_err());
+        let empty = GraphBuilder::new(0).build();
+        assert!(detect(&empty, &LabelPropagationConfig::default()).is_err());
+    }
+
+    #[test]
+    fn deterministic_for_a_fixed_seed() {
+        let pg = generators::planted_partition(&generators::PlantedPartitionConfig {
+            num_nodes: 100,
+            num_communities: 4,
+            p_in: 0.3,
+            p_out: 0.02,
+            seed: 2,
+        })
+        .unwrap();
+        let a = detect(&pg.graph, &LabelPropagationConfig { seed: 5, ..Default::default() }).unwrap();
+        let b = detect(&pg.graph, &LabelPropagationConfig { seed: 5, ..Default::default() }).unwrap();
+        assert_eq!(a.partition, b.partition);
+    }
+}

@@ -1,0 +1,263 @@
+//! The multilevel community-detection pipeline (Algorithm 2 of the paper).
+//!
+//! 1. **Coarsening** — heavy-edge matching (Eq. 6) until at most `θ` nodes remain.
+//! 2. **Initial partition** — the direct QUBO + solver pipeline on the coarsest graph.
+//! 3. **Uncoarsening** — project the communities back level by level.
+//! 4. **Refinement** — modularity-gain local moves at every level.
+//!
+//! This is the scalable path for graphs beyond ~1 000 nodes (Tables II and the
+//! large stratum of the solver comparison).
+
+use crate::coarsen::{coarsen_hierarchy, CoarsenConfig};
+use crate::direct::{self, DirectConfig};
+use crate::formulation::FormulationConfig;
+use crate::refine::{refine_partition, RefineConfig};
+use crate::CdError;
+use qhdcd_graph::{modularity, Graph, Partition};
+use qhdcd_qubo::QuboSolver;
+use std::time::{Duration, Instant};
+
+/// Configuration of the multilevel pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultilevelConfig {
+    /// Number of communities `k` used for the coarsest-level QUBO.
+    pub num_communities: usize,
+    /// Coarsening parameters (`α`, `β`, threshold `θ`, level cap).
+    pub coarsen: CoarsenConfig,
+    /// QUBO encoding parameters for the coarsest graph (the community count is
+    /// overridden by [`MultilevelConfig::num_communities`]).
+    pub formulation: FormulationConfig,
+    /// Refinement parameters applied at every level during uncoarsening.
+    pub refine: RefineConfig,
+    /// Also run a final refinement pass on the original graph.
+    pub final_refine: bool,
+}
+
+impl Default for MultilevelConfig {
+    fn default() -> Self {
+        MultilevelConfig {
+            num_communities: 8,
+            coarsen: CoarsenConfig::default(),
+            formulation: FormulationConfig::default(),
+            refine: RefineConfig::default(),
+            final_refine: true,
+        }
+    }
+}
+
+impl MultilevelConfig {
+    /// Convenience constructor fixing only the number of communities.
+    pub fn with_communities(num_communities: usize) -> Self {
+        MultilevelConfig { num_communities, ..MultilevelConfig::default() }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CdError::InvalidConfig`] if any sub-configuration is invalid.
+    pub fn validate(&self) -> Result<(), CdError> {
+        if self.num_communities == 0 {
+            return Err(CdError::InvalidConfig { reason: "num_communities must be > 0".into() });
+        }
+        self.coarsen.validate()?;
+        self.formulation.validate()?;
+        Ok(())
+    }
+}
+
+/// Outcome of the multilevel pipeline.
+#[derive(Debug, Clone)]
+pub struct MultilevelOutcome {
+    /// The detected partition of the original graph (renumbered).
+    pub partition: Partition,
+    /// Modularity of [`MultilevelOutcome::partition`].
+    pub modularity: f64,
+    /// Number of coarsening levels that were built.
+    pub levels: usize,
+    /// Number of nodes of the coarsest graph that was solved directly.
+    pub coarsest_nodes: usize,
+    /// Status reported by the base QUBO solver.
+    pub solver_status: qhdcd_qubo::SolveStatus,
+    /// Total wall-clock time.
+    pub elapsed: Duration,
+    /// Wall-clock time spent inside the base QUBO solver only.
+    pub solver_time: Duration,
+}
+
+/// Runs the multilevel pipeline on `graph` with the given base `solver`
+/// (Algorithm 2).
+///
+/// # Errors
+///
+/// Propagates [`CdError`] from coarsening, the base solve or refinement.
+///
+/// # Example
+///
+/// ```
+/// use qhdcd_core::multilevel::{detect, MultilevelConfig};
+/// use qhdcd_graph::generators;
+/// use qhdcd_solvers::SimulatedAnnealing;
+///
+/// # fn main() -> Result<(), qhdcd_core::CdError> {
+/// let pg = generators::ring_of_cliques(30, 10)?;
+/// let config = MultilevelConfig::with_communities(30);
+/// let out = detect(&pg.graph, &SimulatedAnnealing::default(), &config)?;
+/// assert!(out.modularity > 0.8);
+/// # Ok(())
+/// # }
+/// ```
+pub fn detect<S: QuboSolver>(
+    graph: &Graph,
+    solver: &S,
+    config: &MultilevelConfig,
+) -> Result<MultilevelOutcome, CdError> {
+    config.validate()?;
+    let start = Instant::now();
+
+    // --- Coarsening phase.
+    let hierarchy = coarsen_hierarchy(graph, &config.coarsen)?;
+    let coarsest_owned;
+    let coarsest: &Graph = match hierarchy.coarsest() {
+        Some(g) => g,
+        None => {
+            coarsest_owned = graph.clone();
+            &coarsest_owned
+        }
+    };
+    let coarsest_nodes = coarsest.num_nodes();
+
+    // --- Initial partition on the coarsest graph via the direct QUBO pipeline.
+    let mut formulation = config.formulation.clone();
+    formulation.num_communities = config.num_communities.min(coarsest_nodes.max(1));
+    let direct_config = DirectConfig {
+        formulation,
+        refine: false,
+        refine_config: config.refine,
+    };
+    let base = direct::detect(coarsest, solver, &direct_config)?;
+    let solver_time = base.solver_time;
+    let solver_status = base.solver_status;
+
+    // --- Uncoarsening with per-level refinement.
+    let mut partition = base.partition;
+    // Refine on the coarsest graph itself first.
+    partition = refine_partition(coarsest, &partition, &config.refine)?.partition;
+    for level_index in (0..hierarchy.levels.len()).rev() {
+        let level = &hierarchy.levels[level_index];
+        // Project one level down: the finer graph is the previous level's graph
+        // (or the original graph at the bottom).
+        partition = partition.project(&level.coarse_of);
+        let finer_graph: &Graph = if level_index == 0 {
+            graph
+        } else {
+            &hierarchy.levels[level_index - 1].graph
+        };
+        partition = refine_partition(finer_graph, &partition, &config.refine)?.partition;
+    }
+    if config.final_refine {
+        partition = refine_partition(graph, &partition, &config.refine)?.partition;
+    }
+    let q = modularity::modularity(graph, &partition);
+    Ok(MultilevelOutcome {
+        partition,
+        modularity: q,
+        levels: hierarchy.num_levels(),
+        coarsest_nodes,
+        solver_status,
+        elapsed: start.elapsed(),
+        solver_time,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qhdcd_graph::{generators, metrics};
+    use qhdcd_qhd::QhdSolver;
+    use qhdcd_solvers::SimulatedAnnealing;
+
+    #[test]
+    fn config_validation() {
+        assert!(MultilevelConfig::default().validate().is_ok());
+        assert!(MultilevelConfig::with_communities(0).validate().is_err());
+        let mut bad = MultilevelConfig::default();
+        bad.coarsen.threshold = 0;
+        assert!(bad.validate().is_err());
+        assert!(detect(
+            &generators::karate_club(),
+            &SimulatedAnnealing::default(),
+            &MultilevelConfig::with_communities(0)
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn recovers_planted_communities_on_a_medium_graph() {
+        let pg = generators::planted_partition(&generators::PlantedPartitionConfig {
+            num_nodes: 400,
+            num_communities: 8,
+            p_in: 0.2,
+            p_out: 0.005,
+            seed: 7,
+        })
+        .unwrap();
+        let config = MultilevelConfig {
+            num_communities: 8,
+            coarsen: CoarsenConfig { threshold: 60, ..CoarsenConfig::default() },
+            ..MultilevelConfig::default()
+        };
+        let out = detect(&pg.graph, &SimulatedAnnealing::default().with_seed(2), &config).unwrap();
+        assert!(out.levels >= 1);
+        assert!(out.coarsest_nodes <= 60);
+        let nmi = metrics::normalized_mutual_information(&out.partition, &pg.ground_truth);
+        assert!(nmi > 0.8, "nmi={nmi}");
+        let q_truth = qhdcd_graph::modularity::modularity(&pg.graph, &pg.ground_truth);
+        assert!(out.modularity > 0.9 * q_truth, "q={} truth={q_truth}", out.modularity);
+    }
+
+    #[test]
+    fn works_with_the_qhd_solver_as_base() {
+        let pg = generators::ring_of_cliques(20, 8).unwrap();
+        let solver = QhdSolver::builder().samples(3).steps(60).seed(5).build();
+        let config = MultilevelConfig {
+            num_communities: 20,
+            coarsen: CoarsenConfig { threshold: 40, ..CoarsenConfig::default() },
+            ..MultilevelConfig::default()
+        };
+        let out = detect(&pg.graph, &solver, &config).unwrap();
+        assert!(out.modularity > 0.8, "q={}", out.modularity);
+        assert!(out.elapsed >= out.solver_time);
+    }
+
+    #[test]
+    fn small_graphs_fall_back_to_the_direct_path() {
+        // Karate (34 nodes) is below the default threshold of 200, so no
+        // coarsening levels are built and the pipeline is effectively direct.
+        let g = generators::karate_club();
+        let out = detect(
+            &g,
+            &SimulatedAnnealing::default().with_seed(3),
+            &MultilevelConfig::with_communities(4),
+        )
+        .unwrap();
+        assert_eq!(out.levels, 0);
+        assert_eq!(out.coarsest_nodes, 34);
+        assert!(out.modularity > 0.35, "q={}", out.modularity);
+    }
+
+    #[test]
+    fn multilevel_matches_direct_quality_on_small_graphs() {
+        let pg = generators::ring_of_cliques(5, 6).unwrap();
+        let solver = SimulatedAnnealing::default().with_seed(9);
+        let direct_out = crate::direct::detect(
+            &pg.graph,
+            &solver,
+            &crate::direct::DirectConfig::with_communities(5),
+        )
+        .unwrap();
+        let multi_out =
+            detect(&pg.graph, &solver, &MultilevelConfig::with_communities(5)).unwrap();
+        assert!((multi_out.modularity - direct_out.modularity).abs() < 0.05);
+    }
+}

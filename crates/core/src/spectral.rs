@@ -1,0 +1,261 @@
+//! Spectral community detection — the classical spectral baseline mentioned in
+//! the paper's background section.
+//!
+//! The `d = ⌈log₂ k⌉ + 1` smallest non-trivial eigenvectors of the (normalised)
+//! graph Laplacian embed the nodes in `ℝ^d`; a seeded k-means clustering of the
+//! embedding produces the communities, followed by the usual modularity-gain
+//! refinement. Everything is matrix-free (power iteration against the CSR
+//! graph), so the baseline scales to the benchmark sizes used in this repo.
+
+use crate::refine::{refine_partition, RefineConfig};
+use crate::CdError;
+use qhdcd_graph::laplacian::{smallest_nontrivial_eigenvectors, LaplacianKind};
+use qhdcd_graph::{modularity, Graph, Partition};
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+
+/// Configuration of the spectral baseline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpectralConfig {
+    /// Number of communities `k` for the k-means step.
+    pub num_communities: usize,
+    /// Laplacian normalisation.
+    pub kind: LaplacianKind,
+    /// Power-iteration steps per eigenvector.
+    pub eigen_iterations: usize,
+    /// k-means iterations.
+    pub kmeans_iterations: usize,
+    /// RNG seed (eigensolver start vectors, k-means initialisation).
+    pub seed: u64,
+    /// Whether to run modularity-gain refinement on the clustering.
+    pub refine: bool,
+}
+
+impl Default for SpectralConfig {
+    fn default() -> Self {
+        SpectralConfig {
+            num_communities: 4,
+            kind: LaplacianKind::SymmetricNormalized,
+            eigen_iterations: 200,
+            kmeans_iterations: 50,
+            seed: 0,
+            refine: true,
+        }
+    }
+}
+
+/// Outcome of the spectral baseline.
+#[derive(Debug, Clone)]
+pub struct SpectralOutcome {
+    /// The detected partition (renumbered).
+    pub partition: Partition,
+    /// Modularity of [`SpectralOutcome::partition`].
+    pub modularity: f64,
+    /// Estimated eigenvalues of the embedding directions.
+    pub eigenvalues: Vec<f64>,
+}
+
+/// Runs spectral community detection on `graph`.
+///
+/// # Errors
+///
+/// Returns [`CdError::InvalidConfig`] for a zero community count or an empty
+/// graph.
+///
+/// # Example
+///
+/// ```
+/// use qhdcd_core::spectral::{detect, SpectralConfig};
+/// use qhdcd_graph::generators;
+///
+/// # fn main() -> Result<(), qhdcd_core::CdError> {
+/// let pg = generators::ring_of_cliques(4, 6)?;
+/// let out = detect(&pg.graph, &SpectralConfig { num_communities: 4, ..Default::default() })?;
+/// assert!(out.modularity > 0.5);
+/// # Ok(())
+/// # }
+/// ```
+pub fn detect(graph: &Graph, config: &SpectralConfig) -> Result<SpectralOutcome, CdError> {
+    if config.num_communities == 0 {
+        return Err(CdError::InvalidConfig { reason: "num_communities must be > 0".into() });
+    }
+    let n = graph.num_nodes();
+    if n == 0 {
+        return Err(CdError::InvalidConfig { reason: "graph has no nodes".into() });
+    }
+    let k = config.num_communities.min(n);
+    let dims = ((k as f64).log2().ceil() as usize + 1).clamp(1, n.saturating_sub(1).max(1));
+    let embedding = smallest_nontrivial_eigenvectors(
+        graph,
+        config.kind,
+        dims,
+        config.eigen_iterations,
+        config.seed,
+    );
+    // Row-major embedding points.
+    let points: Vec<Vec<f64>> =
+        (0..n).map(|i| embedding.vectors.iter().map(|v| v[i]).collect()).collect();
+    let labels = kmeans(&points, k, config.kmeans_iterations, config.seed);
+    let mut partition = Partition::from_labels(labels).map_err(CdError::Graph)?.renumbered();
+    if config.refine {
+        partition = refine_partition(graph, &partition, &RefineConfig::default())?.partition;
+    }
+    let q = modularity::modularity(graph, &partition);
+    Ok(SpectralOutcome { partition, modularity: q, eigenvalues: embedding.eigenvalues })
+}
+
+/// Seeded Lloyd k-means with k-means++-style initialisation.
+fn kmeans(points: &[Vec<f64>], k: usize, iterations: usize, seed: u64) -> Vec<usize> {
+    let n = points.len();
+    let dims = points.first().map(|p| p.len()).unwrap_or(0);
+    if k <= 1 || dims == 0 {
+        return vec![0; n];
+    }
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let dist2 =
+        |a: &[f64], b: &[f64]| -> f64 { a.iter().zip(b).map(|(x, y)| (x - y).powi(2)).sum() };
+
+    // k-means++ initialisation.
+    let mut centers: Vec<Vec<f64>> = vec![points[rng.gen_range(0..n)].clone()];
+    while centers.len() < k.min(n) {
+        let weights: Vec<f64> = points
+            .iter()
+            .map(|p| centers.iter().map(|c| dist2(p, c)).fold(f64::INFINITY, f64::min))
+            .collect();
+        let total: f64 = weights.iter().sum();
+        let chosen = if total <= 0.0 {
+            rng.gen_range(0..n)
+        } else {
+            let mut target = rng.gen::<f64>() * total;
+            let mut idx = n - 1;
+            for (i, &w) in weights.iter().enumerate() {
+                target -= w;
+                if target <= 0.0 {
+                    idx = i;
+                    break;
+                }
+            }
+            idx
+        };
+        centers.push(points[chosen].clone());
+    }
+
+    let mut labels = vec![0usize; n];
+    for _ in 0..iterations.max(1) {
+        // Assignment step.
+        let mut changed = false;
+        for (i, p) in points.iter().enumerate() {
+            let best = centers
+                .iter()
+                .enumerate()
+                .min_by(|a, b| dist2(p, a.1).partial_cmp(&dist2(p, b.1)).expect("finite"))
+                .map(|(c, _)| c)
+                .unwrap_or(0);
+            if labels[i] != best {
+                labels[i] = best;
+                changed = true;
+            }
+        }
+        // Update step.
+        let mut sums = vec![vec![0.0; dims]; centers.len()];
+        let mut counts = vec![0usize; centers.len()];
+        for (p, &l) in points.iter().zip(&labels) {
+            counts[l] += 1;
+            for (s, &x) in sums[l].iter_mut().zip(p) {
+                *s += x;
+            }
+        }
+        for (c, center) in centers.iter_mut().enumerate() {
+            if counts[c] > 0 {
+                for (slot, s) in center.iter_mut().zip(&sums[c]) {
+                    *slot = s / counts[c] as f64;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    labels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qhdcd_graph::{generators, metrics, GraphBuilder};
+
+    #[test]
+    fn recovers_well_separated_cliques() {
+        let pg = generators::ring_of_cliques(4, 8).unwrap();
+        let out = detect(
+            &pg.graph,
+            &SpectralConfig { num_communities: 4, seed: 1, ..Default::default() },
+        )
+        .unwrap();
+        let nmi = metrics::normalized_mutual_information(&out.partition, &pg.ground_truth);
+        assert!(nmi > 0.9, "nmi={nmi}");
+        assert!(out.modularity > 0.6);
+        assert!(!out.eigenvalues.is_empty());
+    }
+
+    #[test]
+    fn recovers_planted_partition_structure() {
+        let pg = generators::planted_partition(&generators::PlantedPartitionConfig {
+            num_nodes: 120,
+            num_communities: 4,
+            p_in: 0.4,
+            p_out: 0.02,
+            seed: 9,
+        })
+        .unwrap();
+        let out = detect(
+            &pg.graph,
+            &SpectralConfig { num_communities: 4, seed: 2, ..Default::default() },
+        )
+        .unwrap();
+        let nmi = metrics::normalized_mutual_information(&out.partition, &pg.ground_truth);
+        assert!(nmi > 0.85, "nmi={nmi}");
+    }
+
+    #[test]
+    fn rejects_degenerate_inputs() {
+        let g = generators::karate_club();
+        assert!(detect(&g, &SpectralConfig { num_communities: 0, ..Default::default() }).is_err());
+        let empty = GraphBuilder::new(0).build();
+        assert!(detect(&empty, &SpectralConfig::default()).is_err());
+    }
+
+    #[test]
+    fn unrefined_and_refined_runs_both_work() {
+        let g = generators::karate_club();
+        let refined =
+            detect(&g, &SpectralConfig { num_communities: 2, seed: 4, ..Default::default() }).unwrap();
+        let raw = detect(
+            &g,
+            &SpectralConfig { num_communities: 2, seed: 4, refine: false, ..Default::default() },
+        )
+        .unwrap();
+        assert!(refined.modularity >= raw.modularity - 1e-12);
+        // A two-way spectral split of karate is clearly better than no structure.
+        assert!(refined.modularity > 0.25, "q={}", refined.modularity);
+    }
+
+    #[test]
+    fn kmeans_clusters_separated_points() {
+        let points = vec![
+            vec![0.0, 0.0],
+            vec![0.1, 0.0],
+            vec![0.0, 0.1],
+            vec![5.0, 5.0],
+            vec![5.1, 5.0],
+            vec![5.0, 5.1],
+        ];
+        let labels = kmeans(&points, 2, 50, 1);
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[1], labels[2]);
+        assert_eq!(labels[3], labels[4]);
+        assert_ne!(labels[0], labels[3]);
+        // k = 1 puts everything together.
+        assert!(kmeans(&points, 1, 10, 0).iter().all(|&l| l == 0));
+    }
+}

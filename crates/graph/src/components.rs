@@ -1,0 +1,130 @@
+//! Connected components and related reachability helpers.
+//!
+//! Community detection pipelines use these to validate inputs (a community can
+//! never span two components under modularity maximisation), to split work per
+//! component, and to sanity-check generated benchmark graphs.
+
+use crate::{Graph, NodeId, Partition};
+
+/// Computes the connected components of `graph`, returned as a [`Partition`]
+/// whose communities are the components (labelled `0..k` in order of the
+/// smallest contained node id).
+///
+/// Returns an empty-safe result: a graph with zero nodes yields a partition of
+/// zero nodes is impossible (partitions are non-empty), so this function
+/// returns `None` for empty graphs.
+///
+/// # Example
+///
+/// ```
+/// use qhdcd_graph::{components, GraphBuilder};
+///
+/// # fn main() -> Result<(), qhdcd_graph::GraphError> {
+/// let g = GraphBuilder::from_unweighted_edges(5, [(0, 1), (2, 3)])?;
+/// let parts = components::connected_components(&g).expect("non-empty graph");
+/// assert_eq!(parts.num_communities(), 3); // {0,1}, {2,3}, {4}
+/// # Ok(())
+/// # }
+/// ```
+pub fn connected_components(graph: &Graph) -> Option<Partition> {
+    let n = graph.num_nodes();
+    if n == 0 {
+        return None;
+    }
+    let mut label = vec![usize::MAX; n];
+    let mut next = 0usize;
+    let mut stack: Vec<NodeId> = Vec::new();
+    for start in 0..n {
+        if label[start] != usize::MAX {
+            continue;
+        }
+        label[start] = next;
+        stack.push(start);
+        while let Some(u) = stack.pop() {
+            for (v, _) in graph.neighbors(u) {
+                if label[v] == usize::MAX {
+                    label[v] = next;
+                    stack.push(v);
+                }
+            }
+        }
+        next += 1;
+    }
+    Some(Partition::from_labels(label).expect("graph has at least one node"))
+}
+
+/// Number of connected components of `graph` (0 for the empty graph).
+pub fn num_components(graph: &Graph) -> usize {
+    connected_components(graph).map(|p| p.num_communities()).unwrap_or(0)
+}
+
+/// Returns `true` if the graph is connected (has exactly one component).
+/// The empty graph is considered disconnected.
+pub fn is_connected(graph: &Graph) -> bool {
+    num_components(graph) == 1
+}
+
+/// Nodes of the largest connected component, sorted ascending.
+pub fn largest_component(graph: &Graph) -> Vec<NodeId> {
+    match connected_components(graph) {
+        None => Vec::new(),
+        Some(parts) => {
+            let groups = parts.communities();
+            groups
+                .into_iter()
+                .max_by_key(|g| g.len())
+                .unwrap_or_default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generators, GraphBuilder};
+
+    #[test]
+    fn single_component_graph() {
+        let g = generators::karate_club();
+        assert!(is_connected(&g));
+        assert_eq!(num_components(&g), 1);
+        assert_eq!(largest_component(&g).len(), 34);
+    }
+
+    #[test]
+    fn multiple_components_and_isolated_nodes() {
+        let g = GraphBuilder::from_unweighted_edges(6, [(0, 1), (1, 2), (3, 4)]).unwrap();
+        let parts = connected_components(&g).unwrap();
+        assert_eq!(parts.num_communities(), 3);
+        assert_eq!(parts.community_of(0), parts.community_of(2));
+        assert_ne!(parts.community_of(0), parts.community_of(3));
+        assert_eq!(largest_component(&g), vec![0, 1, 2]);
+        assert!(!is_connected(&g));
+    }
+
+    #[test]
+    fn empty_graph_has_no_components() {
+        let g = GraphBuilder::new(0).build();
+        assert!(connected_components(&g).is_none());
+        assert_eq!(num_components(&g), 0);
+        assert!(!is_connected(&g));
+        assert!(largest_component(&g).is_empty());
+    }
+
+    #[test]
+    fn components_respect_planted_structure_without_bridges() {
+        // Two disjoint cliques built by hand.
+        let mut b = GraphBuilder::new(8);
+        for base in [0, 4] {
+            for i in 0..4 {
+                for j in (i + 1)..4 {
+                    b.add_edge(base + i, base + j, 1.0).unwrap();
+                }
+            }
+        }
+        let g = b.build();
+        let parts = connected_components(&g).unwrap();
+        assert_eq!(parts.num_communities(), 2);
+        assert_eq!(parts.community_sizes(), vec![4, 4]);
+    }
+}

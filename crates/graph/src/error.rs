@@ -1,0 +1,86 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while constructing or manipulating graphs and partitions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphError {
+    /// A node index was at least the number of nodes in the graph.
+    NodeOutOfBounds {
+        /// The offending node index.
+        node: usize,
+        /// The number of nodes in the graph.
+        num_nodes: usize,
+    },
+    /// An edge weight was not a finite, non-negative number.
+    InvalidEdgeWeight {
+        /// The offending weight.
+        weight: f64,
+    },
+    /// A partition label vector did not match the graph it was applied to.
+    PartitionSizeMismatch {
+        /// Number of labels provided.
+        labels: usize,
+        /// Number of nodes expected.
+        nodes: usize,
+    },
+    /// A partition was constructed from an empty label vector.
+    EmptyPartition,
+    /// An input file or string could not be parsed as an edge list.
+    ParseEdgeList {
+        /// 1-based line number of the offending entry.
+        line: usize,
+        /// Human readable description of the problem.
+        reason: String,
+    },
+    /// A generator was asked for an impossible configuration.
+    InvalidGeneratorConfig {
+        /// Human readable description of the problem.
+        reason: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfBounds { node, num_nodes } => {
+                write!(f, "node index {node} out of bounds for graph with {num_nodes} nodes")
+            }
+            GraphError::InvalidEdgeWeight { weight } => {
+                write!(f, "edge weight {weight} is not a finite non-negative number")
+            }
+            GraphError::PartitionSizeMismatch { labels, nodes } => {
+                write!(f, "partition has {labels} labels but the graph has {nodes} nodes")
+            }
+            GraphError::EmptyPartition => write!(f, "partition label vector is empty"),
+            GraphError::ParseEdgeList { line, reason } => {
+                write!(f, "failed to parse edge list at line {line}: {reason}")
+            }
+            GraphError::InvalidGeneratorConfig { reason } => {
+                write!(f, "invalid generator configuration: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = GraphError::NodeOutOfBounds { node: 7, num_nodes: 3 };
+        assert!(e.to_string().contains("node index 7"));
+        let e = GraphError::InvalidEdgeWeight { weight: f64::NAN };
+        assert!(e.to_string().contains("edge weight"));
+        let e = GraphError::ParseEdgeList { line: 2, reason: "bad token".into() };
+        assert!(e.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn error_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GraphError>();
+    }
+}

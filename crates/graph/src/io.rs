@@ -1,0 +1,184 @@
+//! Plain edge-list I/O.
+//!
+//! The format is one edge per line: `u v [weight]`, whitespace separated.
+//! Lines starting with `#` or `%` and blank lines are ignored. Node ids must be
+//! non-negative integers; the graph gets `max_id + 1` nodes (or more if a node
+//! count is given explicitly). This matches the SNAP edge-list convention used
+//! by the datasets in the paper.
+
+use crate::{Graph, GraphBuilder, GraphError};
+use std::fs;
+use std::io::Write as _;
+use std::path::Path;
+
+/// Parses a graph from an edge-list string.
+///
+/// # Errors
+///
+/// Returns [`GraphError::ParseEdgeList`] for malformed lines and
+/// [`GraphError::InvalidEdgeWeight`] for negative/NaN weights.
+///
+/// # Example
+///
+/// ```
+/// use qhdcd_graph::io;
+///
+/// # fn main() -> Result<(), qhdcd_graph::GraphError> {
+/// let g = io::parse_edge_list("# comment\n0 1\n1 2 2.5\n")?;
+/// assert_eq!(g.num_nodes(), 3);
+/// assert_eq!(g.total_edge_weight(), 3.5);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_edge_list(text: &str) -> Result<Graph, GraphError> {
+    let mut edges: Vec<(usize, usize, f64)> = Vec::new();
+    let mut max_node = 0usize;
+    let mut has_nodes = false;
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with('%') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let parse_node = |tok: Option<&str>, lineno: usize| -> Result<usize, GraphError> {
+            tok.ok_or_else(|| GraphError::ParseEdgeList {
+                line: lineno + 1,
+                reason: "expected two node ids".into(),
+            })?
+            .parse::<usize>()
+            .map_err(|e| GraphError::ParseEdgeList { line: lineno + 1, reason: e.to_string() })
+        };
+        let u = parse_node(parts.next(), lineno)?;
+        let v = parse_node(parts.next(), lineno)?;
+        let w = match parts.next() {
+            Some(tok) => tok.parse::<f64>().map_err(|e| GraphError::ParseEdgeList {
+                line: lineno + 1,
+                reason: e.to_string(),
+            })?,
+            None => 1.0,
+        };
+        if parts.next().is_some() {
+            return Err(GraphError::ParseEdgeList {
+                line: lineno + 1,
+                reason: "too many fields (expected `u v [weight]`)".into(),
+            });
+        }
+        max_node = max_node.max(u).max(v);
+        has_nodes = true;
+        edges.push((u, v, w));
+    }
+    let num_nodes = if has_nodes { max_node + 1 } else { 0 };
+    GraphBuilder::from_edges(num_nodes, edges)
+}
+
+/// Reads a graph from an edge-list file.
+///
+/// # Errors
+///
+/// Returns [`GraphError::ParseEdgeList`] if the file cannot be read or parsed.
+pub fn read_edge_list<P: AsRef<Path>>(path: P) -> Result<Graph, GraphError> {
+    let text = fs::read_to_string(path.as_ref()).map_err(|e| GraphError::ParseEdgeList {
+        line: 0,
+        reason: format!("cannot read {}: {e}", path.as_ref().display()),
+    })?;
+    parse_edge_list(&text)
+}
+
+/// Serialises a graph as an edge-list string (one `u v weight` line per edge,
+/// `u <= v`, weights printed only when different from 1.0).
+pub fn to_edge_list(graph: &Graph) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("# nodes {} edges {}\n", graph.num_nodes(), graph.num_edges()));
+    for (u, v, w) in graph.edges() {
+        if (w - 1.0).abs() < 1e-15 {
+            out.push_str(&format!("{u} {v}\n"));
+        } else {
+            out.push_str(&format!("{u} {v} {w}\n"));
+        }
+    }
+    out
+}
+
+/// Writes a graph to an edge-list file.
+///
+/// # Errors
+///
+/// Returns [`GraphError::ParseEdgeList`] (with line 0) if the file cannot be written.
+pub fn write_edge_list<P: AsRef<Path>>(graph: &Graph, path: P) -> Result<(), GraphError> {
+    let mut file = fs::File::create(path.as_ref()).map_err(|e| GraphError::ParseEdgeList {
+        line: 0,
+        reason: format!("cannot create {}: {e}", path.as_ref().display()),
+    })?;
+    file.write_all(to_edge_list(graph).as_bytes()).map_err(|e| GraphError::ParseEdgeList {
+        line: 0,
+        reason: format!("cannot write {}: {e}", path.as_ref().display()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn parse_simple_edge_list() {
+        let g = parse_edge_list("0 1\n1 2\n2 0\n").unwrap();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 3);
+    }
+
+    #[test]
+    fn parse_with_comments_weights_and_blank_lines() {
+        let g = parse_edge_list("# header\n\n% matrix-market style comment\n0 3 2.0\n1 2\n").unwrap();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.edge_weight(0, 3), Some(2.0));
+        assert_eq!(g.edge_weight(1, 2), Some(1.0));
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let err = parse_edge_list("0 1\nnot_a_node 2\n").unwrap_err();
+        match err {
+            GraphError::ParseEdgeList { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other:?}"),
+        }
+        assert!(parse_edge_list("0\n").is_err());
+        assert!(parse_edge_list("0 1 1.0 extra\n").is_err());
+        assert!(parse_edge_list("0 1 abc\n").is_err());
+    }
+
+    #[test]
+    fn empty_input_gives_empty_graph() {
+        let g = parse_edge_list("# nothing here\n").unwrap();
+        assert_eq!(g.num_nodes(), 0);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn round_trip_through_string() {
+        let original = generators::karate_club();
+        let text = to_edge_list(&original);
+        let parsed = parse_edge_list(&text).unwrap();
+        assert_eq!(parsed.num_nodes(), original.num_nodes());
+        assert_eq!(parsed.num_edges(), original.num_edges());
+        assert_eq!(parsed.total_edge_weight(), original.total_edge_weight());
+    }
+
+    #[test]
+    fn round_trip_through_file() {
+        let g = generators::ring_of_cliques(3, 4).unwrap().graph;
+        let dir = std::env::temp_dir().join("qhdcd_graph_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ring.edges");
+        write_edge_list(&g, &path).unwrap();
+        let back = read_edge_list(&path).unwrap();
+        assert_eq!(back.num_edges(), g.num_edges());
+        assert_eq!(back.num_nodes(), g.num_nodes());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn read_missing_file_is_an_error() {
+        assert!(read_edge_list("/nonexistent/definitely_missing.edges").is_err());
+    }
+}

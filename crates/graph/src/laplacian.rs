@@ -1,0 +1,231 @@
+//! Graph Laplacians and spectral helpers.
+//!
+//! The paper's background section discusses spectral clustering as one of the
+//! classical community-detection families; the spectral baseline in
+//! `qhdcd-core` is built on the operators and the power-iteration eigensolver
+//! provided here. Everything is dense-free: only matrix–vector products against
+//! the CSR graph are used.
+
+use crate::Graph;
+
+/// Which Laplacian normalisation to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum LaplacianKind {
+    /// Combinatorial Laplacian `L = D − A`.
+    #[default]
+    Combinatorial,
+    /// Symmetric normalised Laplacian `L_sym = I − D^{-1/2} A D^{-1/2}`.
+    SymmetricNormalized,
+}
+
+/// Matrix–vector product `y = L x` for the chosen Laplacian, without forming
+/// the matrix. Isolated nodes behave as zero rows.
+///
+/// # Panics
+///
+/// Panics if `x.len() != graph.num_nodes()`.
+pub fn laplacian_matvec(graph: &Graph, kind: LaplacianKind, x: &[f64]) -> Vec<f64> {
+    let n = graph.num_nodes();
+    assert_eq!(x.len(), n, "vector length must match the graph");
+    let mut y = vec![0.0; n];
+    match kind {
+        LaplacianKind::Combinatorial => {
+            for u in 0..n {
+                let mut acc = graph.degree(u) * x[u];
+                for (v, w) in graph.neighbors(u) {
+                    let w = if v == u { 2.0 * w } else { w };
+                    acc -= w * x[v];
+                }
+                y[u] = acc;
+            }
+        }
+        LaplacianKind::SymmetricNormalized => {
+            for u in 0..n {
+                let du = graph.degree(u);
+                if du <= 0.0 {
+                    y[u] = 0.0;
+                    continue;
+                }
+                let mut acc = x[u];
+                for (v, w) in graph.neighbors(u) {
+                    let dv = graph.degree(v);
+                    if dv <= 0.0 {
+                        continue;
+                    }
+                    let w = if v == u { 2.0 * w } else { w };
+                    acc -= w / (du.sqrt() * dv.sqrt()) * x[v];
+                }
+                y[u] = acc;
+            }
+        }
+    }
+    y
+}
+
+/// An eigenpair estimate produced by [`smallest_nontrivial_eigenvectors`].
+#[derive(Debug, Clone)]
+pub struct SpectralEmbedding {
+    /// One embedding coordinate vector per requested dimension, each of length
+    /// `num_nodes`.
+    pub vectors: Vec<Vec<f64>>,
+    /// Rayleigh-quotient estimates of the corresponding eigenvalues.
+    pub eigenvalues: Vec<f64>,
+}
+
+/// Estimates the `dims` smallest non-trivial eigenvectors of the Laplacian by
+/// shifted power iteration with Gram–Schmidt deflation against the trivial
+/// eigenvector and previously found vectors.
+///
+/// This is a light-weight eigensolver adequate for spectral community
+/// detection on the benchmark sizes used here; it is not a general-purpose
+/// sparse eigenpackage.
+///
+/// # Panics
+///
+/// Panics if the graph has no nodes.
+pub fn smallest_nontrivial_eigenvectors(
+    graph: &Graph,
+    kind: LaplacianKind,
+    dims: usize,
+    iterations: usize,
+    seed: u64,
+) -> SpectralEmbedding {
+    use rand::prelude::*;
+    use rand_chacha::ChaCha8Rng;
+    let n = graph.num_nodes();
+    assert!(n > 0, "graph must have at least one node");
+    // Largest eigenvalue bound: 2·max degree (combinatorial), 2 (normalised).
+    let shift = match kind {
+        LaplacianKind::Combinatorial => {
+            2.0 * graph.degrees().iter().fold(0.0f64, |a, &d| a.max(d)) + 1.0
+        }
+        LaplacianKind::SymmetricNormalized => 2.0 + 1e-9,
+    };
+    // The trivial eigenvector (eigenvalue 0): constant for L, D^{1/2}·1 for L_sym.
+    let trivial: Vec<f64> = match kind {
+        LaplacianKind::Combinatorial => vec![1.0; n],
+        LaplacianKind::SymmetricNormalized => graph.degrees().iter().map(|&d| d.sqrt()).collect(),
+    };
+    let mut basis: Vec<Vec<f64>> = vec![normalize(trivial)];
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut vectors = Vec::with_capacity(dims);
+    let mut eigenvalues = Vec::with_capacity(dims);
+    for _ in 0..dims {
+        let mut v: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        orthogonalize(&mut v, &basis);
+        v = normalize(v);
+        for _ in 0..iterations.max(1) {
+            // Power iteration on (shift·I − L): converges to the smallest
+            // remaining eigenvalue of L after deflation.
+            let lv = laplacian_matvec(graph, kind, &v);
+            let mut next: Vec<f64> = v.iter().zip(&lv).map(|(&vi, &li)| shift * vi - li).collect();
+            orthogonalize(&mut next, &basis);
+            v = normalize(next);
+        }
+        let lv = laplacian_matvec(graph, kind, &v);
+        let eigenvalue: f64 = v.iter().zip(&lv).map(|(&a, &b)| a * b).sum();
+        basis.push(v.clone());
+        vectors.push(v);
+        eigenvalues.push(eigenvalue);
+    }
+    SpectralEmbedding { vectors, eigenvalues }
+}
+
+fn normalize(mut v: Vec<f64>) -> Vec<f64> {
+    let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+    if norm > 0.0 {
+        for x in &mut v {
+            *x /= norm;
+        }
+    }
+    v
+}
+
+fn orthogonalize(v: &mut [f64], basis: &[Vec<f64>]) {
+    for b in basis {
+        let dot: f64 = v.iter().zip(b).map(|(&a, &c)| a * c).sum();
+        for (x, &c) in v.iter_mut().zip(b) {
+            *x -= dot * c;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generators, GraphBuilder};
+
+    #[test]
+    fn laplacian_rows_sum_to_zero() {
+        let g = generators::karate_club();
+        let ones = vec![1.0; g.num_nodes()];
+        let y = laplacian_matvec(&g, LaplacianKind::Combinatorial, &ones);
+        for v in y {
+            assert!(v.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn normalized_laplacian_annihilates_sqrt_degree_vector() {
+        let g = generators::karate_club();
+        let x: Vec<f64> = g.degrees().iter().map(|&d| d.sqrt()).collect();
+        let y = laplacian_matvec(&g, LaplacianKind::SymmetricNormalized, &x);
+        for v in y {
+            assert!(v.abs() < 1e-9, "residual {v}");
+        }
+    }
+
+    #[test]
+    fn quadratic_form_is_nonnegative() {
+        let g = generators::ring_of_cliques(3, 4).unwrap().graph;
+        let x: Vec<f64> = (0..g.num_nodes()).map(|i| ((i * 37 % 11) as f64) - 5.0).collect();
+        for kind in [LaplacianKind::Combinatorial, LaplacianKind::SymmetricNormalized] {
+            let y = laplacian_matvec(&g, kind, &x);
+            let q: f64 = x.iter().zip(&y).map(|(&a, &b)| a * b).sum();
+            assert!(q >= -1e-9, "quadratic form {q} must be non-negative for {kind:?}");
+        }
+    }
+
+    #[test]
+    fn fiedler_vector_separates_two_cliques() {
+        // Two 5-cliques joined by a single edge: the Fiedler vector's sign
+        // pattern separates the cliques.
+        let mut b = GraphBuilder::new(10);
+        for base in [0, 5] {
+            for i in 0..5 {
+                for j in (i + 1)..5 {
+                    b.add_edge(base + i, base + j, 1.0).unwrap();
+                }
+            }
+        }
+        b.add_edge(4, 5, 1.0).unwrap();
+        let g = b.build();
+        let emb = smallest_nontrivial_eigenvectors(&g, LaplacianKind::Combinatorial, 1, 300, 3);
+        let fiedler = &emb.vectors[0];
+        let left_sign = fiedler[0].signum();
+        for i in 0..5 {
+            assert_eq!(fiedler[i].signum(), left_sign, "node {i}");
+        }
+        for i in 5..10 {
+            assert_eq!(fiedler[i].signum(), -left_sign, "node {i}");
+        }
+        // The algebraic connectivity of this graph is small and positive.
+        assert!(emb.eigenvalues[0] > 0.0 && emb.eigenvalues[0] < 1.0);
+    }
+
+    #[test]
+    fn isolated_nodes_do_not_break_the_normalised_laplacian() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 1.0).unwrap();
+        let g = b.build();
+        let y = laplacian_matvec(&g, LaplacianKind::SymmetricNormalized, &[1.0, 2.0, 3.0]);
+        assert_eq!(y[2], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must match the graph")]
+    fn mismatched_vector_length_panics() {
+        let g = generators::karate_club();
+        laplacian_matvec(&g, LaplacianKind::Combinatorial, &[1.0; 3]);
+    }
+}

@@ -1,0 +1,55 @@
+//! Graph substrate for QHD-based community detection.
+//!
+//! This crate provides everything the community-detection pipeline needs from a
+//! graph library, implemented from scratch:
+//!
+//! * [`Graph`] — an immutable, undirected, weighted graph stored in compressed
+//!   sparse row (CSR) form, built through [`GraphBuilder`].
+//! * [`Partition`] — an assignment of nodes to communities with renumbering and
+//!   aggregation helpers.
+//! * [`modularity`] — Newman–Girvan modularity, modularity matrices and
+//!   single-move modularity gains.
+//! * [`metrics`] — partition-quality metrics (NMI, ARI, coverage, conductance).
+//! * [`generators`] — deterministic synthetic graph generators (Erdős–Rényi,
+//!   planted partition / SBM, LFR-like power-law, ring of cliques, Zachary's
+//!   karate club) used to stand in for the paper's SNAP datasets.
+//! * [`io`] — plain edge-list reading and writing.
+//! * [`quotient`] — aggregation of a graph by a partition (super-node graphs),
+//!   the basic operation behind multilevel coarsening.
+//!
+//! # Example
+//!
+//! ```
+//! use qhdcd_graph::{GraphBuilder, Partition, modularity};
+//!
+//! # fn main() -> Result<(), qhdcd_graph::GraphError> {
+//! let mut b = GraphBuilder::new(4);
+//! b.add_edge(0, 1, 1.0)?;
+//! b.add_edge(2, 3, 1.0)?;
+//! let g = b.build();
+//! let p = Partition::from_labels(vec![0, 0, 1, 1])?;
+//! assert!(modularity::modularity(&g, &p) > 0.4);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod error;
+mod graph;
+mod partition;
+
+pub mod components;
+pub mod generators;
+pub mod io;
+pub mod laplacian;
+pub mod metrics;
+pub mod modularity;
+pub mod quotient;
+
+pub use builder::GraphBuilder;
+pub use error::GraphError;
+pub use graph::{Graph, NeighborIter, NodeId};
+pub use partition::Partition;

@@ -1,0 +1,388 @@
+//! Newman–Girvan modularity, modularity matrices and modularity gains.
+//!
+//! Modularity of a partition `P` of an undirected weighted graph is
+//!
+//! ```text
+//! Q = 1/(2m) * Σ_{i,j} (A_ij − d_i d_j / (2m)) δ(c_i, c_j)
+//! ```
+//!
+//! where `m` is the total edge weight, `d_i` the weighted degree of node `i`
+//! and `δ` the Kronecker delta (Eq. 1 of the paper). This module computes `Q`
+//! both from the definition (dense, `O(n²)`, for testing) and from the
+//! community-aggregated form (sparse, `O(m + n)`, used everywhere else), plus
+//! the single-node move gains used by the refinement phase.
+
+use crate::{Graph, Partition};
+
+/// Modularity of `partition` on `graph`, computed in `O(m + n)` using the
+/// community-aggregated form `Q = Σ_c [ Σin_c/(2m) − (Σtot_c/(2m))² ]`.
+///
+/// Returns 0.0 for graphs with zero total edge weight.
+///
+/// # Panics
+///
+/// Panics if the partition has fewer labels than the graph has nodes.
+///
+/// # Example
+///
+/// ```
+/// use qhdcd_graph::{generators, Partition, modularity};
+///
+/// let g = generators::karate_club();
+/// // The well-known four-community split of the karate club has Q ≈ 0.41.
+/// let p = generators::karate_club_communities();
+/// let q = modularity::modularity(&g, &p);
+/// assert!(q > 0.40 && q < 0.43);
+/// ```
+pub fn modularity(graph: &Graph, partition: &Partition) -> f64 {
+    let two_m = 2.0 * graph.total_edge_weight();
+    if two_m <= 0.0 {
+        return 0.0;
+    }
+    let renum = partition.renumbered();
+    let k = renum.num_communities();
+    // sigma_in[c]: sum over ordered pairs (i, j) in c of A_ij (self-loops contribute twice
+    // via the degree convention); sigma_tot[c]: sum of degrees in c.
+    let mut sigma_in = vec![0.0f64; k];
+    let mut sigma_tot = vec![0.0f64; k];
+    for u in 0..graph.num_nodes() {
+        let cu = renum.community_of(u);
+        sigma_tot[cu] += graph.degree(u);
+        for (v, w) in graph.neighbors(u) {
+            if renum.community_of(v) == cu {
+                // Each undirected edge (u, v) with u != v is visited twice (once from
+                // each endpoint), matching the ordered-pair sum. A self-loop is visited
+                // once but must contribute A_ii once in the ordered-pair sum as well;
+                // the degree convention counts it twice, so scale it by 2 here to stay
+                // consistent with d_i = Σ_j A_ij.
+                sigma_in[cu] += if u == v { 2.0 * w } else { w };
+            }
+        }
+    }
+    let mut q = 0.0;
+    for c in 0..k {
+        q += sigma_in[c] / two_m - (sigma_tot[c] / two_m).powi(2);
+    }
+    q
+}
+
+/// Modularity computed directly from the definition by summing over all node
+/// pairs. `O(n²)`; intended for tests and tiny graphs.
+///
+/// # Panics
+///
+/// Panics if the partition has fewer labels than the graph has nodes.
+pub fn modularity_dense(graph: &Graph, partition: &Partition) -> f64 {
+    let two_m = 2.0 * graph.total_edge_weight();
+    if two_m <= 0.0 {
+        return 0.0;
+    }
+    let n = graph.num_nodes();
+    let mut q = 0.0;
+    for i in 0..n {
+        for j in 0..n {
+            if partition.community_of(i) != partition.community_of(j) {
+                continue;
+            }
+            let a_ij = adjacency_entry(graph, i, j);
+            q += a_ij - graph.degree(i) * graph.degree(j) / two_m;
+        }
+    }
+    q / two_m
+}
+
+/// Entry `A_ij` of the (symmetric) adjacency matrix, with the convention that a
+/// self-loop of weight `w` contributes `A_ii = 2w` so that `d_i = Σ_j A_ij`.
+pub fn adjacency_entry(graph: &Graph, i: usize, j: usize) -> f64 {
+    match graph.edge_weight(i, j) {
+        Some(w) if i == j => 2.0 * w,
+        Some(w) => w,
+        None => 0.0,
+    }
+}
+
+/// Dense modularity matrix `B` with `B_ij = A_ij − d_i d_j / (2m)`, row-major,
+/// as used by the QUBO formulation for small graphs (Eq. 2 of the paper).
+///
+/// Returns an `n × n` row-major matrix. `O(n²)` memory — intended for the
+/// "direct" formulation on graphs of at most a few thousand nodes.
+pub fn modularity_matrix(graph: &Graph) -> Vec<Vec<f64>> {
+    let n = graph.num_nodes();
+    let two_m = 2.0 * graph.total_edge_weight();
+    let mut b = vec![vec![0.0; n]; n];
+    if two_m <= 0.0 {
+        return b;
+    }
+    for i in 0..n {
+        for j in 0..n {
+            b[i][j] = adjacency_entry(graph, i, j) - graph.degree(i) * graph.degree(j) / two_m;
+        }
+    }
+    b
+}
+
+/// Incremental bookkeeping for single-node modularity-gain moves.
+///
+/// Holds `Σtot_c` (total degree per community) so that the gain of moving a
+/// node can be evaluated in time proportional to its neighbourhood, which is
+/// what the multilevel refinement phase and the Louvain baseline need.
+#[derive(Debug, Clone)]
+pub struct ModularityState {
+    /// Total degree per community.
+    sigma_tot: Vec<f64>,
+    /// Current community per node.
+    labels: Vec<usize>,
+    two_m: f64,
+}
+
+impl ModularityState {
+    /// Builds the move-gain state for `graph` and an initial `partition`.
+    ///
+    /// The partition is renumbered internally; use [`ModularityState::labels`]
+    /// to read the current assignment back.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the partition has fewer labels than the graph has nodes.
+    pub fn new(graph: &Graph, partition: &Partition) -> Self {
+        let renum = partition.renumbered();
+        let k = renum.num_communities().max(1);
+        let mut sigma_tot = vec![0.0; k];
+        for u in 0..graph.num_nodes() {
+            sigma_tot[renum.community_of(u)] += graph.degree(u);
+        }
+        ModularityState {
+            sigma_tot,
+            labels: renum.labels().to_vec(),
+            two_m: 2.0 * graph.total_edge_weight(),
+        }
+    }
+
+    /// Current community labels (renumbered at construction time).
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Current community of `node`.
+    pub fn community_of(&self, node: usize) -> usize {
+        self.labels[node]
+    }
+
+    /// Number of community slots tracked (may include emptied communities).
+    pub fn num_community_slots(&self) -> usize {
+        self.sigma_tot.len()
+    }
+
+    /// Weight from `node` to each community in its neighbourhood, returned as
+    /// `(community, weight)` pairs, along with the weight to its own community
+    /// excluding self-loops.
+    fn neighbor_community_weights(&self, graph: &Graph, node: usize) -> Vec<(usize, f64)> {
+        let mut acc: std::collections::HashMap<usize, f64> = std::collections::HashMap::new();
+        for (v, w) in graph.neighbors(node) {
+            if v == node {
+                continue;
+            }
+            *acc.entry(self.labels[v]).or_insert(0.0) += w;
+        }
+        acc.into_iter().collect()
+    }
+
+    /// Modularity gain of moving `node` from its current community to `target`.
+    ///
+    /// Uses the standard Louvain gain formula
+    /// `ΔQ = (k_{i,target} − k_{i,cur\{i\}}) / m  −  d_i (Σtot_target − Σtot_cur + d_i) / (2 m²)`
+    /// where `k_{i,c}` is the weight from `i` to community `c`.
+    ///
+    /// Returns 0.0 if `target` equals the node's current community.
+    pub fn gain(&self, graph: &Graph, node: usize, target: usize) -> f64 {
+        let cur = self.labels[node];
+        if cur == target || self.two_m <= 0.0 {
+            return 0.0;
+        }
+        let d_i = graph.degree(node);
+        let mut k_i_cur = 0.0;
+        let mut k_i_target = 0.0;
+        for (v, w) in graph.neighbors(node) {
+            if v == node {
+                continue;
+            }
+            let c = self.labels[v];
+            if c == cur {
+                k_i_cur += w;
+            } else if c == target {
+                k_i_target += w;
+            }
+        }
+        let m = self.two_m / 2.0;
+        let sigma_target = self.sigma_tot.get(target).copied().unwrap_or(0.0);
+        let sigma_cur = self.sigma_tot[cur];
+        (k_i_target - k_i_cur) / m
+            - d_i * (sigma_target - (sigma_cur - d_i)) / (2.0 * m * m)
+    }
+
+    /// Finds the neighbouring community with the best positive gain for `node`,
+    /// if any, returning `(community, gain)`.
+    pub fn best_move(&self, graph: &Graph, node: usize) -> Option<(usize, f64)> {
+        let mut best: Option<(usize, f64)> = None;
+        for (c, _) in self.neighbor_community_weights(graph, node) {
+            if c == self.labels[node] {
+                continue;
+            }
+            let g = self.gain(graph, node, c);
+            if g > best.map_or(0.0, |(_, bg)| bg) && g > 1e-12 {
+                best = Some((c, g));
+            }
+        }
+        best
+    }
+
+    /// Applies the move of `node` to `target`, updating the internal totals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn apply_move(&mut self, graph: &Graph, node: usize, target: usize) {
+        let cur = self.labels[node];
+        if cur == target {
+            return;
+        }
+        if target >= self.sigma_tot.len() {
+            self.sigma_tot.resize(target + 1, 0.0);
+        }
+        let d_i = graph.degree(node);
+        self.sigma_tot[cur] -= d_i;
+        self.sigma_tot[target] += d_i;
+        self.labels[node] = target;
+    }
+
+    /// Converts the current state back into a [`Partition`].
+    pub fn to_partition(&self) -> Partition {
+        Partition::from_labels(self.labels.clone()).expect("state always has at least one node")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generators, GraphBuilder, Partition};
+
+    fn two_triangles() -> Graph {
+        // Two triangles joined by a single bridge edge.
+        GraphBuilder::from_unweighted_edges(
+            6,
+            [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn modularity_matches_dense_definition() {
+        let g = two_triangles();
+        for labels in [vec![0, 0, 0, 1, 1, 1], vec![0, 1, 0, 1, 0, 1], vec![0; 6]] {
+            let p = Partition::from_labels(labels).unwrap();
+            let fast = modularity(&g, &p);
+            let dense = modularity_dense(&g, &p);
+            assert!((fast - dense).abs() < 1e-12, "fast={fast} dense={dense}");
+        }
+    }
+
+    #[test]
+    fn natural_split_beats_trivial_partitions() {
+        let g = two_triangles();
+        let natural = Partition::from_labels(vec![0, 0, 0, 1, 1, 1]).unwrap();
+        let all_one = Partition::all_in_one(6);
+        let singletons = Partition::singletons(6);
+        let qn = modularity(&g, &natural);
+        assert!(qn > modularity(&g, &all_one));
+        assert!(qn > modularity(&g, &singletons));
+        assert!(qn > 0.3);
+    }
+
+    #[test]
+    fn all_in_one_partition_has_zero_modularity() {
+        let g = two_triangles();
+        let q = modularity(&g, &Partition::all_in_one(6));
+        assert!(q.abs() < 1e-12);
+    }
+
+    #[test]
+    fn modularity_of_karate_ground_truth_split() {
+        let g = generators::karate_club();
+        assert_eq!(g.num_nodes(), 34);
+        assert_eq!(g.num_edges(), 78);
+        let p = generators::karate_club_communities();
+        let q = modularity(&g, &p);
+        // Known value for the 4-community split is about 0.4198.
+        assert!(q > 0.40 && q < 0.43, "q={q}");
+    }
+
+    #[test]
+    fn modularity_matrix_rows_sum_to_zero() {
+        let g = two_triangles();
+        let b = modularity_matrix(&g);
+        for row in &b {
+            let s: f64 = row.iter().sum();
+            assert!(s.abs() < 1e-9, "row sum {s}");
+        }
+    }
+
+    #[test]
+    fn empty_graph_modularity_is_zero() {
+        let g = GraphBuilder::new(3).build();
+        let p = Partition::singletons(3);
+        assert_eq!(modularity(&g, &p), 0.0);
+        assert_eq!(modularity_dense(&g, &p), 0.0);
+    }
+
+    #[test]
+    fn gain_matches_recomputation() {
+        let g = two_triangles();
+        let p = Partition::from_labels(vec![0, 0, 0, 1, 1, 1]).unwrap();
+        let state = ModularityState::new(&g, &p);
+        let before = modularity(&g, &p);
+        // Move node 2 into community 1 and compare gain with recomputed difference.
+        let gain = state.gain(&g, 2, 1);
+        let mut moved = p.clone();
+        moved.assign(2, 1);
+        let after = modularity(&g, &moved);
+        assert!((gain - (after - before)).abs() < 1e-12, "gain={gain} delta={}", after - before);
+    }
+
+    #[test]
+    fn apply_move_keeps_gain_consistent() {
+        let g = two_triangles();
+        let p = Partition::singletons(6);
+        let mut state = ModularityState::new(&g, &p);
+        // Greedily apply best moves and check modularity never decreases.
+        let mut q = modularity(&g, &state.to_partition());
+        for _ in 0..10 {
+            let mut moved_any = false;
+            for node in 0..6 {
+                if let Some((c, gain)) = state.best_move(&g, node) {
+                    state.apply_move(&g, node, c);
+                    let q_new = modularity(&g, &state.to_partition());
+                    assert!((q_new - (q + gain)).abs() < 1e-9);
+                    q = q_new;
+                    moved_any = true;
+                }
+            }
+            if !moved_any {
+                break;
+            }
+        }
+        assert!(q > 0.0);
+    }
+
+    #[test]
+    fn self_loops_are_handled_consistently() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 0, 1.0).unwrap();
+        b.add_edge(0, 1, 1.0).unwrap();
+        b.add_edge(1, 2, 1.0).unwrap();
+        let g = b.build();
+        let p = Partition::from_labels(vec![0, 0, 1]).unwrap();
+        let fast = modularity(&g, &p);
+        let dense = modularity_dense(&g, &p);
+        assert!((fast - dense).abs() < 1e-12);
+    }
+}

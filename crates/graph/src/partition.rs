@@ -1,0 +1,222 @@
+use crate::{Graph, GraphError, NodeId};
+
+/// An assignment of nodes to communities.
+///
+/// Community labels are arbitrary `usize` values; [`Partition::renumbered`]
+/// produces an equivalent partition with labels compacted to `0..k`.
+///
+/// # Example
+///
+/// ```
+/// use qhdcd_graph::Partition;
+///
+/// # fn main() -> Result<(), qhdcd_graph::GraphError> {
+/// let p = Partition::from_labels(vec![5, 5, 9, 9, 9])?;
+/// assert_eq!(p.num_communities(), 2);
+/// let q = p.renumbered();
+/// assert_eq!(q.labels(), &[0, 0, 1, 1, 1]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Partition {
+    labels: Vec<usize>,
+}
+
+impl Partition {
+    /// Creates a partition from a vector of community labels, one per node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::EmptyPartition`] if `labels` is empty.
+    pub fn from_labels(labels: Vec<usize>) -> Result<Self, GraphError> {
+        if labels.is_empty() {
+            return Err(GraphError::EmptyPartition);
+        }
+        Ok(Partition { labels })
+    }
+
+    /// Creates the singleton partition where every node is its own community.
+    pub fn singletons(num_nodes: usize) -> Self {
+        Partition { labels: (0..num_nodes).collect() }
+    }
+
+    /// Creates the trivial partition where every node is in community 0.
+    pub fn all_in_one(num_nodes: usize) -> Self {
+        Partition { labels: vec![0; num_nodes] }
+    }
+
+    /// Number of nodes covered by the partition.
+    pub fn num_nodes(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Community label of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node >= self.num_nodes()`.
+    pub fn community_of(&self, node: NodeId) -> usize {
+        self.labels[node]
+    }
+
+    /// Sets the community of `node` to `community`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node >= self.num_nodes()`.
+    pub fn assign(&mut self, node: NodeId, community: usize) {
+        self.labels[node] = community;
+    }
+
+    /// The raw label slice, indexed by node.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Number of distinct communities used by the partition.
+    pub fn num_communities(&self) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        for &l in &self.labels {
+            seen.insert(l);
+        }
+        seen.len()
+    }
+
+    /// Returns an equivalent partition whose labels are `0..k` in order of first
+    /// appearance, together with nothing else. Idempotent.
+    pub fn renumbered(&self) -> Partition {
+        let mut map = std::collections::HashMap::new();
+        let mut next = 0usize;
+        let labels = self
+            .labels
+            .iter()
+            .map(|&l| {
+                *map.entry(l).or_insert_with(|| {
+                    let id = next;
+                    next += 1;
+                    id
+                })
+            })
+            .collect();
+        Partition { labels }
+    }
+
+    /// Sizes of each community, indexed by the *renumbered* label (label order
+    /// of first appearance).
+    pub fn community_sizes(&self) -> Vec<usize> {
+        let renum = self.renumbered();
+        let k = renum.num_communities();
+        let mut sizes = vec![0usize; k];
+        for &l in &renum.labels {
+            sizes[l] += 1;
+        }
+        sizes
+    }
+
+    /// Groups node ids by community, using renumbered labels.
+    pub fn communities(&self) -> Vec<Vec<NodeId>> {
+        let renum = self.renumbered();
+        let k = renum.num_communities();
+        let mut groups = vec![Vec::new(); k];
+        for (node, &l) in renum.labels.iter().enumerate() {
+            groups[l].push(node);
+        }
+        groups
+    }
+
+    /// Checks that the partition covers exactly the nodes of `graph`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::PartitionSizeMismatch`] if the label count differs
+    /// from the graph's node count.
+    pub fn check_matches(&self, graph: &Graph) -> Result<(), GraphError> {
+        if self.labels.len() == graph.num_nodes() {
+            Ok(())
+        } else {
+            Err(GraphError::PartitionSizeMismatch {
+                labels: self.labels.len(),
+                nodes: graph.num_nodes(),
+            })
+        }
+    }
+
+    /// Lifts a partition of a coarse graph back to a finer graph through the
+    /// `coarse_of` map (`coarse_of[fine_node] = coarse_node`).
+    ///
+    /// This is the *Project* step of the multilevel algorithm: each fine node
+    /// inherits the community of its super-node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any entry of `coarse_of` is out of range for this partition.
+    pub fn project(&self, coarse_of: &[usize]) -> Partition {
+        let labels = coarse_of.iter().map(|&c| self.labels[c]).collect();
+        Partition { labels }
+    }
+}
+
+impl FromIterator<usize> for Partition {
+    fn from_iter<T: IntoIterator<Item = usize>>(iter: T) -> Self {
+        Partition { labels: iter.into_iter().collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    #[test]
+    fn constructors() {
+        assert!(Partition::from_labels(vec![]).is_err());
+        let p = Partition::singletons(4);
+        assert_eq!(p.num_communities(), 4);
+        let p = Partition::all_in_one(4);
+        assert_eq!(p.num_communities(), 1);
+    }
+
+    #[test]
+    fn renumbering_is_compact_and_idempotent() {
+        let p = Partition::from_labels(vec![7, 3, 7, 10, 3]).unwrap();
+        let r = p.renumbered();
+        assert_eq!(r.labels(), &[0, 1, 0, 2, 1]);
+        assert_eq!(r.renumbered(), r);
+    }
+
+    #[test]
+    fn sizes_and_groups() {
+        let p = Partition::from_labels(vec![2, 2, 5, 5, 5]).unwrap();
+        assert_eq!(p.community_sizes(), vec![2, 3]);
+        let groups = p.communities();
+        assert_eq!(groups[0], vec![0, 1]);
+        assert_eq!(groups[1], vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn check_matches_graph() {
+        let g = GraphBuilder::new(3).build();
+        let p = Partition::singletons(3);
+        assert!(p.check_matches(&g).is_ok());
+        let p = Partition::singletons(4);
+        assert!(matches!(p.check_matches(&g), Err(GraphError::PartitionSizeMismatch { .. })));
+    }
+
+    #[test]
+    fn projection_lifts_coarse_labels() {
+        // Coarse graph has 2 super-nodes; fine graph has 5 nodes.
+        let coarse = Partition::from_labels(vec![1, 0]).unwrap();
+        let coarse_of = vec![0, 0, 1, 1, 0];
+        let fine = coarse.project(&coarse_of);
+        assert_eq!(fine.labels(), &[1, 1, 0, 0, 1]);
+    }
+
+    #[test]
+    fn from_iterator_and_assign() {
+        let mut p: Partition = [0usize, 0, 1].into_iter().collect();
+        p.assign(0, 1);
+        assert_eq!(p.community_of(0), 1);
+        assert_eq!(p.num_nodes(), 3);
+    }
+}

@@ -1,0 +1,321 @@
+//! Classical post-processing of QHD measurement outcomes.
+//!
+//! QHDOPT follows every quantum(-inspired) sample with a cheap classical
+//! refinement that projects the rounded solution onto a local minimum of the
+//! QUBO. This module provides the greedy single-flip descent used for that
+//! purpose (and reused by the classical baselines), plus rounding helpers.
+
+use qhdcd_qubo::QuboModel;
+
+/// Rounds fractional occupation probabilities to a binary assignment
+/// (`p > 0.5` ⇒ `true`).
+pub fn round_probabilities(probabilities: &[f64]) -> Vec<bool> {
+    probabilities.iter().map(|&p| p > 0.5).collect()
+}
+
+/// Greedy 1-opt local search: repeatedly flips the single variable with the
+/// most negative energy delta until no flip improves the energy or `max_passes`
+/// full sweeps have been performed. Returns the (possibly improved) solution
+/// and its energy.
+///
+/// The solution always satisfies: no single flip can decrease the energy
+/// (unless the pass limit was hit first).
+///
+/// # Panics
+///
+/// Panics if `solution.len()` differs from the model's variable count.
+///
+/// # Example
+///
+/// ```
+/// use qhdcd_qubo::QuboBuilder;
+/// use qhdcd_qhd::refine::greedy_descent;
+///
+/// # fn main() -> Result<(), qhdcd_qubo::QuboError> {
+/// let mut b = QuboBuilder::new(2);
+/// b.add_linear(0, -1.0)?;
+/// let model = b.build();
+/// let (solution, energy) = greedy_descent(&model, vec![false, false], 10);
+/// assert_eq!(solution, vec![true, false]);
+/// assert_eq!(energy, -1.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn greedy_descent(model: &QuboModel, solution: Vec<bool>, max_passes: usize) -> (Vec<bool>, f64) {
+    assert_eq!(
+        solution.len(),
+        model.num_variables(),
+        "solution length must match the model"
+    );
+    let mut x = solution;
+    let mut energy = model.evaluate(&x).expect("length checked above");
+    for _ in 0..max_passes {
+        // Find the best single flip in this sweep.
+        let mut best_delta = 0.0f64;
+        let mut best_var: Option<usize> = None;
+        for i in 0..x.len() {
+            let delta = model.flip_delta(&x, i);
+            if delta < best_delta - 1e-15 {
+                best_delta = delta;
+                best_var = Some(i);
+            }
+        }
+        match best_var {
+            Some(i) => {
+                x[i] = !x[i];
+                energy += best_delta;
+            }
+            None => break,
+        }
+    }
+    (x, energy)
+}
+
+/// First-improvement local search: sweeps the variables in order and applies
+/// every improving flip immediately, until a full sweep makes no change or
+/// `max_sweeps` is reached. Faster than [`greedy_descent`] on large instances,
+/// with very similar quality; the QHD solver uses it for big mean-field runs.
+///
+/// # Panics
+///
+/// Panics if `solution.len()` differs from the model's variable count.
+pub fn first_improvement_descent(
+    model: &QuboModel,
+    solution: Vec<bool>,
+    max_sweeps: usize,
+) -> (Vec<bool>, f64) {
+    assert_eq!(
+        solution.len(),
+        model.num_variables(),
+        "solution length must match the model"
+    );
+    let mut x = solution;
+    let mut energy = model.evaluate(&x).expect("length checked above");
+    for _ in 0..max_sweeps {
+        let mut improved = false;
+        for i in 0..x.len() {
+            let delta = model.flip_delta(&x, i);
+            if delta < -1e-15 {
+                x[i] = !x[i];
+                energy += delta;
+                improved = true;
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    (x, energy)
+}
+
+/// Energy change caused by flipping variables `i` and `j` simultaneously.
+///
+/// Equals `flip_delta(i) + flip_delta(j) + w_ij·(1−2x_i)(1−2x_j)`, where the
+/// last term corrects for the joint coupling that both single-flip deltas
+/// account for independently.
+///
+/// # Panics
+///
+/// Panics if `i == j` or either index is out of range.
+pub fn pair_flip_delta(model: &QuboModel, x: &[bool], i: usize, j: usize) -> f64 {
+    assert_ne!(i, j, "pair flip requires two distinct variables");
+    let w_ij: f64 = model.couplings(i).filter(|&(v, _)| v == j).map(|(_, w)| w).sum();
+    let sign = |b: bool| if b { -1.0 } else { 1.0 };
+    model.flip_delta(x, i) + model.flip_delta(x, j) + w_ij * sign(x[i]) * sign(x[j])
+}
+
+/// Local search combining single-flip and coupled pair-flip moves.
+///
+/// One-hot encodings (such as the community-detection QUBO, where reassigning
+/// a node means clearing one indicator bit and setting another) have the
+/// property that every useful move crosses a high-penalty intermediate state,
+/// so plain 1-opt descent stalls immediately. This routine alternates
+/// first-improvement single-flip sweeps with sweeps over *coupled* variable
+/// pairs (pairs sharing a quadratic term), applying any pair flip that lowers
+/// the energy, until neither move type improves or `max_sweeps` is reached.
+///
+/// # Panics
+///
+/// Panics if `solution.len()` differs from the model's variable count.
+pub fn pair_aware_descent(
+    model: &QuboModel,
+    solution: Vec<bool>,
+    max_sweeps: usize,
+) -> (Vec<bool>, f64) {
+    assert_eq!(
+        solution.len(),
+        model.num_variables(),
+        "solution length must match the model"
+    );
+    let mut x = solution;
+    let mut energy = model.evaluate(&x).expect("length checked above");
+    for _ in 0..max_sweeps {
+        let mut improved = false;
+        // Single-flip pass.
+        for i in 0..x.len() {
+            let delta = model.flip_delta(&x, i);
+            if delta < -1e-15 {
+                x[i] = !x[i];
+                energy += delta;
+                improved = true;
+            }
+        }
+        // Coupled pair-flip pass.
+        for i in 0..x.len() {
+            let partners: Vec<usize> =
+                model.couplings(i).filter(|&(j, _)| j > i).map(|(j, _)| j).collect();
+            for j in partners {
+                let delta = pair_flip_delta(model, &x, i, j);
+                if delta < -1e-15 {
+                    x[i] = !x[i];
+                    x[j] = !x[j];
+                    energy += delta;
+                    improved = true;
+                }
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    (x, energy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qhdcd_qubo::generate::{random_qubo, RandomQuboConfig};
+    use qhdcd_qubo::QuboBuilder;
+
+    #[test]
+    fn rounding_thresholds_at_one_half() {
+        assert_eq!(round_probabilities(&[0.1, 0.9, 0.5, 0.51]), vec![false, true, false, true]);
+        assert!(round_probabilities(&[]).is_empty());
+    }
+
+    #[test]
+    fn greedy_descent_reaches_a_local_minimum() {
+        let model = random_qubo(&RandomQuboConfig {
+            num_variables: 25,
+            density: 0.3,
+            coefficient_range: 1.0,
+            seed: 8,
+        })
+        .unwrap();
+        let (x, e) = greedy_descent(&model, vec![false; 25], 1000);
+        assert!((model.evaluate(&x).unwrap() - e).abs() < 1e-9);
+        // 1-opt local optimality.
+        for i in 0..25 {
+            assert!(model.flip_delta(&x, i) >= -1e-9, "flip {i} still improves");
+        }
+    }
+
+    #[test]
+    fn first_improvement_never_worsens_and_matches_energy() {
+        let model = random_qubo(&RandomQuboConfig {
+            num_variables: 60,
+            density: 0.1,
+            coefficient_range: 2.0,
+            seed: 21,
+        })
+        .unwrap();
+        let start = vec![true; 60];
+        let start_energy = model.evaluate(&start).unwrap();
+        let (x, e) = first_improvement_descent(&model, start, 50);
+        assert!(e <= start_energy + 1e-9);
+        assert!((model.evaluate(&x).unwrap() - e).abs() < 1e-9);
+    }
+
+    #[test]
+    fn descent_on_an_already_optimal_solution_is_a_no_op() {
+        let mut b = QuboBuilder::new(2);
+        b.add_linear(0, -1.0).unwrap();
+        b.add_linear(1, 1.0).unwrap();
+        let model = b.build();
+        let (x, e) = greedy_descent(&model, vec![true, false], 5);
+        assert_eq!(x, vec![true, false]);
+        assert_eq!(e, -1.0);
+    }
+
+    #[test]
+    fn pass_limit_bounds_the_work() {
+        // A chain where each flip enables the next one; with max_passes = 1 only
+        // one flip happens.
+        let mut b = QuboBuilder::new(3);
+        b.add_linear(0, -1.0).unwrap();
+        b.add_linear(1, -0.5).unwrap();
+        b.add_linear(2, -0.25).unwrap();
+        let model = b.build();
+        let (x, _) = greedy_descent(&model, vec![false; 3], 1);
+        assert_eq!(x.iter().filter(|&&v| v).count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "must match the model")]
+    fn mismatched_length_panics() {
+        let model = QuboBuilder::new(3).build();
+        greedy_descent(&model, vec![false; 2], 1);
+    }
+
+    #[test]
+    fn pair_flip_delta_matches_reevaluation() {
+        let model = random_qubo(&RandomQuboConfig {
+            num_variables: 12,
+            density: 0.5,
+            coefficient_range: 1.0,
+            seed: 3,
+        })
+        .unwrap();
+        let x = vec![true, false, true, true, false, false, true, false, true, false, true, true];
+        let before = model.evaluate(&x).unwrap();
+        for i in 0..12 {
+            for j in (i + 1)..12 {
+                let mut y = x.clone();
+                y[i] = !y[i];
+                y[j] = !y[j];
+                let after = model.evaluate(&y).unwrap();
+                let delta = pair_flip_delta(&model, &x, i, j);
+                assert!((after - before - delta).abs() < 1e-9, "pair ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn pair_aware_descent_escapes_one_hot_traps() {
+        // A one-hot group {0,1} (a "node" with two community slots) and a reward
+        // for putting the node in slot 1 (coupling with the already-set bit 2).
+        // From the valid assignment "slot 0", every single flip breaks the
+        // one-hot constraint, so plain 1-opt is stuck; the pair move (clear slot
+        // 0, set slot 1) is exactly the reassignment the pair-aware search finds.
+        let mut b = QuboBuilder::new(3);
+        b.add_penalty_exactly_one(&[0, 1], 10.0).unwrap();
+        b.add_quadratic(1, 2, -2.0).unwrap();
+        let model = b.build();
+        let start = vec![true, false, true]; // valid, but misses the −2 reward
+        let (stuck, stuck_e) = first_improvement_descent(&model, start.clone(), 50);
+        assert_eq!(stuck, start, "plain 1-opt must be stuck");
+        assert_eq!(stuck_e, 0.0);
+        let (escaped, escaped_e) = pair_aware_descent(&model, start, 50);
+        assert_eq!(escaped, vec![false, true, true]);
+        assert!((escaped_e - (-2.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pair_aware_descent_never_worsens_random_instances() {
+        let model = random_qubo(&RandomQuboConfig {
+            num_variables: 40,
+            density: 0.2,
+            coefficient_range: 1.0,
+            seed: 30,
+        })
+        .unwrap();
+        let start = vec![false; 40];
+        let start_energy = model.evaluate(&start).unwrap();
+        let (x, e) = pair_aware_descent(&model, start, 50);
+        assert!(e <= start_energy + 1e-9);
+        assert!((model.evaluate(&x).unwrap() - e).abs() < 1e-9);
+        // The result is at least as good as plain 1-opt from the same start.
+        let (_, e1) = first_improvement_descent(&model, vec![false; 40], 50);
+        assert!(e <= e1 + 1e-9);
+    }
+}

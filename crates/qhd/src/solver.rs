@@ -1,0 +1,474 @@
+//! The high-level QHD QUBO solver.
+//!
+//! [`QhdSolver`] drives many independent QHD samples (different random initial
+//! wave packets and measurement seeds), each followed by classical greedy
+//! refinement, and returns the best solution found. Samples are distributed
+//! over worker threads with `crossbeam` scoped threads — the CPU stand-in for
+//! the multi-GPU batching described in the paper (see DESIGN.md,
+//! "Substitutions"). The solver implements [`QuboSolver`], so it is a drop-in
+//! replacement for the classical baselines everywhere in the workspace.
+
+use crate::meanfield::{self, MeanFieldConfig};
+use crate::refine;
+use crate::schedule::Schedule;
+use crate::statevector::{self, StateVectorConfig, MAX_EXACT_VARIABLES};
+use parking_lot::Mutex;
+use qhdcd_qubo::{QuboError, QuboModel, QuboSolver, SolveReport, SolveStatus};
+use std::time::Instant;
+
+/// Which simulation backend the solver uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Backend {
+    /// Choose automatically: exact state-vector simulation for instances with
+    /// at most [`MAX_EXACT_VARIABLES`] variables, mean-field otherwise.
+    #[default]
+    Auto,
+    /// Always use the exact hypercube state-vector simulation (small instances only).
+    Exact,
+    /// Always use the scalable mean-field simulation.
+    MeanField,
+}
+
+/// Full configuration of a [`QhdSolver`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct QhdConfig {
+    /// Simulation backend selection policy.
+    pub backend: Backend,
+    /// Number of independent QHD samples (trajectories).
+    pub samples: usize,
+    /// Worker threads used to run samples in parallel. `1` disables threading.
+    pub threads: usize,
+    /// Total evolution time of the Schrödinger dynamics.
+    pub total_time: f64,
+    /// Number of integration time steps per trajectory.
+    pub steps: usize,
+    /// Grid resolution of the mean-field backend.
+    pub grid_resolution: usize,
+    /// Measurement shots per trajectory.
+    pub shots: usize,
+    /// Maximum sweeps of the classical greedy refinement (0 disables refinement).
+    pub refine_sweeps: usize,
+    /// Base RNG seed; sample `k` uses `seed + k`.
+    pub seed: u64,
+}
+
+impl Default for QhdConfig {
+    fn default() -> Self {
+        QhdConfig {
+            backend: Backend::Auto,
+            samples: 8,
+            threads: std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(8),
+            total_time: 10.0,
+            steps: 150,
+            grid_resolution: 32,
+            shots: 16,
+            refine_sweeps: 50,
+            seed: 0,
+        }
+    }
+}
+
+/// Builder for [`QhdConfig`] / [`QhdSolver`].
+///
+/// # Example
+///
+/// ```
+/// use qhdcd_qhd::{Backend, QhdSolver};
+///
+/// let solver = QhdSolver::builder()
+///     .backend(Backend::MeanField)
+///     .samples(4)
+///     .steps(80)
+///     .seed(3)
+///     .build();
+/// assert_eq!(solver.config().samples, 4);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct QhdConfigBuilder {
+    config: QhdConfig,
+}
+
+impl QhdConfigBuilder {
+    /// Sets the simulation backend policy.
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.config.backend = backend;
+        self
+    }
+
+    /// Sets the number of independent QHD samples.
+    pub fn samples(mut self, samples: usize) -> Self {
+        self.config.samples = samples.max(1);
+        self
+    }
+
+    /// Sets the number of worker threads.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.config.threads = threads.max(1);
+        self
+    }
+
+    /// Sets the total Schrödinger evolution time.
+    pub fn total_time(mut self, total_time: f64) -> Self {
+        self.config.total_time = total_time;
+        self
+    }
+
+    /// Sets the number of integration steps per trajectory.
+    pub fn steps(mut self, steps: usize) -> Self {
+        self.config.steps = steps.max(1);
+        self
+    }
+
+    /// Sets the mean-field grid resolution.
+    pub fn grid_resolution(mut self, resolution: usize) -> Self {
+        self.config.grid_resolution = resolution;
+        self
+    }
+
+    /// Sets the number of measurement shots per trajectory.
+    pub fn shots(mut self, shots: usize) -> Self {
+        self.config.shots = shots;
+        self
+    }
+
+    /// Sets the classical refinement sweep budget (0 disables refinement).
+    pub fn refine_sweeps(mut self, sweeps: usize) -> Self {
+        self.config.refine_sweeps = sweeps;
+        self
+    }
+
+    /// Sets the base RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Finishes the builder and produces the solver.
+    pub fn build(self) -> QhdSolver {
+        QhdSolver { config: self.config }
+    }
+}
+
+/// Quantum Hamiltonian Descent QUBO solver with parallel multi-sample execution.
+///
+/// See the [crate-level documentation](crate) for the algorithm description and
+/// an end-to-end example.
+#[derive(Debug, Clone)]
+pub struct QhdSolver {
+    config: QhdConfig,
+}
+
+impl Default for QhdSolver {
+    fn default() -> Self {
+        QhdSolver { config: QhdConfig::default() }
+    }
+}
+
+impl QhdSolver {
+    /// Creates a solver with the default configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a solver from an explicit configuration.
+    pub fn with_config(config: QhdConfig) -> Self {
+        QhdSolver { config }
+    }
+
+    /// Starts a configuration builder.
+    pub fn builder() -> QhdConfigBuilder {
+        QhdConfigBuilder::default()
+    }
+
+    /// The solver's configuration.
+    pub fn config(&self) -> &QhdConfig {
+        &self.config
+    }
+
+    /// Resolves the backend policy for a concrete model.
+    pub fn backend_for(&self, model: &QuboModel) -> Backend {
+        match self.config.backend {
+            Backend::Auto => {
+                if model.num_variables() <= MAX_EXACT_VARIABLES.min(12) {
+                    Backend::Exact
+                } else {
+                    Backend::MeanField
+                }
+            }
+            other => other,
+        }
+    }
+
+    /// Runs a single QHD sample with the given per-sample seed.
+    ///
+    /// Mirrors QHDOPT's hybrid structure: the quantum(-inspired) evolution
+    /// produces a measurement distribution, several candidate roundings are
+    /// drawn from it, and each is projected to a nearby local minimum by the
+    /// classical refinement step; the best refined candidate wins.
+    fn run_sample(
+        &self,
+        model: &QuboModel,
+        backend: Backend,
+        seed: u64,
+    ) -> Result<(Vec<bool>, f64), QuboError> {
+        use rand::prelude::*;
+        let schedule = Schedule::default_qhd(self.config.total_time);
+        // The pair-aware search costs O(nnz · average degree) per sweep, which is
+        // the right tool for small and medium instances but too expensive for the
+        // largest dense QUBOs; those fall back to the linear-time 1-opt descent.
+        let pair_aware_limit = 200_000;
+        let refine_one = |solution: Vec<bool>, energy: f64| -> (Vec<bool>, f64) {
+            if self.config.refine_sweeps == 0 {
+                (solution, energy)
+            } else if model.num_quadratic_terms() <= pair_aware_limit {
+                refine::pair_aware_descent(model, solution, self.config.refine_sweeps)
+            } else {
+                refine::first_improvement_descent(model, solution, self.config.refine_sweeps)
+            }
+        };
+        match backend {
+            Backend::Exact => {
+                let out = statevector::evolve(
+                    model,
+                    &StateVectorConfig {
+                        schedule,
+                        steps: self.config.steps.max(50),
+                        shots: self.config.shots.max(1),
+                        seed,
+                    },
+                )?;
+                Ok(refine_one(out.best_solution, out.best_energy))
+            }
+            Backend::MeanField | Backend::Auto => {
+                let out = meanfield::evolve(
+                    model,
+                    &MeanFieldConfig {
+                        schedule,
+                        steps: self.config.steps,
+                        grid_resolution: self.config.grid_resolution,
+                        shots: self.config.shots,
+                        seed,
+                        randomize_initial_state: true,
+                    },
+                )?;
+                let (mut best, mut best_energy) = refine_one(out.best_solution, out.best_energy);
+                // Refine additional roundings drawn from the final measurement
+                // distribution (capped so the classical work stays bounded).
+                let extra = self.config.shots.min(8);
+                let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+                for _ in 0..extra {
+                    let candidate: Vec<bool> =
+                        out.probabilities.iter().map(|&p| rng.gen::<f64>() < p).collect();
+                    let energy = model.evaluate(&candidate)?;
+                    let (candidate, energy) = refine_one(candidate, energy);
+                    if energy < best_energy {
+                        best = candidate;
+                        best_energy = energy;
+                    }
+                }
+                Ok((best, best_energy))
+            }
+        }
+    }
+}
+
+impl QuboSolver for QhdSolver {
+    fn name(&self) -> &str {
+        "qhd"
+    }
+
+    fn solve(&self, model: &QuboModel) -> Result<SolveReport, QuboError> {
+        let start = Instant::now();
+        let backend = self.backend_for(model);
+        let samples = self.config.samples.max(1);
+        let threads = self.config.threads.max(1).min(samples);
+
+        let best: Mutex<Option<(Vec<bool>, f64)>> = Mutex::new(None);
+        let first_error: Mutex<Option<QuboError>> = Mutex::new(None);
+
+        let run_range = |range: std::ops::Range<usize>| {
+            for k in range {
+                match self.run_sample(model, backend, self.config.seed.wrapping_add(k as u64)) {
+                    Ok((solution, energy)) => {
+                        let mut guard = best.lock();
+                        let better = guard.as_ref().map_or(true, |(_, e)| energy < *e);
+                        if better {
+                            *guard = Some((solution, energy));
+                        }
+                    }
+                    Err(e) => {
+                        let mut guard = first_error.lock();
+                        if guard.is_none() {
+                            *guard = Some(e);
+                        }
+                        return;
+                    }
+                }
+            }
+        };
+
+        if threads <= 1 {
+            run_range(0..samples);
+        } else {
+            // Static partition of the sample indices over the worker threads —
+            // the CPU analogue of batching trajectories across GPUs.
+            crossbeam::thread::scope(|scope| {
+                let chunk = samples.div_ceil(threads);
+                for w in 0..threads {
+                    let lo = w * chunk;
+                    let hi = ((w + 1) * chunk).min(samples);
+                    if lo >= hi {
+                        break;
+                    }
+                    let run_range = &run_range;
+                    scope.spawn(move |_| run_range(lo..hi));
+                }
+            })
+            .expect("QHD worker threads do not panic");
+        }
+
+        if let Some(err) = first_error.into_inner() {
+            return Err(err);
+        }
+        let (solution, objective) =
+            best.into_inner().expect("at least one sample ran successfully");
+        Ok(SolveReport {
+            solution,
+            objective,
+            status: SolveStatus::Heuristic,
+            elapsed: start.elapsed(),
+            iterations: samples as u64,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qhdcd_qubo::generate::{random_qubo, RandomQuboConfig};
+    use qhdcd_qubo::QuboBuilder;
+
+    fn brute_force_minimum(model: &QuboModel) -> f64 {
+        let n = model.num_variables();
+        (0..1usize << n)
+            .map(|bits| {
+                let x: Vec<bool> = (0..n).map(|i| (bits >> i) & 1 == 1).collect();
+                model.evaluate(&x).unwrap()
+            })
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    #[test]
+    fn builder_sets_every_knob() {
+        let solver = QhdSolver::builder()
+            .backend(Backend::Exact)
+            .samples(3)
+            .threads(2)
+            .total_time(5.0)
+            .steps(60)
+            .grid_resolution(16)
+            .shots(9)
+            .refine_sweeps(7)
+            .seed(11)
+            .build();
+        let c = solver.config();
+        assert_eq!(c.backend, Backend::Exact);
+        assert_eq!(c.samples, 3);
+        assert_eq!(c.threads, 2);
+        assert_eq!(c.total_time, 5.0);
+        assert_eq!(c.steps, 60);
+        assert_eq!(c.grid_resolution, 16);
+        assert_eq!(c.shots, 9);
+        assert_eq!(c.refine_sweeps, 7);
+        assert_eq!(c.seed, 11);
+        assert_eq!(solver.name(), "qhd");
+    }
+
+    #[test]
+    fn auto_backend_switches_on_size() {
+        let solver = QhdSolver::new();
+        let small = QuboBuilder::new(6).build();
+        let large = QuboBuilder::new(100).build();
+        assert_eq!(solver.backend_for(&small), Backend::Exact);
+        assert_eq!(solver.backend_for(&large), Backend::MeanField);
+        let forced = QhdSolver::builder().backend(Backend::MeanField).build();
+        assert_eq!(forced.backend_for(&small), Backend::MeanField);
+    }
+
+    #[test]
+    fn finds_the_optimum_of_small_instances() {
+        for seed in 0..3u64 {
+            let model = random_qubo(&RandomQuboConfig {
+                num_variables: 8,
+                density: 0.5,
+                coefficient_range: 1.0,
+                seed,
+            })
+            .unwrap();
+            let solver = QhdSolver::builder().samples(4).steps(120).seed(seed).build();
+            let report = solver.solve(&model).unwrap();
+            let optimum = brute_force_minimum(&model);
+            assert!(
+                (report.objective - optimum).abs() < 1e-9,
+                "seed={seed}: qhd={} optimum={optimum}",
+                report.objective
+            );
+            assert_eq!(report.status, SolveStatus::Heuristic);
+            assert!((model.evaluate(&report.solution).unwrap() - report.objective).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn parallel_and_serial_execution_agree_on_the_result_quality() {
+        let model = random_qubo(&RandomQuboConfig {
+            num_variables: 30,
+            density: 0.2,
+            coefficient_range: 1.0,
+            seed: 77,
+        })
+        .unwrap();
+        let serial = QhdSolver::builder().samples(4).threads(1).seed(5).steps(60).build();
+        let parallel = QhdSolver::builder().samples(4).threads(4).seed(5).steps(60).build();
+        let rs = serial.solve(&model).unwrap();
+        let rp = parallel.solve(&model).unwrap();
+        // Same seeds and same per-sample work ⇒ identical best energies.
+        assert_eq!(rs.objective, rp.objective);
+    }
+
+    #[test]
+    fn refinement_only_improves_solutions() {
+        let model = random_qubo(&RandomQuboConfig {
+            num_variables: 40,
+            density: 0.2,
+            coefficient_range: 1.0,
+            seed: 13,
+        })
+        .unwrap();
+        let raw = QhdSolver::builder().samples(3).refine_sweeps(0).seed(2).steps(60).build();
+        let refined = QhdSolver::builder().samples(3).refine_sweeps(50).seed(2).steps(60).build();
+        let r_raw = raw.solve(&model).unwrap();
+        let r_ref = refined.solve(&model).unwrap();
+        assert!(r_ref.objective <= r_raw.objective + 1e-9);
+    }
+
+    #[test]
+    fn exact_backend_rejects_oversized_models_cleanly() {
+        let model = QuboBuilder::new(30).build();
+        let solver = QhdSolver::builder().backend(Backend::Exact).samples(1).build();
+        assert!(solver.solve(&model).is_err());
+    }
+
+    #[test]
+    fn report_iterations_count_samples() {
+        let model = random_qubo(&RandomQuboConfig {
+            num_variables: 10,
+            density: 0.4,
+            coefficient_range: 1.0,
+            seed: 0,
+        })
+        .unwrap();
+        let solver = QhdSolver::builder().samples(5).steps(40).build();
+        let report = solver.solve(&model).unwrap();
+        assert_eq!(report.iterations, 5);
+    }
+}

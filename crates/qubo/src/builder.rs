@@ -1,0 +1,261 @@
+use crate::{QuboError, QuboModel};
+use std::collections::BTreeMap;
+
+/// Incremental builder for [`QuboModel`].
+///
+/// Coefficients added for the same variable (or pair) accumulate, so penalty
+/// terms can be layered on top of an objective. Diagonal quadratic terms
+/// `x_i x_i` are folded into the linear coefficient (binary variables satisfy
+/// `x_i² = x_i`).
+///
+/// # Example
+///
+/// ```
+/// use qhdcd_qubo::QuboBuilder;
+///
+/// # fn main() -> Result<(), qhdcd_qubo::QuboError> {
+/// let mut b = QuboBuilder::new(4);
+/// // Objective: minimise -x0*x1.
+/// b.add_quadratic(0, 1, -1.0)?;
+/// // Penalty: (x0 + x1 - 1)^2 expanded.
+/// b.add_penalty_exactly_one(&[0, 1], 10.0)?;
+/// let m = b.build();
+/// assert!(m.evaluate(&[true, false, false, false])? < m.evaluate(&[true, true, false, false])?);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct QuboBuilder {
+    num_variables: usize,
+    linear: Vec<f64>,
+    offset: f64,
+    quadratic: BTreeMap<(usize, usize), f64>,
+}
+
+impl QuboBuilder {
+    /// Creates a builder for a model with `num_variables` binary variables and
+    /// all coefficients zero.
+    pub fn new(num_variables: usize) -> Self {
+        QuboBuilder {
+            num_variables,
+            linear: vec![0.0; num_variables],
+            offset: 0.0,
+            quadratic: BTreeMap::new(),
+        }
+    }
+
+    /// Number of variables of the model being built.
+    pub fn num_variables(&self) -> usize {
+        self.num_variables
+    }
+
+    fn check_var(&self, i: usize) -> Result<(), QuboError> {
+        if i < self.num_variables {
+            Ok(())
+        } else {
+            Err(QuboError::VariableOutOfBounds { variable: i, num_variables: self.num_variables })
+        }
+    }
+
+    fn check_coeff(w: f64) -> Result<(), QuboError> {
+        if w.is_finite() {
+            Ok(())
+        } else {
+            Err(QuboError::InvalidCoefficient { coefficient: w })
+        }
+    }
+
+    /// Adds `weight · x_i` to the objective.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuboError::VariableOutOfBounds`] or [`QuboError::InvalidCoefficient`].
+    pub fn add_linear(&mut self, i: usize, weight: f64) -> Result<(), QuboError> {
+        self.check_var(i)?;
+        Self::check_coeff(weight)?;
+        self.linear[i] += weight;
+        Ok(())
+    }
+
+    /// Adds `weight · x_i x_j` to the objective. `i == j` is folded into the
+    /// linear term.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuboError::VariableOutOfBounds`] or [`QuboError::InvalidCoefficient`].
+    pub fn add_quadratic(&mut self, i: usize, j: usize, weight: f64) -> Result<(), QuboError> {
+        self.check_var(i)?;
+        self.check_var(j)?;
+        Self::check_coeff(weight)?;
+        if i == j {
+            self.linear[i] += weight;
+        } else {
+            let key = (i.min(j), i.max(j));
+            *self.quadratic.entry(key).or_insert(0.0) += weight;
+        }
+        Ok(())
+    }
+
+    /// Adds a constant to the objective (does not affect the argmin).
+    pub fn add_offset(&mut self, value: f64) {
+        self.offset += value;
+    }
+
+    /// Sets the constant offset, replacing any previous value.
+    pub fn set_offset(&mut self, value: f64) {
+        self.offset = value;
+    }
+
+    /// Adds the penalty `weight · (Σ_{i ∈ vars} x_i − 1)²`, which is minimised
+    /// (and zero) exactly when one of `vars` is set. This is the assignment
+    /// constraint `Q_A` of the paper (Eq. 3) for a single node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuboError::VariableOutOfBounds`] or [`QuboError::InvalidCoefficient`].
+    pub fn add_penalty_exactly_one(&mut self, vars: &[usize], weight: f64) -> Result<(), QuboError> {
+        self.add_penalty_sum_equals(vars, 1.0, weight)
+    }
+
+    /// Adds the penalty `weight · (Σ_{i ∈ vars} x_i − target)²` expanded into
+    /// linear, quadratic and constant terms. Used for the balanced community
+    /// size constraint `Q_S` of the paper (Eq. 4).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuboError::VariableOutOfBounds`] or [`QuboError::InvalidCoefficient`].
+    pub fn add_penalty_sum_equals(
+        &mut self,
+        vars: &[usize],
+        target: f64,
+        weight: f64,
+    ) -> Result<(), QuboError> {
+        Self::check_coeff(weight)?;
+        Self::check_coeff(target)?;
+        for &v in vars {
+            self.check_var(v)?;
+        }
+        // (Σ x_i − t)² = Σ_i x_i² + 2 Σ_{i<j} x_i x_j − 2 t Σ_i x_i + t²
+        //             = Σ_i (1 − 2t) x_i + 2 Σ_{i<j} x_i x_j + t².
+        for (a, &i) in vars.iter().enumerate() {
+            self.linear[i] += weight * (1.0 - 2.0 * target);
+            for &j in &vars[(a + 1)..] {
+                if i == j {
+                    // Duplicate index in `vars`: x_i x_i = x_i.
+                    self.linear[i] += 2.0 * weight;
+                } else {
+                    let key = (i.min(j), i.max(j));
+                    *self.quadratic.entry(key).or_insert(0.0) += 2.0 * weight;
+                }
+            }
+        }
+        self.offset += weight * target * target;
+        Ok(())
+    }
+
+    /// Consumes the builder and produces the immutable [`QuboModel`], dropping
+    /// exact-zero quadratic entries.
+    pub fn build(self) -> QuboModel {
+        let pairs: Vec<(usize, usize, f64)> = self
+            .quadratic
+            .into_iter()
+            .filter(|&(_, w)| w != 0.0)
+            .map(|((i, j), w)| (i, j, w))
+            .collect();
+        QuboModel::new(self.num_variables, self.linear, self.offset, pairs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coefficients_accumulate() {
+        let mut b = QuboBuilder::new(2);
+        b.add_linear(0, 1.0).unwrap();
+        b.add_linear(0, 2.0).unwrap();
+        b.add_quadratic(0, 1, 1.0).unwrap();
+        b.add_quadratic(1, 0, 0.5).unwrap();
+        let m = b.build();
+        assert_eq!(m.linear()[0], 3.0);
+        assert_eq!(m.quadratic_terms().next(), Some((0, 1, 1.5)));
+    }
+
+    #[test]
+    fn diagonal_quadratic_folds_into_linear() {
+        let mut b = QuboBuilder::new(1);
+        b.add_quadratic(0, 0, 4.0).unwrap();
+        let m = b.build();
+        assert_eq!(m.linear()[0], 4.0);
+        assert_eq!(m.num_quadratic_terms(), 0);
+    }
+
+    #[test]
+    fn bounds_and_nan_are_rejected() {
+        let mut b = QuboBuilder::new(2);
+        assert!(b.add_linear(2, 1.0).is_err());
+        assert!(b.add_quadratic(0, 5, 1.0).is_err());
+        assert!(b.add_linear(0, f64::NAN).is_err());
+        assert!(b.add_quadratic(0, 1, f64::INFINITY).is_err());
+        assert!(b.add_penalty_exactly_one(&[0, 3], 1.0).is_err());
+        assert!(b.add_penalty_sum_equals(&[0], 1.0, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn exactly_one_penalty_is_zero_iff_constraint_holds() {
+        let mut b = QuboBuilder::new(3);
+        b.add_penalty_exactly_one(&[0, 1, 2], 5.0).unwrap();
+        let m = b.build();
+        // Valid assignments (exactly one set) have penalty 0.
+        for valid in [[true, false, false], [false, true, false], [false, false, true]] {
+            assert!((m.evaluate(&valid).unwrap()).abs() < 1e-12);
+        }
+        // Invalid assignments pay at least the weight.
+        assert!(m.evaluate(&[false, false, false]).unwrap() >= 5.0 - 1e-12);
+        assert!(m.evaluate(&[true, true, false]).unwrap() >= 5.0 - 1e-12);
+        assert!(m.evaluate(&[true, true, true]).unwrap() >= 5.0 - 1e-12);
+    }
+
+    #[test]
+    fn sum_equals_penalty_matches_direct_expansion() {
+        let mut b = QuboBuilder::new(4);
+        b.add_penalty_sum_equals(&[0, 1, 2, 3], 2.0, 3.0).unwrap();
+        let m = b.build();
+        for bits in 0..16u32 {
+            let x: Vec<bool> = (0..4).map(|i| bits >> i & 1 == 1).collect();
+            let s: f64 = x.iter().filter(|&&v| v).count() as f64;
+            let expected = 3.0 * (s - 2.0).powi(2);
+            assert!((m.evaluate(&x).unwrap() - expected).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn duplicate_indices_in_penalty_are_handled() {
+        let mut b = QuboBuilder::new(2);
+        // (x0 + x0 - 1)^2 = (2 x0 - 1)^2 = 4 x0 - 4 x0 + 1 ... evaluate directly.
+        b.add_penalty_sum_equals(&[0, 0], 1.0, 1.0).unwrap();
+        let m = b.build();
+        assert!((m.evaluate(&[false, false]).unwrap() - 1.0).abs() < 1e-12);
+        assert!((m.evaluate(&[true, false]).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_quadratic_terms_are_dropped() {
+        let mut b = QuboBuilder::new(2);
+        b.add_quadratic(0, 1, 1.0).unwrap();
+        b.add_quadratic(0, 1, -1.0).unwrap();
+        let m = b.build();
+        assert_eq!(m.num_quadratic_terms(), 0);
+    }
+
+    #[test]
+    fn offset_handling() {
+        let mut b = QuboBuilder::new(1);
+        b.add_offset(1.0);
+        b.add_offset(2.0);
+        assert_eq!(b.clone().build().offset(), 3.0);
+        b.set_offset(-1.0);
+        assert_eq!(b.build().offset(), -1.0);
+    }
+}

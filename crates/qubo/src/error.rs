@@ -1,0 +1,73 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while constructing or evaluating QUBO models.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QuboError {
+    /// A variable index was at least the number of variables of the model.
+    VariableOutOfBounds {
+        /// The offending variable index.
+        variable: usize,
+        /// The number of variables in the model.
+        num_variables: usize,
+    },
+    /// A coefficient was NaN or infinite.
+    InvalidCoefficient {
+        /// The offending coefficient.
+        coefficient: f64,
+    },
+    /// A candidate solution had the wrong length for the model.
+    SolutionSizeMismatch {
+        /// Length of the provided solution.
+        solution: usize,
+        /// Number of variables expected.
+        variables: usize,
+    },
+    /// A generator or solver was configured with an invalid parameter.
+    InvalidConfig {
+        /// Human readable description of the problem.
+        reason: String,
+    },
+}
+
+impl fmt::Display for QuboError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QuboError::VariableOutOfBounds { variable, num_variables } => write!(
+                f,
+                "variable index {variable} out of bounds for model with {num_variables} variables"
+            ),
+            QuboError::InvalidCoefficient { coefficient } => {
+                write!(f, "coefficient {coefficient} is not finite")
+            }
+            QuboError::SolutionSizeMismatch { solution, variables } => write!(
+                f,
+                "solution has {solution} entries but the model has {variables} variables"
+            ),
+            QuboError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+        }
+    }
+}
+
+impl Error for QuboError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = QuboError::VariableOutOfBounds { variable: 9, num_variables: 4 };
+        assert!(e.to_string().contains("variable index 9"));
+        let e = QuboError::SolutionSizeMismatch { solution: 2, variables: 3 };
+        assert!(e.to_string().contains("2 entries"));
+        let e = QuboError::InvalidConfig { reason: "bad density".into() };
+        assert!(e.to_string().contains("bad density"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<QuboError>();
+    }
+}

@@ -1,0 +1,151 @@
+//! Conversion between QUBO and Ising form.
+//!
+//! QUBO minimises `Σ_i b_i x_i + Σ_{i<j} w_ij x_i x_j + c` over `x ∈ {0,1}ⁿ`;
+//! the Ising form minimises `Σ_i h_i s_i + Σ_{i<j} J_ij s_i s_j + c'` over spins
+//! `s ∈ {−1,+1}ⁿ`. The two are related by the substitution `x_i = (1 + s_i)/2`.
+//! Quantum-inspired solvers (and quantum annealers) usually work in Ising form;
+//! the conversion here is exact and round-trips.
+
+use crate::{QuboBuilder, QuboError, QuboModel};
+
+/// An Ising model `E(s) = Σ_i h_i s_i + Σ_{i<j} J_ij s_i s_j + offset` over
+/// spins `s ∈ {−1,+1}ⁿ`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IsingModel {
+    /// Local fields `h_i`.
+    pub fields: Vec<f64>,
+    /// Couplings `(i, j, J_ij)` with `i < j`.
+    pub couplings: Vec<(usize, usize, f64)>,
+    /// Constant offset.
+    pub offset: f64,
+}
+
+impl IsingModel {
+    /// Number of spins.
+    pub fn num_spins(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Evaluates the Ising energy of a spin configuration (`true` = +1, `false` = −1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuboError::SolutionSizeMismatch`] if `spins` has the wrong length.
+    pub fn evaluate(&self, spins: &[bool]) -> Result<f64, QuboError> {
+        if spins.len() != self.fields.len() {
+            return Err(QuboError::SolutionSizeMismatch {
+                solution: spins.len(),
+                variables: self.fields.len(),
+            });
+        }
+        let s = |b: bool| if b { 1.0 } else { -1.0 };
+        let mut e = self.offset;
+        for (i, &h) in self.fields.iter().enumerate() {
+            e += h * s(spins[i]);
+        }
+        for &(i, j, jij) in &self.couplings {
+            e += jij * s(spins[i]) * s(spins[j]);
+        }
+        Ok(e)
+    }
+}
+
+/// Converts a QUBO model to the equivalent Ising model via `x_i = (1 + s_i)/2`.
+///
+/// The conversion is exact: for every assignment, `qubo.evaluate(x)` equals
+/// `ising.evaluate(s)` where `s_i = +1` iff `x_i = 1`.
+pub fn to_ising(qubo: &QuboModel) -> IsingModel {
+    let n = qubo.num_variables();
+    let mut fields = vec![0.0; n];
+    let mut offset = qubo.offset();
+    // Linear term: b_i x_i = b_i (1 + s_i)/2 → h_i += b_i/2, offset += b_i/2.
+    for (i, &b) in qubo.linear().iter().enumerate() {
+        fields[i] += b / 2.0;
+        offset += b / 2.0;
+    }
+    // Quadratic: w x_i x_j = w (1+s_i)(1+s_j)/4 → J += w/4, h_i += w/4, h_j += w/4, offset += w/4.
+    let mut couplings = Vec::with_capacity(qubo.num_quadratic_terms());
+    for (i, j, w) in qubo.quadratic_terms() {
+        couplings.push((i, j, w / 4.0));
+        fields[i] += w / 4.0;
+        fields[j] += w / 4.0;
+        offset += w / 4.0;
+    }
+    IsingModel { fields, couplings, offset }
+}
+
+/// Converts an Ising model back to an equivalent QUBO model via `s_i = 2 x_i − 1`.
+///
+/// # Errors
+///
+/// Returns [`QuboError::VariableOutOfBounds`] if a coupling references a spin
+/// beyond the field vector, or [`QuboError::InvalidCoefficient`] for non-finite
+/// coefficients.
+pub fn to_qubo(ising: &IsingModel) -> Result<QuboModel, QuboError> {
+    let n = ising.num_spins();
+    let mut b = QuboBuilder::new(n);
+    let mut offset = ising.offset;
+    for (i, &h) in ising.fields.iter().enumerate() {
+        // h s = h (2x − 1).
+        b.add_linear(i, 2.0 * h)?;
+        offset -= h;
+    }
+    for &(i, j, jij) in &ising.couplings {
+        // J s_i s_j = J (2x_i − 1)(2x_j − 1) = 4J x_i x_j − 2J x_i − 2J x_j + J.
+        b.add_quadratic(i, j, 4.0 * jij)?;
+        b.add_linear(i, -2.0 * jij)?;
+        b.add_linear(j, -2.0 * jij)?;
+        offset += jij;
+    }
+    b.set_offset(offset);
+    Ok(b.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate;
+
+    #[test]
+    fn qubo_and_ising_agree_on_all_assignments() {
+        let qubo = generate::random_qubo(&generate::RandomQuboConfig {
+            num_variables: 6,
+            density: 0.6,
+            coefficient_range: 2.0,
+            seed: 11,
+        })
+        .unwrap();
+        let ising = to_ising(&qubo);
+        for bits in 0..64u32 {
+            let x: Vec<bool> = (0..6).map(|i| bits >> i & 1 == 1).collect();
+            let eq = qubo.evaluate(&x).unwrap();
+            let ei = ising.evaluate(&x).unwrap();
+            assert!((eq - ei).abs() < 1e-9, "bits={bits} qubo={eq} ising={ei}");
+        }
+    }
+
+    #[test]
+    fn round_trip_preserves_energies() {
+        let qubo = generate::random_qubo(&generate::RandomQuboConfig {
+            num_variables: 5,
+            density: 0.8,
+            coefficient_range: 3.0,
+            seed: 3,
+        })
+        .unwrap();
+        let back = to_qubo(&to_ising(&qubo)).unwrap();
+        for bits in 0..32u32 {
+            let x: Vec<bool> = (0..5).map(|i| bits >> i & 1 == 1).collect();
+            assert!((qubo.evaluate(&x).unwrap() - back.evaluate(&x).unwrap()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn ising_evaluate_checks_length() {
+        let ising = IsingModel { fields: vec![1.0, -1.0], couplings: vec![(0, 1, 0.5)], offset: 0.0 };
+        assert!(ising.evaluate(&[true]).is_err());
+        assert_eq!(ising.num_spins(), 2);
+        // s = (+1, −1): 1 − (−1) + 0.5·(−1) = 1 + 1 − 0.5 = 1.5.
+        assert_eq!(ising.evaluate(&[true, false]).unwrap(), 1.5);
+    }
+}

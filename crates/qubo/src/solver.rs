@@ -1,0 +1,281 @@
+//! The common interface implemented by every QUBO solver in the workspace.
+//!
+//! The paper's evaluation protocol hinges on two observable solver behaviours:
+//! an exact solver either *proves optimality* or is *stopped by a time limit*
+//! (Figures 3 and 4 split the instance corpus on exactly this), while heuristic
+//! solvers always return their best-found solution. [`SolveStatus`] encodes
+//! this distinction and [`SolveReport`] carries the solution, its energy and
+//! timing so that the benchmark harness can apply the paper's time-matched
+//! comparison methodology.
+
+use crate::{BinarySolution, QuboError, QuboModel};
+use std::time::Duration;
+
+/// Outcome classification of a solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SolveStatus {
+    /// The solver proved that the returned solution is a global optimum.
+    Optimal,
+    /// The solver stopped because it hit its time (or node) limit; the returned
+    /// solution is the best incumbent found so far.
+    TimeLimit,
+    /// The solver is a heuristic and makes no optimality claim.
+    Heuristic,
+}
+
+impl SolveStatus {
+    /// Returns `true` if the solver proved optimality.
+    pub fn is_optimal(self) -> bool {
+        matches!(self, SolveStatus::Optimal)
+    }
+}
+
+impl std::fmt::Display for SolveStatus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            SolveStatus::Optimal => "optimal",
+            SolveStatus::TimeLimit => "time-limit",
+            SolveStatus::Heuristic => "heuristic",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The result of running a [`QuboSolver`] on a model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolveReport {
+    /// Best binary assignment found.
+    pub solution: BinarySolution,
+    /// Energy of [`SolveReport::solution`] under the model (including offset).
+    pub objective: f64,
+    /// Outcome classification.
+    pub status: SolveStatus,
+    /// Wall-clock time spent solving.
+    pub elapsed: Duration,
+    /// Solver-specific work counter (branch-and-bound nodes, sweeps, samples…).
+    pub iterations: u64,
+}
+
+impl SolveReport {
+    /// Builds a report, evaluating the objective from the model. Convenience
+    /// used by solver implementations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuboError::SolutionSizeMismatch`] if the solution does not
+    /// match the model.
+    pub fn from_solution(
+        model: &QuboModel,
+        solution: BinarySolution,
+        status: SolveStatus,
+        elapsed: Duration,
+        iterations: u64,
+    ) -> Result<Self, QuboError> {
+        let objective = model.evaluate(&solution)?;
+        Ok(SolveReport { solution, objective, status, elapsed, iterations })
+    }
+}
+
+/// Generic knobs shared by solvers: a time budget and a deterministic seed.
+///
+/// Solvers interpret a `None` time limit as "run to completion" (exact solvers)
+/// or "use the iteration budget only" (heuristics).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SolverOptions {
+    /// Wall-clock budget for the solve.
+    pub time_limit: Option<Duration>,
+    /// Seed for any randomised decisions.
+    pub seed: u64,
+}
+
+impl Default for SolverOptions {
+    fn default() -> Self {
+        SolverOptions { time_limit: None, seed: 0 }
+    }
+}
+
+impl SolverOptions {
+    /// Options with a wall-clock time limit.
+    pub fn with_time_limit(limit: Duration) -> Self {
+        SolverOptions { time_limit: Some(limit), seed: 0 }
+    }
+
+    /// Returns a copy with a different seed.
+    pub fn seeded(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// A QUBO minimisation algorithm.
+///
+/// Implemented by the QHD solver (`qhdcd-qhd`) and by every classical baseline
+/// (`qhdcd-solvers`), so the community-detection pipeline and the benchmark
+/// harness can swap solvers freely.
+pub trait QuboSolver {
+    /// Human-readable solver name used in reports and benchmark output.
+    fn name(&self) -> &str;
+
+    /// Minimises `model`, returning the best solution found and its status.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuboError`] if the model is degenerate for this solver (for
+    /// example, an exact state-vector simulation asked to handle more variables
+    /// than it can represent).
+    fn solve(&self, model: &QuboModel) -> Result<SolveReport, QuboError>;
+}
+
+/// Blanket implementation so `Box<dyn QuboSolver>` and `&S` work transparently.
+impl<S: QuboSolver + ?Sized> QuboSolver for &S {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn solve(&self, model: &QuboModel) -> Result<SolveReport, QuboError> {
+        (**self).solve(model)
+    }
+}
+
+impl<S: QuboSolver + ?Sized> QuboSolver for Box<S> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn solve(&self, model: &QuboModel) -> Result<SolveReport, QuboError> {
+        (**self).solve(model)
+    }
+}
+
+/// A trivial reference solver that evaluates the all-zero and all-one
+/// assignments plus a configurable number of random assignments and keeps the
+/// best. Useful as a sanity baseline in tests and benchmarks ("any real solver
+/// must beat random sampling").
+#[derive(Debug, Clone)]
+pub struct RandomSamplingSolver {
+    /// Number of random assignments to draw.
+    pub samples: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RandomSamplingSolver {
+    fn default() -> Self {
+        RandomSamplingSolver { samples: 100, seed: 0 }
+    }
+}
+
+impl QuboSolver for RandomSamplingSolver {
+    fn name(&self) -> &str {
+        "random-sampling"
+    }
+
+    fn solve(&self, model: &QuboModel) -> Result<SolveReport, QuboError> {
+        use rand::prelude::*;
+        let start = std::time::Instant::now();
+        let n = model.num_variables();
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(self.seed);
+        let mut best = vec![false; n];
+        let mut best_e = model.evaluate(&best)?;
+        let all_one = vec![true; n];
+        let e = model.evaluate(&all_one)?;
+        if e < best_e {
+            best = all_one;
+            best_e = e;
+        }
+        for _ in 0..self.samples {
+            let x: Vec<bool> = (0..n).map(|_| rng.gen()).collect();
+            let e = model.evaluate(&x)?;
+            if e < best_e {
+                best = x;
+                best_e = e;
+            }
+        }
+        Ok(SolveReport {
+            solution: best,
+            objective: best_e,
+            status: SolveStatus::Heuristic,
+            elapsed: start.elapsed(),
+            iterations: self.samples as u64 + 2,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{random_qubo, RandomQuboConfig};
+    use crate::QuboBuilder;
+
+    #[test]
+    fn status_display_and_predicates() {
+        assert_eq!(SolveStatus::Optimal.to_string(), "optimal");
+        assert_eq!(SolveStatus::TimeLimit.to_string(), "time-limit");
+        assert_eq!(SolveStatus::Heuristic.to_string(), "heuristic");
+        assert!(SolveStatus::Optimal.is_optimal());
+        assert!(!SolveStatus::TimeLimit.is_optimal());
+    }
+
+    #[test]
+    fn report_from_solution_evaluates_objective() {
+        let mut b = QuboBuilder::new(2);
+        b.add_linear(0, -1.0).unwrap();
+        let m = b.build();
+        let r = SolveReport::from_solution(
+            &m,
+            vec![true, false],
+            SolveStatus::Heuristic,
+            Duration::from_millis(1),
+            7,
+        )
+        .unwrap();
+        assert_eq!(r.objective, -1.0);
+        assert_eq!(r.iterations, 7);
+        assert!(SolveReport::from_solution(&m, vec![true], SolveStatus::Heuristic, Duration::ZERO, 0)
+            .is_err());
+    }
+
+    #[test]
+    fn solver_options_builders() {
+        let o = SolverOptions::default();
+        assert!(o.time_limit.is_none());
+        let o = SolverOptions::with_time_limit(Duration::from_secs(1)).seeded(9);
+        assert_eq!(o.seed, 9);
+        assert_eq!(o.time_limit, Some(Duration::from_secs(1)));
+    }
+
+    #[test]
+    fn random_sampling_solver_returns_valid_report() {
+        let m = random_qubo(&RandomQuboConfig {
+            num_variables: 12,
+            density: 0.4,
+            coefficient_range: 1.0,
+            seed: 1,
+        })
+        .unwrap();
+        let solver = RandomSamplingSolver { samples: 200, seed: 3 };
+        let report = solver.solve(&m).unwrap();
+        assert_eq!(report.solution.len(), 12);
+        assert_eq!(report.status, SolveStatus::Heuristic);
+        assert!((m.evaluate(&report.solution).unwrap() - report.objective).abs() < 1e-12);
+        // Random sampling should at least beat the all-zero assignment here.
+        assert!(report.objective <= m.evaluate(&vec![false; 12]).unwrap());
+    }
+
+    #[test]
+    fn solver_trait_objects_work() {
+        let m = random_qubo(&RandomQuboConfig {
+            num_variables: 6,
+            density: 0.5,
+            coefficient_range: 1.0,
+            seed: 2,
+        })
+        .unwrap();
+        let boxed: Box<dyn QuboSolver> = Box::new(RandomSamplingSolver::default());
+        assert_eq!(boxed.name(), "random-sampling");
+        let r = boxed.solve(&m).unwrap();
+        assert_eq!(r.solution.len(), 6);
+        let by_ref: &dyn QuboSolver = &RandomSamplingSolver::default();
+        assert_eq!(by_ref.name(), "random-sampling");
+    }
+}

@@ -1,0 +1,164 @@
+//! Multi-start greedy descent for QUBO.
+
+use crate::local_search;
+use qhdcd_qubo::{QuboError, QuboModel, QuboSolver, SolveReport, SolveStatus, SolverOptions};
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+use std::time::Instant;
+
+/// Repeated greedy single-flip descent from random starting assignments.
+///
+/// The cheapest useful baseline: each restart descends to a 1-opt local
+/// minimum, and the best local minimum over all restarts is returned.
+///
+/// # Example
+///
+/// ```
+/// use qhdcd_qubo::{QuboBuilder, QuboSolver};
+/// use qhdcd_solvers::MultiStartGreedy;
+///
+/// # fn main() -> Result<(), qhdcd_qubo::QuboError> {
+/// let mut b = QuboBuilder::new(3);
+/// b.add_linear(1, -1.0)?;
+/// let report = MultiStartGreedy::default().solve(&b.build())?;
+/// assert_eq!(report.objective, -1.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct MultiStartGreedy {
+    /// Time limit and RNG seed.
+    pub options: SolverOptions,
+    /// Number of random restarts.
+    pub restarts: usize,
+    /// Maximum descent sweeps per restart.
+    pub max_sweeps: usize,
+}
+
+impl Default for MultiStartGreedy {
+    fn default() -> Self {
+        MultiStartGreedy { options: SolverOptions::default(), restarts: 16, max_sweeps: 100 }
+    }
+}
+
+impl MultiStartGreedy {
+    /// Creates a solver with the default parameters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns a copy with a different number of restarts.
+    pub fn with_restarts(mut self, restarts: usize) -> Self {
+        self.restarts = restarts.max(1);
+        self
+    }
+
+    /// Returns a copy with a different RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.options.seed = seed;
+        self
+    }
+}
+
+impl QuboSolver for MultiStartGreedy {
+    fn name(&self) -> &str {
+        "multi-start-greedy"
+    }
+
+    fn solve(&self, model: &QuboModel) -> Result<SolveReport, QuboError> {
+        let start = Instant::now();
+        let n = model.num_variables();
+        if n == 0 {
+            return Err(QuboError::InvalidConfig { reason: "model has no variables".into() });
+        }
+        let deadline = self.options.time_limit.map(|limit| start + limit);
+        let mut rng = ChaCha8Rng::seed_from_u64(self.options.seed);
+        // The all-zero start is always included so the result is never worse
+        // than the trivial assignment.
+        let (mut best, mut best_e) = local_search::descend(model, vec![false; n], self.max_sweeps);
+        let mut restarts_run = 1u64;
+        for _ in 1..self.restarts.max(1) {
+            let x: Vec<bool> = (0..n).map(|_| rng.gen()).collect();
+            let (candidate, e) = local_search::descend(model, x, self.max_sweeps);
+            restarts_run += 1;
+            if e < best_e {
+                best = candidate;
+                best_e = e;
+            }
+            if let Some(d) = deadline {
+                if Instant::now() >= d {
+                    break;
+                }
+            }
+        }
+        Ok(SolveReport {
+            solution: best,
+            objective: best_e,
+            status: SolveStatus::Heuristic,
+            elapsed: start.elapsed(),
+            iterations: restarts_run,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ExhaustiveSearch;
+    use qhdcd_qubo::generate::{random_qubo, RandomQuboConfig};
+    use qhdcd_qubo::QuboBuilder;
+
+    #[test]
+    fn finds_good_solutions_on_small_instances() {
+        for seed in 0..3u64 {
+            let model = random_qubo(&RandomQuboConfig {
+                num_variables: 12,
+                density: 0.4,
+                coefficient_range: 1.0,
+                seed,
+            })
+            .unwrap();
+            let greedy = MultiStartGreedy::default().with_seed(seed).solve(&model).unwrap();
+            let exact = ExhaustiveSearch::default().solve(&model).unwrap();
+            // Multi-start greedy is not exact but should be within a small gap.
+            let gap = (greedy.objective - exact.objective).abs();
+            assert!(gap <= 0.25 * exact.objective.abs().max(1.0), "seed={seed} gap={gap}");
+        }
+    }
+
+    #[test]
+    fn result_is_a_one_opt_local_minimum() {
+        let model = random_qubo(&RandomQuboConfig {
+            num_variables: 40,
+            density: 0.2,
+            coefficient_range: 1.0,
+            seed: 4,
+        })
+        .unwrap();
+        let report = MultiStartGreedy::default().solve(&model).unwrap();
+        for i in 0..40 {
+            assert!(model.flip_delta(&report.solution, i) >= -1e-9);
+        }
+        assert!((model.evaluate(&report.solution).unwrap() - report.objective).abs() < 1e-12);
+    }
+
+    #[test]
+    fn never_worse_than_the_all_zero_descent() {
+        let model = random_qubo(&RandomQuboConfig {
+            num_variables: 30,
+            density: 0.3,
+            coefficient_range: 1.0,
+            seed: 6,
+        })
+        .unwrap();
+        let (_, zero_descent) = local_search::descend(&model, vec![false; 30], 100);
+        let report = MultiStartGreedy::default().with_restarts(4).solve(&model).unwrap();
+        assert!(report.objective <= zero_descent + 1e-12);
+        assert!(report.iterations >= 1);
+    }
+
+    #[test]
+    fn empty_model_is_rejected() {
+        assert!(MultiStartGreedy::default().solve(&QuboBuilder::new(0).build()).is_err());
+    }
+}

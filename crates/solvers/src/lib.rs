@@ -1,0 +1,98 @@
+//! Classical QUBO baseline solvers.
+//!
+//! The paper benchmarks its QHD solver against GUROBI, using GUROBI purely as
+//! "an exact solver that either proves optimality or stops at a time limit with
+//! its best incumbent". This crate provides that role plus the usual heuristic
+//! baselines, all implementing the shared [`QuboSolver`] trait:
+//!
+//! * [`BranchAndBound`] — exact best-first/depth-first branch-and-bound with a
+//!   wall-clock time limit and an `Optimal` / `TimeLimit` status, the stand-in
+//!   for GUROBI in every experiment (see DESIGN.md, "Substitutions").
+//! * [`ExhaustiveSearch`] — brute force over all assignments, the ground truth
+//!   for small instances in tests.
+//! * [`SimulatedAnnealing`] — single-flip Metropolis with geometric cooling.
+//! * [`TabuSearch`] — single-flip tabu search with aspiration.
+//! * [`MultiStartGreedy`] — repeated greedy 1-opt descent from random starts.
+//!
+//! # Example
+//!
+//! ```
+//! use qhdcd_qubo::{QuboBuilder, QuboSolver, SolveStatus};
+//! use qhdcd_solvers::BranchAndBound;
+//!
+//! # fn main() -> Result<(), qhdcd_qubo::QuboError> {
+//! let mut b = QuboBuilder::new(3);
+//! b.add_linear(0, -1.0)?;
+//! b.add_quadratic(0, 1, 2.0)?;
+//! let model = b.build();
+//! let report = BranchAndBound::default().solve(&model)?;
+//! assert_eq!(report.status, SolveStatus::Optimal);
+//! assert_eq!(report.objective, -1.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod branch_bound;
+mod exhaustive;
+mod greedy;
+mod simulated_annealing;
+mod tabu;
+
+pub use branch_bound::BranchAndBound;
+pub use exhaustive::ExhaustiveSearch;
+pub use greedy::MultiStartGreedy;
+pub use simulated_annealing::SimulatedAnnealing;
+pub use tabu::TabuSearch;
+
+pub(crate) mod local_search {
+    //! Shared single-flip descent used to seed and polish incumbents.
+
+    use qhdcd_qubo::QuboModel;
+
+    /// First-improvement single-flip descent; returns the improved solution and
+    /// its energy. Identical semantics to the refinement step in `qhdcd-qhd`,
+    /// duplicated here to keep the baseline crate independent of the QHD crate.
+    pub fn descend(model: &QuboModel, mut x: Vec<bool>, max_sweeps: usize) -> (Vec<bool>, f64) {
+        let mut energy = model.evaluate(&x).expect("solution length matches model");
+        for _ in 0..max_sweeps {
+            let mut improved = false;
+            for i in 0..x.len() {
+                let delta = model.flip_delta(&x, i);
+                if delta < -1e-15 {
+                    x[i] = !x[i];
+                    energy += delta;
+                    improved = true;
+                }
+            }
+            if !improved {
+                break;
+            }
+        }
+        (x, energy)
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use qhdcd_qubo::generate::{random_qubo, RandomQuboConfig};
+
+        #[test]
+        fn descend_reaches_a_single_flip_local_minimum() {
+            let model = random_qubo(&RandomQuboConfig {
+                num_variables: 30,
+                density: 0.3,
+                coefficient_range: 1.0,
+                seed: 5,
+            })
+            .unwrap();
+            let (x, e) = descend(&model, vec![false; 30], 100);
+            assert!((model.evaluate(&x).unwrap() - e).abs() < 1e-9);
+            for i in 0..30 {
+                assert!(model.flip_delta(&x, i) >= -1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,233 @@
+//! Single-flip Metropolis simulated annealing for QUBO.
+
+use qhdcd_qubo::{QuboError, QuboModel, QuboSolver, SolveReport, SolveStatus, SolverOptions};
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+use std::time::Instant;
+
+/// Simulated-annealing QUBO solver with geometric cooling and restarts.
+///
+/// # Example
+///
+/// ```
+/// use qhdcd_qubo::{QuboBuilder, QuboSolver};
+/// use qhdcd_solvers::SimulatedAnnealing;
+///
+/// # fn main() -> Result<(), qhdcd_qubo::QuboError> {
+/// let mut b = QuboBuilder::new(4);
+/// b.add_quadratic(0, 1, -1.0)?;
+/// b.add_quadratic(2, 3, -1.0)?;
+/// let report = SimulatedAnnealing::default().solve(&b.build())?;
+/// assert_eq!(report.objective, -2.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimulatedAnnealing {
+    /// Time limit and RNG seed.
+    pub options: SolverOptions,
+    /// Number of independent annealing restarts.
+    pub restarts: usize,
+    /// Metropolis sweeps per restart.
+    pub sweeps: usize,
+    /// Initial temperature (in units of the typical flip magnitude).
+    pub initial_temperature: f64,
+    /// Final temperature.
+    pub final_temperature: f64,
+}
+
+impl Default for SimulatedAnnealing {
+    fn default() -> Self {
+        SimulatedAnnealing {
+            options: SolverOptions::default(),
+            restarts: 4,
+            sweeps: 200,
+            initial_temperature: 2.0,
+            final_temperature: 0.01,
+        }
+    }
+}
+
+impl SimulatedAnnealing {
+    /// Creates a solver with the default annealing parameters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns a copy with a different sweep budget.
+    pub fn with_sweeps(mut self, sweeps: usize) -> Self {
+        self.sweeps = sweeps;
+        self
+    }
+
+    /// Returns a copy with a different number of restarts.
+    pub fn with_restarts(mut self, restarts: usize) -> Self {
+        self.restarts = restarts.max(1);
+        self
+    }
+
+    /// Returns a copy with a different RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.options.seed = seed;
+        self
+    }
+}
+
+impl QuboSolver for SimulatedAnnealing {
+    fn name(&self) -> &str {
+        "simulated-annealing"
+    }
+
+    fn solve(&self, model: &QuboModel) -> Result<SolveReport, QuboError> {
+        let start = Instant::now();
+        let n = model.num_variables();
+        if n == 0 {
+            return Err(QuboError::InvalidConfig { reason: "model has no variables".into() });
+        }
+        if self.sweeps == 0 || self.initial_temperature <= 0.0 || self.final_temperature <= 0.0 {
+            return Err(QuboError::InvalidConfig {
+                reason: "sweeps and temperatures must be positive".into(),
+            });
+        }
+        // Scale temperatures by the typical coefficient magnitude so defaults
+        // work for instances of any scale.
+        let scale = model
+            .linear()
+            .iter()
+            .map(|v| v.abs())
+            .chain(model.quadratic_terms().map(|(_, _, w)| w.abs()))
+            .fold(0.0f64, f64::max)
+            .max(1e-9);
+        let t_start = self.initial_temperature * scale;
+        let t_end = self.final_temperature * scale;
+        let cooling = (t_end / t_start).powf(1.0 / self.sweeps.max(1) as f64);
+
+        let deadline = self.options.time_limit.map(|limit| start + limit);
+        let mut rng = ChaCha8Rng::seed_from_u64(self.options.seed);
+        let mut best: Vec<bool> = vec![false; n];
+        let mut best_e = model.evaluate(&best)?;
+        let mut total_sweeps = 0u64;
+        'restarts: for _ in 0..self.restarts.max(1) {
+            let mut x: Vec<bool> = (0..n).map(|_| rng.gen()).collect();
+            let mut e = model.evaluate(&x)?;
+            let mut temperature = t_start;
+            for _ in 0..self.sweeps {
+                for _ in 0..n {
+                    let i = rng.gen_range(0..n);
+                    let delta = model.flip_delta(&x, i);
+                    if delta <= 0.0 || rng.gen::<f64>() < (-delta / temperature).exp() {
+                        x[i] = !x[i];
+                        e += delta;
+                        if e < best_e {
+                            best_e = e;
+                            best.copy_from_slice(&x);
+                        }
+                    }
+                }
+                temperature *= cooling;
+                total_sweeps += 1;
+                if let Some(d) = deadline {
+                    if Instant::now() >= d {
+                        break 'restarts;
+                    }
+                }
+            }
+        }
+        Ok(SolveReport {
+            solution: best,
+            objective: best_e,
+            status: SolveStatus::Heuristic,
+            elapsed: start.elapsed(),
+            iterations: total_sweeps,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ExhaustiveSearch;
+    use qhdcd_qubo::generate::{random_qubo, RandomQuboConfig};
+    use qhdcd_qubo::QuboBuilder;
+    use std::time::Duration;
+
+    #[test]
+    fn reaches_the_optimum_on_small_instances() {
+        for seed in 0..3u64 {
+            let model = random_qubo(&RandomQuboConfig {
+                num_variables: 12,
+                density: 0.4,
+                coefficient_range: 1.0,
+                seed,
+            })
+            .unwrap();
+            let sa = SimulatedAnnealing::default().with_seed(seed).solve(&model).unwrap();
+            let exact = ExhaustiveSearch::default().solve(&model).unwrap();
+            assert!(
+                (sa.objective - exact.objective).abs() < 1e-9,
+                "seed={seed}: sa={} exact={}",
+                sa.objective,
+                exact.objective
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_degenerate_configurations() {
+        let model = QuboBuilder::new(2).build();
+        assert!(SimulatedAnnealing::default().with_sweeps(0).solve(&model).is_err());
+        let bad = SimulatedAnnealing { initial_temperature: -1.0, ..SimulatedAnnealing::default() };
+        assert!(bad.solve(&model).is_err());
+        assert!(SimulatedAnnealing::default().solve(&QuboBuilder::new(0).build()).is_err());
+    }
+
+    #[test]
+    fn objective_matches_solution_and_status_is_heuristic() {
+        let model = random_qubo(&RandomQuboConfig {
+            num_variables: 50,
+            density: 0.1,
+            coefficient_range: 1.0,
+            seed: 5,
+        })
+        .unwrap();
+        let report = SimulatedAnnealing::default().solve(&model).unwrap();
+        assert_eq!(report.status, SolveStatus::Heuristic);
+        assert!((model.evaluate(&report.solution).unwrap() - report.objective).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_limit_is_honoured() {
+        let model = random_qubo(&RandomQuboConfig {
+            num_variables: 300,
+            density: 0.05,
+            coefficient_range: 1.0,
+            seed: 2,
+        })
+        .unwrap();
+        let solver = SimulatedAnnealing {
+            options: SolverOptions::with_time_limit(Duration::from_millis(30)),
+            restarts: 100,
+            sweeps: 100_000,
+            ..SimulatedAnnealing::default()
+        };
+        let report = solver.solve(&model).unwrap();
+        // Generous bound: the solve should terminate well before the unconstrained
+        // budget (100 restarts × 100k sweeps) would take.
+        assert!(report.elapsed < Duration::from_secs(5));
+    }
+
+    #[test]
+    fn deterministic_for_a_fixed_seed() {
+        let model = random_qubo(&RandomQuboConfig {
+            num_variables: 30,
+            density: 0.2,
+            coefficient_range: 1.0,
+            seed: 8,
+        })
+        .unwrap();
+        let a = SimulatedAnnealing::default().with_seed(4).solve(&model).unwrap();
+        let b = SimulatedAnnealing::default().with_seed(4).solve(&model).unwrap();
+        assert_eq!(a.objective, b.objective);
+        assert_eq!(a.solution, b.solution);
+    }
+}

@@ -1,0 +1,207 @@
+//! Single-flip tabu search for QUBO.
+
+use crate::local_search;
+use qhdcd_qubo::{QuboError, QuboModel, QuboSolver, SolveReport, SolveStatus, SolverOptions};
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+use std::time::Instant;
+
+/// Tabu-search QUBO solver: at every iteration the best non-tabu single flip is
+/// applied (even if it worsens the energy), recently flipped variables are tabu
+/// for `tenure` iterations, and an aspiration criterion overrides the tabu
+/// status when a flip would improve on the best solution found so far.
+///
+/// # Example
+///
+/// ```
+/// use qhdcd_qubo::{QuboBuilder, QuboSolver};
+/// use qhdcd_solvers::TabuSearch;
+///
+/// # fn main() -> Result<(), qhdcd_qubo::QuboError> {
+/// let mut b = QuboBuilder::new(3);
+/// b.add_linear(0, -2.0)?;
+/// b.add_quadratic(1, 2, 1.0)?;
+/// let report = TabuSearch::default().solve(&b.build())?;
+/// assert_eq!(report.objective, -2.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct TabuSearch {
+    /// Time limit and RNG seed.
+    pub options: SolverOptions,
+    /// Number of tabu iterations (single flips).
+    pub iterations: usize,
+    /// Tabu tenure; `None` uses `max(10, n/10)`.
+    pub tenure: Option<usize>,
+}
+
+impl Default for TabuSearch {
+    fn default() -> Self {
+        TabuSearch { options: SolverOptions::default(), iterations: 2_000, tenure: None }
+    }
+}
+
+impl TabuSearch {
+    /// Creates a solver with the default parameters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns a copy with a different iteration budget.
+    pub fn with_iterations(mut self, iterations: usize) -> Self {
+        self.iterations = iterations;
+        self
+    }
+
+    /// Returns a copy with a different RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.options.seed = seed;
+        self
+    }
+}
+
+impl QuboSolver for TabuSearch {
+    fn name(&self) -> &str {
+        "tabu-search"
+    }
+
+    fn solve(&self, model: &QuboModel) -> Result<SolveReport, QuboError> {
+        let start = Instant::now();
+        let n = model.num_variables();
+        if n == 0 {
+            return Err(QuboError::InvalidConfig { reason: "model has no variables".into() });
+        }
+        if self.iterations == 0 {
+            return Err(QuboError::InvalidConfig { reason: "iterations must be positive".into() });
+        }
+        let tenure = self.tenure.unwrap_or_else(|| (n / 10).max(10)).min(n.saturating_sub(1)).max(1);
+        let deadline = self.options.time_limit.map(|limit| start + limit);
+
+        let mut rng = ChaCha8Rng::seed_from_u64(self.options.seed);
+        // Start from a greedily improved random assignment.
+        let random_start: Vec<bool> = (0..n).map(|_| rng.gen()).collect();
+        let (mut x, mut e) = local_search::descend(model, random_start, 50);
+        let mut best = x.clone();
+        let mut best_e = e;
+        // tabu_until[i] = first iteration at which flipping i is allowed again.
+        let mut tabu_until = vec![0usize; n];
+        let mut performed = 0u64;
+        for iter in 0..self.iterations {
+            let mut chosen: Option<(usize, f64)> = None;
+            for i in 0..n {
+                let delta = model.flip_delta(&x, i);
+                let aspires = e + delta < best_e - 1e-12;
+                if tabu_until[i] > iter && !aspires {
+                    continue;
+                }
+                if chosen.map_or(true, |(_, d)| delta < d) {
+                    chosen = Some((i, delta));
+                }
+            }
+            let Some((i, delta)) = chosen else { break };
+            x[i] = !x[i];
+            e += delta;
+            tabu_until[i] = iter + 1 + tenure;
+            performed += 1;
+            if e < best_e - 1e-12 {
+                best_e = e;
+                best.copy_from_slice(&x);
+            }
+            if iter % 256 == 0 {
+                if let Some(d) = deadline {
+                    if Instant::now() >= d {
+                        break;
+                    }
+                }
+            }
+        }
+        Ok(SolveReport {
+            solution: best,
+            objective: best_e,
+            status: SolveStatus::Heuristic,
+            elapsed: start.elapsed(),
+            iterations: performed,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ExhaustiveSearch;
+    use qhdcd_qubo::generate::{random_qubo, RandomQuboConfig};
+    use qhdcd_qubo::QuboBuilder;
+
+    #[test]
+    fn reaches_the_optimum_on_small_instances() {
+        for seed in 0..3u64 {
+            let model = random_qubo(&RandomQuboConfig {
+                num_variables: 12,
+                density: 0.5,
+                coefficient_range: 1.0,
+                seed,
+            })
+            .unwrap();
+            let tabu = TabuSearch::default().with_seed(seed).solve(&model).unwrap();
+            let exact = ExhaustiveSearch::default().solve(&model).unwrap();
+            assert!(
+                (tabu.objective - exact.objective).abs() < 1e-9,
+                "seed={seed}: tabu={} exact={}",
+                tabu.objective,
+                exact.objective
+            );
+        }
+    }
+
+    #[test]
+    fn escapes_single_flip_local_minima() {
+        // A frustrated pair: from (0,0) every single flip worsens the energy, but
+        // (1,1) is the global optimum. Plain greedy descent from (0,0) is stuck;
+        // tabu search must escape because it always takes the best allowed move.
+        let mut b = QuboBuilder::new(2);
+        b.add_linear(0, 0.4).unwrap();
+        b.add_linear(1, 0.4).unwrap();
+        b.add_quadratic(0, 1, -1.5).unwrap();
+        let model = b.build();
+        let report = TabuSearch::default().solve(&model).unwrap();
+        assert!((report.objective - (-0.7)).abs() < 1e-9);
+        assert_eq!(report.solution, vec![true, true]);
+    }
+
+    #[test]
+    fn rejects_degenerate_configurations() {
+        let model = QuboBuilder::new(2).build();
+        assert!(TabuSearch::default().with_iterations(0).solve(&model).is_err());
+        assert!(TabuSearch::default().solve(&QuboBuilder::new(0).build()).is_err());
+    }
+
+    #[test]
+    fn objective_matches_solution() {
+        let model = random_qubo(&RandomQuboConfig {
+            num_variables: 60,
+            density: 0.1,
+            coefficient_range: 1.0,
+            seed: 33,
+        })
+        .unwrap();
+        let report = TabuSearch::default().solve(&model).unwrap();
+        assert!((model.evaluate(&report.solution).unwrap() - report.objective).abs() < 1e-12);
+        assert_eq!(report.status, SolveStatus::Heuristic);
+        assert!(report.iterations > 0);
+    }
+
+    #[test]
+    fn deterministic_for_a_fixed_seed() {
+        let model = random_qubo(&RandomQuboConfig {
+            num_variables: 25,
+            density: 0.3,
+            coefficient_range: 1.0,
+            seed: 12,
+        })
+        .unwrap();
+        let a = TabuSearch::default().with_seed(7).solve(&model).unwrap();
+        let b = TabuSearch::default().with_seed(7).solve(&model).unwrap();
+        assert_eq!(a.objective, b.objective);
+    }
+}

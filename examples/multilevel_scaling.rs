@@ -1,0 +1,57 @@
+//! Multilevel scaling demonstration: how the coarsening threshold `θ` trades
+//! base-solve effort against refinement effort as graphs grow.
+//!
+//! For a sequence of planted-partition graphs of increasing size, the example
+//! runs the QHD multilevel pipeline with several coarsening thresholds and
+//! reports modularity, hierarchy depth and wall-clock time — the behaviour
+//! behind Algorithm 2's scalability claim.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example multilevel_scaling
+//! ```
+
+use qhdcd::core::multilevel::{detect, MultilevelConfig};
+use qhdcd::core::coarsen::CoarsenConfig;
+use qhdcd::graph::generators::{self, PlantedPartitionConfig};
+use qhdcd::prelude::*;
+
+fn main() -> Result<(), CdError> {
+    let sizes = [200usize, 500, 1_000, 2_000];
+    let thresholds = [50usize, 100, 200];
+
+    println!(
+        "{:>7} {:>10} {:>7} {:>12} {:>8} {:>10}",
+        "nodes", "threshold", "levels", "coarsest", "Q", "time[s]"
+    );
+    for (i, &n) in sizes.iter().enumerate() {
+        let pg = generators::planted_partition(&PlantedPartitionConfig {
+            num_nodes: n,
+            num_communities: (n / 60).max(4),
+            p_in: (12.0 / n as f64).min(0.5) * 4.0,
+            p_out: 2.0 / n as f64,
+            seed: 7 + i as u64,
+        })
+        .map_err(CdError::Graph)?;
+        for &theta in &thresholds {
+            let config = MultilevelConfig {
+                num_communities: (n / 60).max(4),
+                coarsen: CoarsenConfig { threshold: theta, ..CoarsenConfig::default() },
+                ..MultilevelConfig::default()
+            };
+            let solver = QhdSolver::builder().samples(4).steps(100).seed(i as u64).build();
+            let out = detect(&pg.graph, &solver, &config)?;
+            println!(
+                "{:>7} {:>10} {:>7} {:>12} {:>8.4} {:>10.2}",
+                n,
+                theta,
+                out.levels,
+                out.coarsest_nodes,
+                out.modularity,
+                out.elapsed.as_secs_f64()
+            );
+        }
+    }
+    Ok(())
+}

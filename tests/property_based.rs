@@ -1,0 +1,184 @@
+//! Cross-crate property-based tests (proptest) on the core invariants of the
+//! graph, QUBO and formulation layers.
+
+use proptest::prelude::*;
+use qhdcd::core::formulation::{build_qubo, FormulationConfig};
+use qhdcd::graph::{metrics, modularity, GraphBuilder, Partition};
+use qhdcd::qubo::{ising, QuboBuilder};
+
+/// Strategy: a random small undirected graph as (num_nodes, edge list).
+fn arbitrary_graph() -> impl Strategy<Value = (usize, Vec<(usize, usize)>)> {
+    (3usize..12).prop_flat_map(|n| {
+        let edges = proptest::collection::vec((0..n, 0..n), 0..(n * 2));
+        (Just(n), edges)
+    })
+}
+
+/// Strategy: a random small QUBO as (n, linear terms, quadratic terms).
+fn arbitrary_qubo() -> impl Strategy<Value = (usize, Vec<f64>, Vec<(usize, usize, f64)>)> {
+    (2usize..10).prop_flat_map(|n| {
+        let linear = proptest::collection::vec(-3.0f64..3.0, n);
+        let quadratic = proptest::collection::vec((0..n, 0..n, -3.0f64..3.0), 0..(n * 2));
+        (Just(n), linear, quadratic)
+    })
+}
+
+fn build_graph(n: usize, edges: &[(usize, usize)]) -> qhdcd::graph::Graph {
+    let mut b = GraphBuilder::new(n);
+    for &(u, v) in edges {
+        b.add_edge(u, v, 1.0).expect("indices are within bounds by construction");
+    }
+    b.build()
+}
+
+fn build_model(
+    n: usize,
+    linear: &[f64],
+    quadratic: &[(usize, usize, f64)],
+) -> qhdcd::qubo::QuboModel {
+    let mut b = QuboBuilder::new(n);
+    for (i, &w) in linear.iter().enumerate() {
+        b.add_linear(i, w).expect("in bounds");
+    }
+    for &(i, j, w) in quadratic {
+        b.add_quadratic(i, j, w).expect("in bounds");
+    }
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Modularity is always in [-1, 1] and the sparse and dense computations agree.
+    #[test]
+    fn modularity_bounds_and_agreement(
+        (n, edges) in arbitrary_graph(),
+        labels in proptest::collection::vec(0usize..4, 3..12),
+    ) {
+        let graph = build_graph(n, &edges);
+        let labels: Vec<usize> = (0..n).map(|i| labels[i % labels.len()]).collect();
+        let partition = Partition::from_labels(labels).expect("non-empty");
+        let q = modularity::modularity(&graph, &partition);
+        let q_dense = modularity::modularity_dense(&graph, &partition);
+        prop_assert!((-1.0..=1.0).contains(&q), "q={q}");
+        prop_assert!((q - q_dense).abs() < 1e-9, "sparse={q} dense={q_dense}");
+    }
+
+    /// The handshake lemma holds for every built graph.
+    #[test]
+    fn degrees_sum_to_twice_edge_weight((n, edges) in arbitrary_graph()) {
+        let graph = build_graph(n, &edges);
+        let degree_sum: f64 = graph.degrees().iter().sum();
+        prop_assert!((degree_sum - 2.0 * graph.total_edge_weight()).abs() < 1e-9);
+    }
+
+    /// Aggregating by a partition preserves total edge weight, and the induced
+    /// partition's modularity is invariant under aggregation.
+    #[test]
+    fn aggregation_preserves_weight_and_modularity(
+        (n, edges) in arbitrary_graph(),
+        labels in proptest::collection::vec(0usize..3, 3..12),
+    ) {
+        let graph = build_graph(n, &edges);
+        let labels: Vec<usize> = (0..n).map(|i| labels[i % labels.len()]).collect();
+        let partition = Partition::from_labels(labels).expect("non-empty");
+        let agg = qhdcd::graph::quotient::aggregate(&graph, &partition).expect("sizes match");
+        prop_assert!((agg.graph.total_edge_weight() - graph.total_edge_weight()).abs() < 1e-9);
+        let q_fine = modularity::modularity(&graph, &partition);
+        let q_coarse = modularity::modularity(
+            &agg.graph,
+            &Partition::singletons(agg.graph.num_nodes()),
+        );
+        prop_assert!((q_fine - q_coarse).abs() < 1e-9);
+    }
+
+    /// NMI and ARI are symmetric, bounded and maximal for identical partitions.
+    #[test]
+    fn nmi_ari_properties(labels_a in proptest::collection::vec(0usize..4, 4..20)) {
+        let a = Partition::from_labels(labels_a.clone()).expect("non-empty");
+        let shifted: Vec<usize> = labels_a.iter().map(|&l| l + 10).collect();
+        let b = Partition::from_labels(shifted).expect("non-empty");
+        prop_assert!((metrics::normalized_mutual_information(&a, &b) - 1.0).abs() < 1e-9);
+        prop_assert!((metrics::adjusted_rand_index(&a, &b) - 1.0).abs() < 1e-9);
+        let reversed = Partition::from_labels(labels_a.iter().rev().copied().collect()).expect("non-empty");
+        let nmi_ab = metrics::normalized_mutual_information(&a, &reversed);
+        let nmi_ba = metrics::normalized_mutual_information(&reversed, &a);
+        prop_assert!((nmi_ab - nmi_ba).abs() < 1e-9);
+        prop_assert!((0.0..=1.0).contains(&nmi_ab));
+    }
+
+    /// Single-flip deltas always match a full re-evaluation.
+    #[test]
+    fn flip_delta_matches_reevaluation(
+        (n, linear, quadratic) in arbitrary_qubo(),
+        bits in proptest::collection::vec(any::<bool>(), 2..10),
+        flip_index in 0usize..10,
+    ) {
+        let model = build_model(n, &linear, &quadratic);
+        let x: Vec<bool> = (0..n).map(|i| bits[i % bits.len()]).collect();
+        let i = flip_index % n;
+        let before = model.evaluate(&x).expect("length matches");
+        let mut y = x.clone();
+        y[i] = !y[i];
+        let after = model.evaluate(&y).expect("length matches");
+        prop_assert!((after - before - model.flip_delta(&x, i)).abs() < 1e-9);
+    }
+
+    /// QUBO → Ising conversion preserves energies on every assignment.
+    #[test]
+    fn ising_conversion_preserves_energy((n, linear, quadratic) in arbitrary_qubo()) {
+        let model = build_model(n, &linear, &quadratic);
+        let ising = ising::to_ising(&model);
+        for bits in 0..(1u32 << n.min(8)) {
+            let x: Vec<bool> = (0..n).map(|i| bits >> i & 1 == 1).collect();
+            let eq = model.evaluate(&x).expect("length matches");
+            let ei = ising.evaluate(&x).expect("length matches");
+            prop_assert!((eq - ei).abs() < 1e-6, "qubo={eq} ising={ei}");
+        }
+    }
+
+    /// Encoding a valid partition into the CD QUBO and decoding it back is the
+    /// identity (up to renumbering), and its energy tracks −modularity.
+    #[test]
+    fn formulation_round_trip(
+        (n, edges) in arbitrary_graph(),
+        labels in proptest::collection::vec(0usize..3, 3..12),
+    ) {
+        let graph = build_graph(n, &edges);
+        let labels: Vec<usize> = (0..n).map(|i| labels[i % labels.len()]).collect();
+        let partition = Partition::from_labels(labels).expect("non-empty").renumbered();
+        let k = partition.num_communities().max(2);
+        let config = FormulationConfig { balance_weight: 0.0, ..FormulationConfig::with_communities(k) };
+        let qubo = build_qubo(&graph, &config).expect("valid config");
+        let encoded = qubo.encode(&partition).expect("matching sizes");
+        let decoded = qubo.decode(&graph, &encoded).expect("matching model");
+        prop_assert_eq!(decoded, partition.clone());
+        // Energy is an affine function of modularity for valid assignments:
+        // E = −2m·Q + C. Verify by comparing against the all-in-one partition.
+        let two_m = 2.0 * graph.total_edge_weight();
+        if two_m > 0.0 {
+            let all_one = Partition::all_in_one(n);
+            let e_all = qubo.model().evaluate(&qubo.encode(&all_one).expect("sizes match")).expect("len");
+            let q_all = modularity::modularity(&graph, &all_one);
+            let e_p = qubo.model().evaluate(&encoded).expect("len");
+            let q_p = modularity::modularity(&graph, &partition);
+            let lhs = e_p - e_all;
+            let rhs = -two_m * (q_p - q_all);
+            prop_assert!((lhs - rhs).abs() < 1e-6, "lhs={lhs} rhs={rhs}");
+        }
+    }
+
+    /// The greedy refinement in the QHD crate never increases the energy.
+    #[test]
+    fn greedy_descent_never_increases_energy(
+        (n, linear, quadratic) in arbitrary_qubo(),
+        bits in proptest::collection::vec(any::<bool>(), 2..10),
+    ) {
+        let model = build_model(n, &linear, &quadratic);
+        let x: Vec<bool> = (0..n).map(|i| bits[i % bits.len()]).collect();
+        let before = model.evaluate(&x).expect("length matches");
+        let (improved, energy) = qhdcd::qhd::refine::greedy_descent(&model, x, 50);
+        prop_assert!(energy <= before + 1e-9);
+        prop_assert!((model.evaluate(&improved).expect("length matches") - energy).abs() < 1e-9);
+    }
+}
