@@ -29,12 +29,18 @@ fn bench_large_networks(c: &mut Criterion) {
             let solver = QhdSolver::builder().samples(2).steps(80).seed(5).build();
             b.iter(|| detect(g, &solver, &config).expect("pipeline succeeds"))
         });
-        group.bench_with_input(BenchmarkId::new("annealing_multilevel", name), &pg.graph, |b, g| {
-            let solver = SimulatedAnnealing::default().with_sweeps(100);
-            b.iter(|| detect(g, &solver, &config).expect("pipeline succeeds"))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("annealing_multilevel", name),
+            &pg.graph,
+            |b, g| {
+                let solver = SimulatedAnnealing::default().with_sweeps(100);
+                b.iter(|| detect(g, &solver, &config).expect("pipeline succeeds"))
+            },
+        );
         group.bench_with_input(BenchmarkId::new("louvain", name), &pg.graph, |b, g| {
-            b.iter(|| louvain::detect(g, &louvain::LouvainConfig::default()).expect("louvain succeeds"))
+            b.iter(|| {
+                louvain::detect(g, &louvain::LouvainConfig::default()).expect("louvain succeeds")
+            })
         });
     }
     group.finish();

@@ -30,7 +30,9 @@ fn bench_penalty_ablation(c: &mut Criterion) {
             ..DirectConfig::default()
         };
         let quality = detect(&pg.graph, &solver, &config).expect("pipeline succeeds").modularity;
-        eprintln!("penalty_ablation: lambda_A x{assignment}, balance {balance} -> Q = {quality:.4}");
+        eprintln!(
+            "penalty_ablation: lambda_A x{assignment}, balance {balance} -> Q = {quality:.4}"
+        );
         let label = format!("a{assignment}_s{balance}");
         group.bench_with_input(BenchmarkId::new("qhd_direct", label), &config, |b, cfg| {
             b.iter(|| detect(&pg.graph, &solver, cfg).expect("pipeline succeeds"))

@@ -46,7 +46,8 @@ fn bench_qhd_schedule(c: &mut Criterion) {
         });
     }
     for &total_time in &[5.0f64, 10.0, 20.0] {
-        let solver = QhdSolver::builder().samples(2).steps(80).total_time(total_time).seed(1).build();
+        let solver =
+            QhdSolver::builder().samples(2).steps(80).total_time(total_time).seed(1).build();
         let label = format!("{total_time}");
         group.bench_with_input(BenchmarkId::new("total_time", label), &solver, |b, s| {
             b.iter(|| s.solve(&model).expect("solve succeeds"))

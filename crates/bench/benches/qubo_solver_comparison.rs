@@ -10,7 +10,7 @@ use qhdcd_solvers::{BranchAndBound, SimulatedAnnealing, TabuSearch};
 use std::time::Duration;
 
 fn instance(nodes: usize, seed: u64) -> QuboModel {
-    let k = communities_for(nodes * 12).min(4).max(2);
+    let k = communities_for(nodes * 12).clamp(2, 4);
     let pg = generators::planted_partition(&PlantedPartitionConfig {
         num_nodes: nodes,
         num_communities: k,

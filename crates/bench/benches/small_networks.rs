@@ -14,7 +14,8 @@ fn bench_small_networks(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_millis(300));
     group.measurement_time(std::time::Duration::from_secs(1));
     // The three smallest Table I rows keep the bench fast; exp_table1 runs all ten.
-    for &(id, nodes, edges) in &[("3980", 52usize, 146usize), ("698", 61, 270), ("414", 150, 1_693)] {
+    for &(id, nodes, edges) in &[("3980", 52usize, 146usize), ("698", 61, 270), ("414", 150, 1_693)]
+    {
         let pg = matched_graph(nodes, edges, 77).expect("valid row");
         let config = DirectConfig::with_communities(communities_for(nodes));
         group.bench_with_input(BenchmarkId::new("qhd_direct", id), &pg.graph, |b, g| {

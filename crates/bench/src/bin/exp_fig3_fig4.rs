@@ -33,9 +33,8 @@ struct InstanceOutcome {
 fn main() {
     let full = std::env::args().any(|a| a == "--full");
     let default_instances = if full { 120 } else { 40 };
-    let instances: usize = arg_value("--instances")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default_instances);
+    let instances: usize =
+        arg_value("--instances").and_then(|v| v.parse().ok()).unwrap_or(default_instances);
     // Size strata follow the paper's reported statistics: the "small" stratum
     // (tens of variables) where the exact solver usually proves optimality, and
     // the "large" stratum (hundreds of variables) where it usually times out.
@@ -55,7 +54,7 @@ fn main() {
         let range = if small { small_nodes.clone() } else { large_nodes.clone() };
         let span = range.end() - range.start() + 1;
         let nodes = range.start() + (id * 7919) % span;
-        let k = if small { 3 } else { communities_for(nodes * 12).min(4).max(2) };
+        let k = if small { 3 } else { communities_for(nodes * 12).clamp(2, 4) };
         let pg = generators::planted_partition(&PlantedPartitionConfig {
             num_nodes: nodes,
             num_communities: k,
@@ -109,7 +108,10 @@ fn summarize(outcomes: &[InstanceOutcome]) {
     } else {
         let matched = optimal
             .iter()
-            .filter(|o| (o.qhd_objective - o.exact_objective).abs() <= tol * o.exact_objective.abs().max(1.0))
+            .filter(|o| {
+                (o.qhd_objective - o.exact_objective).abs()
+                    <= tol * o.exact_objective.abs().max(1.0)
+            })
             .count();
         let max_gap = optimal
             .iter()
@@ -138,11 +140,16 @@ fn summarize(outcomes: &[InstanceOutcome]) {
     } else {
         let qhd_better = timed_out
             .iter()
-            .filter(|o| o.qhd_objective < o.exact_objective - tol * o.exact_objective.abs().max(1.0))
+            .filter(|o| {
+                o.qhd_objective < o.exact_objective - tol * o.exact_objective.abs().max(1.0)
+            })
             .count();
         let equal = timed_out
             .iter()
-            .filter(|o| (o.qhd_objective - o.exact_objective).abs() <= tol * o.exact_objective.abs().max(1.0))
+            .filter(|o| {
+                (o.qhd_objective - o.exact_objective).abs()
+                    <= tol * o.exact_objective.abs().max(1.0)
+            })
             .count();
         let exact_better = timed_out.len() - qhd_better - equal;
         let mean_vars =

@@ -27,7 +27,15 @@ fn main() {
     println!("# EXP-T1 / EXP-F5: Table I small/medium networks, QHD vs exact solver");
     println!(
         "{:>6} {:>6} {:>8} {:>9} {:>10} {:>10} {:>10} {:>10} {:>9}",
-        "inst", "nodes", "edges", "density%", "exact Q", "qhd Q", "paper ex", "paper qhd", "t(q)/t(e)"
+        "inst",
+        "nodes",
+        "edges",
+        "density%",
+        "exact Q",
+        "qhd Q",
+        "paper ex",
+        "paper qhd",
+        "t(q)/t(e)"
     );
 
     let mut qhd_wins = 0usize;

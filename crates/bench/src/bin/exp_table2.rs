@@ -31,7 +31,14 @@ fn main() {
     println!("# EXP-T2 / EXP-F6: Table II large networks (synthetic, matched size/density), scale 1/{scale}");
     println!(
         "{:>16} {:>7} {:>8} {:>9} {:>17} {:>17} {:>9} {:>9}",
-        "network", "nodes", "edges", "density%", "exact Q (±std)", "qhd Q (±std)", "paper ex", "paper qhd"
+        "network",
+        "nodes",
+        "edges",
+        "density%",
+        "exact Q (±std)",
+        "qhd Q (±std)",
+        "paper ex",
+        "paper qhd"
     );
 
     let mut fig6 = Vec::new();
@@ -59,10 +66,10 @@ fn main() {
             let qhd = detect(&pg.graph, &qhd_solver, &config).expect("qhd multilevel succeeds");
             qhd_scores.push(qhd.modularity);
 
-            let exact_solver = BranchAndBound::with_time_limit(
-                qhd.solver_time.max(Duration::from_millis(200)),
-            );
-            let exact = detect(&pg.graph, &exact_solver, &config).expect("exact multilevel succeeds");
+            let exact_solver =
+                BranchAndBound::with_time_limit(qhd.solver_time.max(Duration::from_millis(200)));
+            let exact =
+                detect(&pg.graph, &exact_solver, &config).expect("exact multilevel succeeds");
             exact_scores.push(exact.modularity);
         }
         let (qhd_mean, qhd_std) = mean_std(&qhd_scores);
@@ -80,7 +87,11 @@ fn main() {
             row.paper_gurobi,
             row.paper_qhd
         );
-        fig6.push((row.name, density, 100.0 * (qhd_mean - exact_mean) / exact_mean.abs().max(1e-9)));
+        fig6.push((
+            row.name,
+            density,
+            100.0 * (qhd_mean - exact_mean) / exact_mean.abs().max(1e-9),
+        ));
     }
 
     println!();

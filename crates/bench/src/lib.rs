@@ -59,10 +59,34 @@ pub struct Table2Row {
 
 /// The four networks of the paper's Table II.
 pub const TABLE2_ROWS: &[Table2Row] = &[
-    Table2Row { name: "facebook", nodes: 4_039, edges: 88_234, paper_gurobi: 0.7121, paper_qhd: 0.7512 },
-    Table2Row { name: "lastfm_asia", nodes: 7_626, edges: 27_807, paper_gurobi: 0.7455, paper_qhd: 0.7172 },
-    Table2Row { name: "musae_chameleon", nodes: 2_279, edges: 31_372, paper_gurobi: 0.6567, paper_qhd: 0.6554 },
-    Table2Row { name: "tvshow", nodes: 3_894, edges: 17_240, paper_gurobi: 0.8196, paper_qhd: 0.8223 },
+    Table2Row {
+        name: "facebook",
+        nodes: 4_039,
+        edges: 88_234,
+        paper_gurobi: 0.7121,
+        paper_qhd: 0.7512,
+    },
+    Table2Row {
+        name: "lastfm_asia",
+        nodes: 7_626,
+        edges: 27_807,
+        paper_gurobi: 0.7455,
+        paper_qhd: 0.7172,
+    },
+    Table2Row {
+        name: "musae_chameleon",
+        nodes: 2_279,
+        edges: 31_372,
+        paper_gurobi: 0.6567,
+        paper_qhd: 0.6554,
+    },
+    Table2Row {
+        name: "tvshow",
+        nodes: 3_894,
+        edges: 17_240,
+        paper_gurobi: 0.8196,
+        paper_qhd: 0.8223,
+    },
 ];
 
 /// Number of communities used when synthesising an instance of a given size:

@@ -1,0 +1,271 @@
+//! Workspace-local stand-in for `criterion`.
+//!
+//! Implements the subset of the criterion 0.5 API the benchmark suite uses —
+//! `Criterion`, `benchmark_group`, `bench_with_input` / `bench_function`,
+//! `BenchmarkId`, `Bencher::iter`, `black_box` and the `criterion_group!` /
+//! `criterion_main!` macros — as a small, honest wall-clock harness: each
+//! benchmark is warmed up for `warm_up_time`, then timed iteration by
+//! iteration until `measurement_time` elapses (at least `sample_size`
+//! samples), and min / mean / median per-iteration times are printed.
+//!
+//! Environment knobs:
+//! * `QHDCD_BENCH_FAST=1` — shrink warm-up and measurement windows ~10× (CI).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// An opaque value barrier preventing the optimiser from deleting benchmarked
+/// work. Forwards to `std::hint::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier of one benchmark within a group: a function name plus a
+/// parameter rendered with `Display` (e.g. an instance size).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id `"{name}/{parameter}"`.
+    pub fn new<N: std::fmt::Display, P: std::fmt::Display>(name: N, parameter: P) -> Self {
+        BenchmarkId { id: format!("{name}/{parameter}") }
+    }
+
+    /// Creates an id from the parameter alone.
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Summary statistics of one benchmark run (per-iteration wall-clock times).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of timed iterations.
+    pub samples: usize,
+    /// Fastest iteration.
+    pub min: Duration,
+    /// Arithmetic mean iteration time.
+    pub mean: Duration,
+    /// Median iteration time.
+    pub median: Duration,
+}
+
+/// Measures a closure under the given timing budget and returns the summary.
+/// Used by [`Bencher::iter`] and exposed for custom harness code.
+pub fn measure<O, F: FnMut() -> O>(
+    mut f: F,
+    warm_up: Duration,
+    measurement: Duration,
+    min_samples: usize,
+) -> Summary {
+    let warm_end = Instant::now() + warm_up;
+    while Instant::now() < warm_end {
+        black_box(f());
+    }
+    let mut times: Vec<Duration> = Vec::with_capacity(min_samples.max(16));
+    let measure_start = Instant::now();
+    loop {
+        let t0 = Instant::now();
+        black_box(f());
+        times.push(t0.elapsed());
+        if times.len() >= min_samples && measure_start.elapsed() >= measurement {
+            break;
+        }
+        // Hard cap so accidental micro-benchmarks cannot spin forever.
+        if times.len() >= 1_000_000 {
+            break;
+        }
+    }
+    times.sort_unstable();
+    let total: Duration = times.iter().sum();
+    Summary {
+        samples: times.len(),
+        min: times[0],
+        mean: total / times.len() as u32,
+        median: times[times.len() / 2],
+    }
+}
+
+fn fast_mode() -> bool {
+    std::env::var("QHDCD_BENCH_FAST").map(|v| v == "1").unwrap_or(false)
+}
+
+/// Per-iteration timing driver handed to benchmark closures.
+pub struct Bencher<'a> {
+    config: &'a GroupConfig,
+    result: Option<Summary>,
+}
+
+impl Bencher<'_> {
+    /// Times `f` (warm-up + measurement) and records the summary.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, f: F) {
+        let (mut warm, mut meas) = (self.config.warm_up_time, self.config.measurement_time);
+        if fast_mode() {
+            warm /= 10;
+            meas /= 10;
+        }
+        self.result = Some(measure(f, warm, meas, self.config.sample_size.max(1)));
+    }
+}
+
+#[derive(Debug, Clone)]
+struct GroupConfig {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for GroupConfig {
+    fn default() -> Self {
+        GroupConfig {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing timing settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    config: GroupConfig,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the minimum number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.config.sample_size = n;
+        self
+    }
+
+    /// Sets the warm-up duration per benchmark.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.config.warm_up_time = d;
+        self
+    }
+
+    /// Sets the measurement window per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.config.measurement_time = d;
+        self
+    }
+
+    fn run<F: FnMut(&mut Bencher<'_>)>(&mut self, id: String, mut f: F) {
+        let mut bencher = Bencher { config: &self.config, result: None };
+        f(&mut bencher);
+        match bencher.result {
+            Some(s) => println!(
+                "{group}/{id}  min {min:?}  mean {mean:?}  median {median:?}  ({n} samples)",
+                group = self.name,
+                min = s.min,
+                mean = s.mean,
+                median = s.median,
+                n = s.samples,
+            ),
+            None => println!("{group}/{id}  (no measurement recorded)", group = self.name),
+        }
+    }
+
+    /// Benchmarks `f` against a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        self.run(id.to_string(), |b| f(b, input));
+    }
+
+    /// Benchmarks a closure with no external input.
+    pub fn bench_function<N: std::fmt::Display, F>(&mut self, id: N, f: F)
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        self.run(id.to_string(), f);
+    }
+
+    /// Ends the group (printing happens eagerly; this is for API parity).
+    pub fn finish(self) {}
+}
+
+/// The top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a benchmark group with default timing settings.
+    pub fn benchmark_group<N: Into<String>>(&mut self, name: N) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), config: GroupConfig::default(), _criterion: self }
+    }
+}
+
+/// Declares a benchmark entry point: `criterion_group!(name, fn1, fn2, …)`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` from one or more `criterion_group!` names.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_returns_sane_statistics() {
+        let s = measure(
+            || std::hint::black_box((0..100).sum::<usize>()),
+            Duration::from_millis(1),
+            Duration::from_millis(5),
+            8,
+        );
+        assert!(s.samples >= 8);
+        assert!(s.min <= s.median);
+        assert!(s.min <= s.mean);
+    }
+
+    #[test]
+    fn group_api_runs_benchmarks() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim_smoke");
+        group.sample_size(3);
+        group.warm_up_time(Duration::from_millis(1));
+        group.measurement_time(Duration::from_millis(2));
+        let input = 12usize;
+        let mut ran = false;
+        group.bench_with_input(BenchmarkId::new("noop", input), &input, |b, &n| {
+            ran = true;
+            b.iter(|| black_box(n * 2))
+        });
+        group.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("solver", 42).to_string(), "solver/42");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+}

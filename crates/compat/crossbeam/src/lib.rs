@@ -1,0 +1,81 @@
+//! Workspace-local stand-in for `crossbeam`, covering `crossbeam::thread::scope`.
+//!
+//! Implemented on top of `std::thread::scope` (stable since Rust 1.63), which
+//! provides the same structured-concurrency guarantee crossbeam pioneered:
+//! every spawned thread joins before `scope` returns, so borrowing from the
+//! enclosing stack frame is safe.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod thread {
+    //! Scoped threads.
+
+    /// Result type of [`scope`]: `Err` carries a child-thread panic payload.
+    pub type ScopeResult<T> = Result<T, Box<dyn std::any::Any + Send + 'static>>;
+
+    /// A handle for spawning scoped threads, passed to the [`scope`] closure
+    /// and to every spawned-thread closure (mirroring crossbeam's API).
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread; the closure receives the scope handle so it
+        /// can spawn further threads.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Creates a scope in which threads borrowing the environment can be
+    /// spawned; all of them are joined before this function returns.
+    ///
+    /// # Errors
+    ///
+    /// Unlike crossbeam, a panicking child propagates the panic on join (via
+    /// `std::thread::scope`), so the `Err` variant is never actually produced;
+    /// it exists so call sites written against crossbeam compile unchanged.
+    pub fn scope<'env, F, R>(f: F) -> ScopeResult<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = vec![1usize, 2, 3, 4];
+        let sums = std::sync::Mutex::new(0usize);
+        super::thread::scope(|scope| {
+            for &x in &data {
+                let sums = &sums;
+                scope.spawn(move |_| {
+                    *sums.lock().unwrap() += x;
+                });
+            }
+        })
+        .expect("no panics");
+        assert_eq!(sums.into_inner().unwrap(), 10);
+    }
+
+    #[test]
+    fn nested_spawn_through_the_handle() {
+        let flag = std::sync::atomic::AtomicBool::new(false);
+        super::thread::scope(|scope| {
+            scope.spawn(|inner| {
+                inner.spawn(|_| flag.store(true, std::sync::atomic::Ordering::SeqCst));
+            });
+        })
+        .expect("no panics");
+        assert!(flag.load(std::sync::atomic::Ordering::SeqCst));
+    }
+}

@@ -1,0 +1,294 @@
+//! Workspace-local stand-in for the `rand` crate.
+//!
+//! The build environment has no network access and no vendored registry, so
+//! the workspace ships a minimal implementation of exactly the `rand` 0.8 API
+//! surface the qhdcd crates use: [`RngCore`], [`SeedableRng`], the [`Rng`]
+//! extension trait (`gen`, `gen_range`, `gen_bool`), the [`distributions`]
+//! `Standard` distribution and the [`seq::SliceRandom`] helpers (`shuffle`,
+//! `choose`). The semantics mirror `rand` (e.g. 53-bit uniform `f64` in
+//! `[0, 1)`, Fisher–Yates shuffle); the exact output streams are this
+//! workspace's own and are stable, which is all the deterministic seeded tests
+//! require.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// A source of uniformly random 32/64-bit words.
+pub trait RngCore {
+    /// Returns the next uniformly random 32-bit word.
+    fn next_u32(&mut self) -> u32;
+
+    /// Returns the next uniformly random 64-bit word.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let word = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&word[..chunk.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// An RNG that can be deterministically constructed from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Creates the generator from a 64-bit seed, expanding it to the full
+    /// internal state with a SplitMix64-style mixer.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub mod distributions {
+    //! Distributions over primitive types (the `Standard` subset).
+
+    use crate::RngCore;
+
+    /// A distribution that can sample values of type `T`.
+    pub trait Distribution<T> {
+        /// Draws one value from the distribution.
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// The "natural" uniform distribution of each primitive type: `f64` uniform
+    /// in `[0, 1)` with 53 bits of precision, integers uniform over their whole
+    /// range, `bool` a fair coin.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Standard;
+
+    impl Distribution<f64> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+            // 53 significant bits, exactly like rand's Standard f64.
+            (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    impl Distribution<f32> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+            (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+        }
+    }
+
+    impl Distribution<bool> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+            rng.next_u32() & 1 == 1
+        }
+    }
+
+    impl Distribution<u32> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u32 {
+            rng.next_u32()
+        }
+    }
+
+    impl Distribution<u64> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u64 {
+            rng.next_u64()
+        }
+    }
+
+    impl Distribution<usize> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> usize {
+            rng.next_u64() as usize
+        }
+    }
+}
+
+/// A range that can be sampled uniformly.
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+fn uniform_u64<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    // Multiply-shift bounded sampling (Lemire); the tiny residual bias is
+    // irrelevant for the heuristic search uses in this workspace.
+    ((rng.next_u64() as u128 * span as u128) >> 64) as u64
+}
+
+impl SampleRange<usize> for std::ops::Range<usize> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> usize {
+        assert!(self.start < self.end, "cannot sample from an empty range");
+        self.start + uniform_u64(rng, (self.end - self.start) as u64) as usize
+    }
+}
+
+impl SampleRange<usize> for std::ops::RangeInclusive<usize> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> usize {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "cannot sample from an empty range");
+        match ((hi - lo) as u64).checked_add(1) {
+            Some(span) => lo + uniform_u64(rng, span) as usize,
+            // Full usize range: any word is valid.
+            None => rng.next_u64() as usize,
+        }
+    }
+}
+
+impl SampleRange<u64> for std::ops::Range<u64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> u64 {
+        assert!(self.start < self.end, "cannot sample from an empty range");
+        self.start + uniform_u64(rng, self.end - self.start)
+    }
+}
+
+impl SampleRange<u32> for std::ops::Range<u32> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> u32 {
+        assert!(self.start < self.end, "cannot sample from an empty range");
+        self.start + uniform_u64(rng, (self.end - self.start) as u64) as u32
+    }
+}
+
+impl SampleRange<f64> for std::ops::Range<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample from an empty range");
+        let unit = distributions::Distribution::<f64>::sample(&distributions::Standard, rng);
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f64> for std::ops::RangeInclusive<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "cannot sample from an empty range");
+        let unit = distributions::Distribution::<f64>::sample(&distributions::Standard, rng);
+        lo + unit * (hi - lo)
+    }
+}
+
+/// Convenience extension methods available on every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draws a value from the [`distributions::Standard`] distribution.
+    fn gen<T>(&mut self) -> T
+    where
+        distributions::Standard: distributions::Distribution<T>,
+    {
+        distributions::Distribution::sample(&distributions::Standard, self)
+    }
+
+    /// Draws a value uniformly from `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod seq {
+    //! Random operations on slices.
+
+    use crate::{Rng, RngCore};
+
+    /// `shuffle` / `choose` extension methods on slices.
+    pub trait SliceRandom {
+        /// Element type of the slice.
+        type Item;
+
+        /// Shuffles the slice in place (Fisher–Yates).
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+        /// Returns a uniformly random element, or `None` if the slice is empty.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..i + 1);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                self.get(rng.gen_range(0..self.len()))
+            }
+        }
+    }
+}
+
+/// The commonly used traits, for glob import.
+pub mod prelude {
+    pub use crate::distributions::Distribution;
+    pub use crate::seq::SliceRandom;
+    pub use crate::{Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    struct Counter(u64);
+
+    impl super::RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            // A weak but serviceable mixer for unit tests of the adapters.
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            self.0
+        }
+    }
+
+    #[test]
+    fn f64_samples_are_in_unit_interval() {
+        let mut rng = Counter(1);
+        for _ in 0..1000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = Counter(2);
+        for _ in 0..1000 {
+            assert!((3..17).contains(&rng.gen_range(3usize..17)));
+            assert!((3..=17).contains(&rng.gen_range(3usize..=17)));
+            let x = rng.gen_range(-2.0f64..=2.0);
+            assert!((-2.0..=2.0).contains(&x));
+        }
+        assert_eq!(rng.gen_range(5usize..6), 5);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation_and_choose_in_slice() {
+        let mut rng = Counter(3);
+        let mut v: Vec<usize> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert!(v.choose(&mut rng).is_some());
+        let empty: [usize; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+}

@@ -13,19 +13,13 @@ use qhdcd_graph::{modularity, Graph, Partition};
 use std::collections::HashMap;
 
 /// Configuration of the greedy agglomerative baseline.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct AgglomerativeConfig {
     /// Stop early once this many communities remain (`None` = merge while the
     /// modularity improves).
     pub target_communities: Option<usize>,
     /// Hard cap on the number of merges (defaults to `n`, i.e. unbounded).
     pub max_merges: Option<usize>,
-}
-
-impl Default for AgglomerativeConfig {
-    fn default() -> Self {
-        AgglomerativeConfig { target_communities: None, max_merges: None }
-    }
 }
 
 /// Outcome of the agglomerative baseline.
@@ -58,7 +52,10 @@ pub struct AgglomerativeOutcome {
 /// # Ok(())
 /// # }
 /// ```
-pub fn detect(graph: &Graph, config: &AgglomerativeConfig) -> Result<AgglomerativeOutcome, CdError> {
+pub fn detect(
+    graph: &Graph,
+    config: &AgglomerativeConfig,
+) -> Result<AgglomerativeOutcome, CdError> {
     let n = graph.num_nodes();
     if n == 0 {
         return Err(CdError::InvalidConfig { reason: "graph has no nodes".into() });
@@ -100,7 +97,7 @@ pub fn detect(graph: &Graph, config: &AgglomerativeConfig) -> Result<Agglomerati
                 continue;
             }
             let gain = ecd - 2.0 * a[c] * a[d];
-            if best.map_or(true, |(_, g)| gain > g) {
+            if best.is_none_or(|(_, g)| gain > g) {
                 best = Some(((c, d), gain));
             }
         }
@@ -117,11 +114,8 @@ pub fn detect(graph: &Graph, config: &AgglomerativeConfig) -> Result<Agglomerati
         alive[d] = false;
         a[c] += a[d];
         // Move d's connections to c.
-        let d_edges: Vec<((usize, usize), f64)> = e
-            .iter()
-            .filter(|(&(x, y), _)| x == d || y == d)
-            .map(|(&k, &v)| (k, v))
-            .collect();
+        let d_edges: Vec<((usize, usize), f64)> =
+            e.iter().filter(|(&(x, y), _)| x == d || y == d).map(|(&k, &v)| (k, v)).collect();
         for ((x, y), w) in d_edges {
             e.remove(&(x, y));
             let other = if x == d { y } else { x };
@@ -187,11 +181,9 @@ mod tests {
     #[test]
     fn merge_cap_limits_the_work() {
         let pg = generators::ring_of_cliques(10, 4).unwrap();
-        let out = detect(
-            &pg.graph,
-            &AgglomerativeConfig { max_merges: Some(3), ..Default::default() },
-        )
-        .unwrap();
+        let out =
+            detect(&pg.graph, &AgglomerativeConfig { max_merges: Some(3), ..Default::default() })
+                .unwrap();
         assert!(out.merges <= 3);
         assert_eq!(out.partition.num_communities(), 40 - out.merges);
     }

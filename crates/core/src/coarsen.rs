@@ -103,11 +103,7 @@ impl Hierarchy {
 /// node. Unmatched nodes become singleton super-nodes.
 fn match_round(graph: &Graph, config: &CoarsenConfig) -> Vec<usize> {
     let n = graph.num_nodes();
-    let max_weight = graph
-        .edges()
-        .map(|(_, _, w)| w)
-        .fold(0.0f64, f64::max)
-        .max(f64::MIN_POSITIVE);
+    let max_weight = graph.edges().map(|(_, _, w)| w).fold(0.0f64, f64::max).max(f64::MIN_POSITIVE);
 
     // Score every edge by Eq. 6.
     let mut scored: Vec<(f64, usize, usize)> = Vec::with_capacity(graph.num_edges());
@@ -282,7 +278,8 @@ mod tests {
             [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
         )
         .unwrap();
-        let super_of = match_round(&g, &CoarsenConfig { alpha: 1.0, beta: 0.1, ..CoarsenConfig::default() });
+        let super_of =
+            match_round(&g, &CoarsenConfig { alpha: 1.0, beta: 0.1, ..CoarsenConfig::default() });
         // The two Jaccard-1 pairs (0,1) and (4,5) are matched first; the bridge
         // endpoints 2 and 3 can only pair up with whatever is left.
         assert_eq!(super_of[0], super_of[1]);

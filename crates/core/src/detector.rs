@@ -184,11 +184,7 @@ impl CommunityDetector {
     }
 
     fn qhd_solver(&self) -> QhdSolver {
-        QhdSolver::builder()
-            .samples(self.qhd_samples)
-            .steps(self.qhd_steps)
-            .seed(self.seed)
-            .build()
+        QhdSolver::builder().samples(self.qhd_samples).steps(self.qhd_steps).seed(self.seed).build()
     }
 
     /// Runs the configured method on `graph`.
@@ -200,10 +196,8 @@ impl CommunityDetector {
         let start = Instant::now();
         let (partition, modularity) = match self.method {
             Method::QhdDirect => {
-                let config = DirectConfig {
-                    formulation: self.formulation(),
-                    ..DirectConfig::default()
-                };
+                let config =
+                    DirectConfig { formulation: self.formulation(), ..DirectConfig::default() };
                 let out = direct::detect(graph, &self.qhd_solver(), &config)?;
                 (out.partition, out.modularity)
             }
@@ -216,10 +210,8 @@ impl CommunityDetector {
                     Some(limit) => BranchAndBound::with_time_limit(limit),
                     None => BranchAndBound::default(),
                 };
-                let config = DirectConfig {
-                    formulation: self.formulation(),
-                    ..DirectConfig::default()
-                };
+                let config =
+                    DirectConfig { formulation: self.formulation(), ..DirectConfig::default() };
                 let out = direct::detect(graph, &solver, &config)?;
                 (out.partition, out.modularity)
             }
@@ -238,7 +230,10 @@ impl CommunityDetector {
             Method::LabelPropagation => {
                 let out = label_propagation::detect(
                     graph,
-                    &label_propagation::LabelPropagationConfig { seed: self.seed, ..Default::default() },
+                    &label_propagation::LabelPropagationConfig {
+                        seed: self.seed,
+                        ..Default::default()
+                    },
                 )?;
                 (out.partition, out.modularity)
             }

@@ -268,8 +268,8 @@ pub fn build_qubo(graph: &Graph, config: &FormulationConfig) -> Result<CdQubo, C
 
     // --- Balanced-size constraint λ_S Σ_c (Σ_i x_ic − n/k)².
     if config.balance_weight > 0.0 {
-        let lambda_s = config.balance_weight * two_m.max(1.0) * (k as f64).powi(2)
-            / (n as f64).powi(2);
+        let lambda_s =
+            config.balance_weight * two_m.max(1.0) * (k as f64).powi(2) / (n as f64).powi(2);
         let target = n as f64 / k as f64;
         for c in 0..k {
             let vars: Vec<usize> = (0..n).map(|i| idx(i, c)).collect();
@@ -286,11 +286,7 @@ pub fn build_qubo(graph: &Graph, config: &FormulationConfig) -> Result<CdQubo, C
 /// # Errors
 ///
 /// Returns [`CdError::Qubo`] if the solution does not match the encoded model.
-pub fn decoded_modularity(
-    qubo: &CdQubo,
-    graph: &Graph,
-    solution: &[bool],
-) -> Result<f64, CdError> {
+pub fn decoded_modularity(qubo: &CdQubo, graph: &Graph, solution: &[bool]) -> Result<f64, CdError> {
     let partition = qubo.decode(graph, solution)?;
     Ok(modularity::modularity(graph, &partition))
 }
@@ -352,7 +348,8 @@ mod tests {
         // 2-community split strictly better than the all-in-one and the
         // alternating split.
         let g = two_triangles();
-        let config = FormulationConfig { balance_weight: 0.0, ..FormulationConfig::with_communities(2) };
+        let config =
+            FormulationConfig { balance_weight: 0.0, ..FormulationConfig::with_communities(2) };
         let qubo = build_qubo(&g, &config).unwrap();
         let energy = |labels: Vec<usize>| {
             let p = Partition::from_labels(labels).unwrap();
@@ -371,7 +368,8 @@ mod tests {
         // For valid (one-hot) assignments with balance_weight = 0, the QUBO energy
         // is an affine function of the partition's modularity: E = −w₁·2m·Q + const.
         let g = two_triangles();
-        let config = FormulationConfig { balance_weight: 0.0, ..FormulationConfig::with_communities(2) };
+        let config =
+            FormulationConfig { balance_weight: 0.0, ..FormulationConfig::with_communities(2) };
         let qubo = build_qubo(&g, &config).unwrap();
         let two_m = 2.0 * g.total_edge_weight();
         let mut checked = 0;
@@ -395,7 +393,7 @@ mod tests {
     fn solving_the_qubo_recovers_the_natural_communities() {
         let g = two_triangles();
         let qubo = build_qubo(&g, &FormulationConfig::with_communities(2)).unwrap();
-        let report = ExhaustiveSearch::default().solve(qubo.model()).unwrap();
+        let report = ExhaustiveSearch.solve(qubo.model()).unwrap();
         let partition = qubo.decode(&g, &report.solution).unwrap();
         let expected = Partition::from_labels(vec![0, 0, 0, 1, 1, 1]).unwrap().renumbered();
         assert_eq!(partition.renumbered(), expected);
@@ -451,8 +449,6 @@ mod tests {
         let qubo = build_qubo(&pg.graph, &config).unwrap();
         let all_one = qubo.encode(&Partition::all_in_one(10)).unwrap();
         let split = qubo.encode(&pg.ground_truth).unwrap();
-        assert!(
-            qubo.model().evaluate(&split).unwrap() < qubo.model().evaluate(&all_one).unwrap()
-        );
+        assert!(qubo.model().evaluate(&split).unwrap() < qubo.model().evaluate(&all_one).unwrap());
     }
 }

@@ -88,9 +88,8 @@ pub fn detect(
             if weight_per_label.is_empty() {
                 continue;
             }
-            let best_weight = weight_per_label
-                .values()
-                .fold(f64::NEG_INFINITY, |acc, &w| acc.max(w));
+            let best_weight =
+                weight_per_label.values().fold(f64::NEG_INFINITY, |acc, &w| acc.max(w));
             let mut best_labels: Vec<usize> = weight_per_label
                 .iter()
                 .filter(|(_, &w)| (w - best_weight).abs() < 1e-12)
@@ -159,8 +158,10 @@ mod tests {
             seed: 2,
         })
         .unwrap();
-        let a = detect(&pg.graph, &LabelPropagationConfig { seed: 5, ..Default::default() }).unwrap();
-        let b = detect(&pg.graph, &LabelPropagationConfig { seed: 5, ..Default::default() }).unwrap();
+        let a =
+            detect(&pg.graph, &LabelPropagationConfig { seed: 5, ..Default::default() }).unwrap();
+        let b =
+            detect(&pg.graph, &LabelPropagationConfig { seed: 5, ..Default::default() }).unwrap();
         assert_eq!(a.partition, b.partition);
     }
 }

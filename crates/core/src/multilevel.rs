@@ -130,11 +130,7 @@ pub fn detect<S: QuboSolver>(
     // --- Initial partition on the coarsest graph via the direct QUBO pipeline.
     let mut formulation = config.formulation.clone();
     formulation.num_communities = config.num_communities.min(coarsest_nodes.max(1));
-    let direct_config = DirectConfig {
-        formulation,
-        refine: false,
-        refine_config: config.refine,
-    };
+    let direct_config = DirectConfig { formulation, refine: false, refine_config: config.refine };
     let base = direct::detect(coarsest, solver, &direct_config)?;
     let solver_time = base.solver_time;
     let solver_status = base.solver_status;
@@ -148,11 +144,8 @@ pub fn detect<S: QuboSolver>(
         // Project one level down: the finer graph is the previous level's graph
         // (or the original graph at the bottom).
         partition = partition.project(&level.coarse_of);
-        let finer_graph: &Graph = if level_index == 0 {
-            graph
-        } else {
-            &hierarchy.levels[level_index - 1].graph
-        };
+        let finer_graph: &Graph =
+            if level_index == 0 { graph } else { &hierarchy.levels[level_index - 1].graph };
         partition = refine_partition(finer_graph, &partition, &config.refine)?.partition;
     }
     if config.final_refine {
@@ -256,8 +249,7 @@ mod tests {
             &crate::direct::DirectConfig::with_communities(5),
         )
         .unwrap();
-        let multi_out =
-            detect(&pg.graph, &solver, &MultilevelConfig::with_communities(5)).unwrap();
+        let multi_out = detect(&pg.graph, &solver, &MultilevelConfig::with_communities(5)).unwrap();
         assert!((multi_out.modularity - direct_out.modularity).abs() < 0.05);
     }
 }

@@ -105,11 +105,9 @@ mod tests {
             seed: 1,
         })
         .unwrap();
-        for start in [
-            Partition::singletons(120),
-            Partition::all_in_one(120),
-            pg.ground_truth.clone(),
-        ] {
+        for start in
+            [Partition::singletons(120), Partition::all_in_one(120), pg.ground_truth.clone()]
+        {
             let before = modularity::modularity(&pg.graph, &start);
             let out = refine_partition(&pg.graph, &start, &RefineConfig::default()).unwrap();
             let after = modularity::modularity(&pg.graph, &out.partition);
@@ -153,8 +151,7 @@ mod tests {
     fn pass_budget_is_respected() {
         let pg = generators::ring_of_cliques(20, 5).unwrap();
         let config = RefineConfig { max_passes: 1, ..RefineConfig::default() };
-        let out =
-            refine_partition(&pg.graph, &Partition::singletons(100), &config).unwrap();
+        let out = refine_partition(&pg.graph, &Partition::singletons(100), &config).unwrap();
         assert_eq!(out.passes, 1);
     }
 }

@@ -229,7 +229,8 @@ mod tests {
     fn unrefined_and_refined_runs_both_work() {
         let g = generators::karate_club();
         let refined =
-            detect(&g, &SpectralConfig { num_communities: 2, seed: 4, ..Default::default() }).unwrap();
+            detect(&g, &SpectralConfig { num_communities: 2, seed: 4, ..Default::default() })
+                .unwrap();
         let raw = detect(
             &g,
             &SpectralConfig { num_communities: 2, seed: 4, refine: false, ..Default::default() },

@@ -33,11 +33,7 @@ pub struct GraphBuilder {
 impl GraphBuilder {
     /// Creates a builder for a graph with `num_nodes` nodes and no edges.
     pub fn new(num_nodes: usize) -> Self {
-        GraphBuilder {
-            num_nodes,
-            edges: BTreeMap::new(),
-            node_weights: vec![1.0; num_nodes],
-        }
+        GraphBuilder { num_nodes, edges: BTreeMap::new(), node_weights: vec![1.0; num_nodes] }
     }
 
     /// Number of nodes the built graph will have.
@@ -103,7 +99,7 @@ impl GraphBuilder {
     pub fn build(self) -> Graph {
         let n = self.num_nodes;
         let mut counts = vec![0usize; n];
-        for (&(u, v), _) in &self.edges {
+        for &(u, v) in self.edges.keys() {
             counts[u] += 1;
             if u != v {
                 counts[v] += 1;
@@ -132,7 +128,14 @@ impl GraphBuilder {
             }
         }
         let num_edges = self.edges.len();
-        Graph::from_csr(offsets, neighbors, weights, self.node_weights, num_edges, total_edge_weight)
+        Graph::from_csr(
+            offsets,
+            neighbors,
+            weights,
+            self.node_weights,
+            num_edges,
+            total_edge_weight,
+        )
     }
 
     /// Builds a graph directly from an iterator of `(u, v, weight)` triples.
@@ -175,9 +178,15 @@ mod tests {
         assert!(matches!(b.add_edge(2, 0, 1.0), Err(GraphError::NodeOutOfBounds { .. })));
         assert!(matches!(b.add_edge(0, 1, -1.0), Err(GraphError::InvalidEdgeWeight { .. })));
         assert!(matches!(b.add_edge(0, 1, f64::NAN), Err(GraphError::InvalidEdgeWeight { .. })));
-        assert!(matches!(b.add_edge(0, 1, f64::INFINITY), Err(GraphError::InvalidEdgeWeight { .. })));
+        assert!(matches!(
+            b.add_edge(0, 1, f64::INFINITY),
+            Err(GraphError::InvalidEdgeWeight { .. })
+        ));
         assert!(matches!(b.set_node_weight(5, 1.0), Err(GraphError::NodeOutOfBounds { .. })));
-        assert!(matches!(b.set_node_weight(0, f64::NAN), Err(GraphError::InvalidEdgeWeight { .. })));
+        assert!(matches!(
+            b.set_node_weight(0, f64::NAN),
+            Err(GraphError::InvalidEdgeWeight { .. })
+        ));
     }
 
     #[test]

@@ -70,10 +70,7 @@ pub fn largest_component(graph: &Graph) -> Vec<NodeId> {
         None => Vec::new(),
         Some(parts) => {
             let groups = parts.communities();
-            groups
-                .into_iter()
-                .max_by_key(|g| g.len())
-                .unwrap_or_default()
+            groups.into_iter().max_by_key(|g| g.len()).unwrap_or_default()
         }
     }
 }

@@ -35,7 +35,9 @@ impl PlantedPartitionConfig {
     /// Returns [`GraphError::InvalidGeneratorConfig`] if any field is out of range.
     pub fn validate(&self) -> Result<(), GraphError> {
         if self.num_nodes == 0 {
-            return Err(GraphError::InvalidGeneratorConfig { reason: "num_nodes must be > 0".into() });
+            return Err(GraphError::InvalidGeneratorConfig {
+                reason: "num_nodes must be > 0".into(),
+            });
         }
         if self.num_communities == 0 || self.num_communities > self.num_nodes {
             return Err(GraphError::InvalidGeneratorConfig {
@@ -103,10 +105,7 @@ pub fn planted_partition(config: &PlantedPartitionConfig) -> Result<PlantedGraph
             }
         }
     }
-    Ok(PlantedGraph {
-        graph: b.build(),
-        ground_truth: Partition::from_labels(labels)?,
-    })
+    Ok(PlantedGraph { graph: b.build(), ground_truth: Partition::from_labels(labels)? })
 }
 
 /// Generates a planted-partition graph whose expected edge count matches
@@ -128,7 +127,9 @@ pub fn planted_partition_with_edge_budget(
     seed: u64,
 ) -> Result<PlantedGraph, GraphError> {
     if num_nodes < 2 {
-        return Err(GraphError::InvalidGeneratorConfig { reason: "need at least two nodes".into() });
+        return Err(GraphError::InvalidGeneratorConfig {
+            reason: "need at least two nodes".into(),
+        });
     }
     if !(0.0..1.0).contains(&mixing) {
         return Err(GraphError::InvalidGeneratorConfig {
@@ -149,13 +150,7 @@ pub fn planted_partition_with_edge_budget(
     }
     let p_in = if pairs_in > 0.0 { ((1.0 - mixing) * m / pairs_in).min(1.0) } else { 0.0 };
     let p_out = if pairs_out > 0.0 { (mixing * m / pairs_out).min(1.0) } else { 0.0 };
-    planted_partition(&PlantedPartitionConfig {
-        num_nodes,
-        num_communities,
-        p_in,
-        p_out,
-        seed,
-    })
+    planted_partition(&PlantedPartitionConfig { num_nodes, num_communities, p_in, p_out, seed })
 }
 
 /// Generates an Erdős–Rényi `G(n, p)` random graph.
@@ -372,15 +367,84 @@ fn sample_power_law<R: Rng>(rng: &mut R, min: usize, max: usize, exponent: f64) 
 /// detection test instance.
 pub fn karate_club() -> Graph {
     const EDGES: &[(usize, usize)] = &[
-        (0, 1), (0, 2), (0, 3), (0, 4), (0, 5), (0, 6), (0, 7), (0, 8), (0, 10), (0, 11),
-        (0, 12), (0, 13), (0, 17), (0, 19), (0, 21), (0, 31), (1, 2), (1, 3), (1, 7), (1, 13),
-        (1, 17), (1, 19), (1, 21), (1, 30), (2, 3), (2, 7), (2, 8), (2, 9), (2, 13), (2, 27),
-        (2, 28), (2, 32), (3, 7), (3, 12), (3, 13), (4, 6), (4, 10), (5, 6), (5, 10), (5, 16),
-        (6, 16), (8, 30), (8, 32), (8, 33), (9, 33), (13, 33), (14, 32), (14, 33), (15, 32),
-        (15, 33), (18, 32), (18, 33), (19, 33), (20, 32), (20, 33), (22, 32), (22, 33),
-        (23, 25), (23, 27), (23, 29), (23, 32), (23, 33), (24, 25), (24, 27), (24, 31),
-        (25, 31), (26, 29), (26, 33), (27, 33), (28, 31), (28, 33), (29, 32), (29, 33),
-        (30, 32), (30, 33), (31, 32), (31, 33), (32, 33),
+        (0, 1),
+        (0, 2),
+        (0, 3),
+        (0, 4),
+        (0, 5),
+        (0, 6),
+        (0, 7),
+        (0, 8),
+        (0, 10),
+        (0, 11),
+        (0, 12),
+        (0, 13),
+        (0, 17),
+        (0, 19),
+        (0, 21),
+        (0, 31),
+        (1, 2),
+        (1, 3),
+        (1, 7),
+        (1, 13),
+        (1, 17),
+        (1, 19),
+        (1, 21),
+        (1, 30),
+        (2, 3),
+        (2, 7),
+        (2, 8),
+        (2, 9),
+        (2, 13),
+        (2, 27),
+        (2, 28),
+        (2, 32),
+        (3, 7),
+        (3, 12),
+        (3, 13),
+        (4, 6),
+        (4, 10),
+        (5, 6),
+        (5, 10),
+        (5, 16),
+        (6, 16),
+        (8, 30),
+        (8, 32),
+        (8, 33),
+        (9, 33),
+        (13, 33),
+        (14, 32),
+        (14, 33),
+        (15, 32),
+        (15, 33),
+        (18, 32),
+        (18, 33),
+        (19, 33),
+        (20, 32),
+        (20, 33),
+        (22, 32),
+        (22, 33),
+        (23, 25),
+        (23, 27),
+        (23, 29),
+        (23, 32),
+        (23, 33),
+        (24, 25),
+        (24, 27),
+        (24, 31),
+        (25, 31),
+        (26, 29),
+        (26, 33),
+        (27, 33),
+        (28, 31),
+        (28, 33),
+        (29, 32),
+        (29, 33),
+        (30, 32),
+        (30, 33),
+        (31, 32),
+        (31, 33),
+        (32, 33),
     ];
     GraphBuilder::from_unweighted_edges(34, EDGES.iter().copied())
         .expect("karate club edge list is valid")
@@ -390,8 +454,8 @@ pub fn karate_club() -> Graph {
 /// useful as a reference partition in tests and examples.
 pub fn karate_club_communities() -> Partition {
     let labels = vec![
-        0, 0, 0, 0, 1, 1, 1, 0, 2, 2, 1, 0, 0, 0, 2, 2, 1, 0, 2, 0, 2, 0, 2, 3, 3, 3, 2, 3, 3,
-        2, 2, 3, 2, 2,
+        0, 0, 0, 0, 1, 1, 1, 0, 2, 2, 1, 0, 0, 0, 2, 2, 1, 0, 2, 0, 2, 0, 2, 3, 3, 3, 2, 3, 3, 2,
+        2, 3, 2, 2,
     ];
     Partition::from_labels(labels).expect("karate labels are non-empty")
 }

@@ -129,7 +129,8 @@ mod tests {
 
     #[test]
     fn parse_with_comments_weights_and_blank_lines() {
-        let g = parse_edge_list("# header\n\n% matrix-market style comment\n0 3 2.0\n1 2\n").unwrap();
+        let g =
+            parse_edge_list("# header\n\n% matrix-market style comment\n0 3 2.0\n1 2\n").unwrap();
         assert_eq!(g.num_nodes(), 4);
         assert_eq!(g.edge_weight(0, 3), Some(2.0));
         assert_eq!(g.edge_weight(1, 2), Some(1.0));

@@ -203,11 +203,11 @@ mod tests {
         let emb = smallest_nontrivial_eigenvectors(&g, LaplacianKind::Combinatorial, 1, 300, 3);
         let fiedler = &emb.vectors[0];
         let left_sign = fiedler[0].signum();
-        for i in 0..5 {
-            assert_eq!(fiedler[i].signum(), left_sign, "node {i}");
+        for (i, value) in fiedler.iter().enumerate().take(5) {
+            assert_eq!(value.signum(), left_sign, "node {i}");
         }
-        for i in 5..10 {
-            assert_eq!(fiedler[i].signum(), -left_sign, "node {i}");
+        for (i, value) in fiedler.iter().enumerate().take(10).skip(5) {
+            assert_eq!(value.signum(), -left_sign, "node {i}");
         }
         // The algebraic connectivity of this graph is small and positive.
         assert!(emb.eigenvalues[0] > 0.0 && emb.eigenvalues[0] < 1.0);

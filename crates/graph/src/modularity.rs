@@ -113,9 +113,9 @@ pub fn modularity_matrix(graph: &Graph) -> Vec<Vec<f64>> {
     if two_m <= 0.0 {
         return b;
     }
-    for i in 0..n {
-        for j in 0..n {
-            b[i][j] = adjacency_entry(graph, i, j) - graph.degree(i) * graph.degree(j) / two_m;
+    for (i, row) in b.iter_mut().enumerate() {
+        for (j, entry) in row.iter_mut().enumerate() {
+            *entry = adjacency_entry(graph, i, j) - graph.degree(i) * graph.degree(j) / two_m;
         }
     }
     b
@@ -216,8 +216,7 @@ impl ModularityState {
         let m = self.two_m / 2.0;
         let sigma_target = self.sigma_tot.get(target).copied().unwrap_or(0.0);
         let sigma_cur = self.sigma_tot[cur];
-        (k_i_target - k_i_cur) / m
-            - d_i * (sigma_target - (sigma_cur - d_i)) / (2.0 * m * m)
+        (k_i_target - k_i_cur) / m - d_i * (sigma_target - (sigma_cur - d_i)) / (2.0 * m * m)
     }
 
     /// Finds the neighbouring community with the best positive gain for `node`,

@@ -235,10 +235,7 @@ mod tests {
         let mut psi = g.gaussian_state(0.5, 0.05);
         let spread = |psi: &[Complex]| -> f64 {
             let mean = g.expectation_position(psi);
-            psi.iter()
-                .zip(g.points())
-                .map(|(z, &x)| z.norm_sqr() * (x - mean).powi(2))
-                .sum::<f64>()
+            psi.iter().zip(g.points()).map(|(z, &x)| z.norm_sqr() * (x - mean).powi(2)).sum::<f64>()
         };
         let before = spread(&psi);
         for _ in 0..30 {

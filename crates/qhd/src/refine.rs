@@ -4,8 +4,14 @@
 //! refinement that projects the rounded solution onto a local minimum of the
 //! QUBO. This module provides the greedy single-flip descent used for that
 //! purpose (and reused by the classical baselines), plus rounding helpers.
+//!
+//! All descents run on [`LocalFieldState`], the incremental local-field
+//! engine: candidate flips are scored in O(1) instead of the O(deg) CSR scan
+//! of [`QuboModel::flip_delta`], so a full sweep over `n` candidates costs
+//! O(n) plus O(deg) per *accepted* flip, rather than O(nnz) regardless of how
+//! many moves are accepted.
 
-use qhdcd_qubo::QuboModel;
+use qhdcd_qubo::{LocalFieldState, QuboModel};
 
 /// Rounds fractional occupation probabilities to a binary assignment
 /// (`p > 0.5` ⇒ `true`).
@@ -41,20 +47,19 @@ pub fn round_probabilities(probabilities: &[f64]) -> Vec<bool> {
 /// # Ok(())
 /// # }
 /// ```
-pub fn greedy_descent(model: &QuboModel, solution: Vec<bool>, max_passes: usize) -> (Vec<bool>, f64) {
-    assert_eq!(
-        solution.len(),
-        model.num_variables(),
-        "solution length must match the model"
-    );
-    let mut x = solution;
-    let mut energy = model.evaluate(&x).expect("length checked above");
+pub fn greedy_descent(
+    model: &QuboModel,
+    solution: Vec<bool>,
+    max_passes: usize,
+) -> (Vec<bool>, f64) {
+    assert_eq!(solution.len(), model.num_variables(), "solution length must match the model");
+    let mut state = LocalFieldState::new(model, solution);
     for _ in 0..max_passes {
-        // Find the best single flip in this sweep.
+        // Find the best single flip in this sweep — O(1) per candidate.
         let mut best_delta = 0.0f64;
         let mut best_var: Option<usize> = None;
-        for i in 0..x.len() {
-            let delta = model.flip_delta(&x, i);
+        for i in 0..state.num_variables() {
+            let delta = state.flip_delta(i);
             if delta < best_delta - 1e-15 {
                 best_delta = delta;
                 best_var = Some(i);
@@ -62,13 +67,13 @@ pub fn greedy_descent(model: &QuboModel, solution: Vec<bool>, max_passes: usize)
         }
         match best_var {
             Some(i) => {
-                x[i] = !x[i];
-                energy += best_delta;
+                state.apply_flip(i);
             }
             None => break,
         }
     }
-    (x, energy)
+    state.debug_validate();
+    state.into_solution()
 }
 
 /// First-improvement local search: sweeps the variables in order and applies
@@ -84,20 +89,13 @@ pub fn first_improvement_descent(
     solution: Vec<bool>,
     max_sweeps: usize,
 ) -> (Vec<bool>, f64) {
-    assert_eq!(
-        solution.len(),
-        model.num_variables(),
-        "solution length must match the model"
-    );
-    let mut x = solution;
-    let mut energy = model.evaluate(&x).expect("length checked above");
+    assert_eq!(solution.len(), model.num_variables(), "solution length must match the model");
+    let mut state = LocalFieldState::new(model, solution);
     for _ in 0..max_sweeps {
         let mut improved = false;
-        for i in 0..x.len() {
-            let delta = model.flip_delta(&x, i);
-            if delta < -1e-15 {
-                x[i] = !x[i];
-                energy += delta;
+        for i in 0..state.num_variables() {
+            if state.flip_delta(i) < -1e-15 {
+                state.apply_flip(i);
                 improved = true;
             }
         }
@@ -105,21 +103,25 @@ pub fn first_improvement_descent(
             break;
         }
     }
-    (x, energy)
+    state.debug_validate();
+    state.into_solution()
 }
 
 /// Energy change caused by flipping variables `i` and `j` simultaneously.
 ///
 /// Equals `flip_delta(i) + flip_delta(j) + w_ij·(1−2x_i)(1−2x_j)`, where the
 /// last term corrects for the joint coupling that both single-flip deltas
-/// account for independently.
+/// account for independently. The coupling is found with the O(log deg)
+/// [`QuboModel::coupling`] lookup; loops that track a [`LocalFieldState`]
+/// should instead use its O(1)
+/// [`pair_flip_delta_with_coupling`](LocalFieldState::pair_flip_delta_with_coupling).
 ///
 /// # Panics
 ///
 /// Panics if `i == j` or either index is out of range.
 pub fn pair_flip_delta(model: &QuboModel, x: &[bool], i: usize, j: usize) -> f64 {
     assert_ne!(i, j, "pair flip requires two distinct variables");
-    let w_ij: f64 = model.couplings(i).filter(|&(v, _)| v == j).map(|(_, w)| w).sum();
+    let w_ij = model.coupling(i, j);
     let sign = |b: bool| if b { -1.0 } else { 1.0 };
     model.flip_delta(x, i) + model.flip_delta(x, j) + w_ij * sign(x[i]) * sign(x[j])
 }
@@ -142,34 +144,27 @@ pub fn pair_aware_descent(
     solution: Vec<bool>,
     max_sweeps: usize,
 ) -> (Vec<bool>, f64) {
-    assert_eq!(
-        solution.len(),
-        model.num_variables(),
-        "solution length must match the model"
-    );
-    let mut x = solution;
-    let mut energy = model.evaluate(&x).expect("length checked above");
+    assert_eq!(solution.len(), model.num_variables(), "solution length must match the model");
+    let mut state = LocalFieldState::new(model, solution);
     for _ in 0..max_sweeps {
         let mut improved = false;
         // Single-flip pass.
-        for i in 0..x.len() {
-            let delta = model.flip_delta(&x, i);
-            if delta < -1e-15 {
-                x[i] = !x[i];
-                energy += delta;
+        for i in 0..state.num_variables() {
+            if state.flip_delta(i) < -1e-15 {
+                state.apply_flip(i);
                 improved = true;
             }
         }
-        // Coupled pair-flip pass.
-        for i in 0..x.len() {
-            let partners: Vec<usize> =
-                model.couplings(i).filter(|&(j, _)| j > i).map(|(j, _)| j).collect();
-            for j in partners {
-                let delta = pair_flip_delta(model, &x, i, j);
-                if delta < -1e-15 {
-                    x[i] = !x[i];
-                    x[j] = !x[j];
-                    energy += delta;
+        // Coupled pair-flip pass: iterate the CSR row directly, so the
+        // coupling weight each pair delta needs is already in hand — no
+        // partner list allocation, no O(deg) weight lookup.
+        for i in 0..state.num_variables() {
+            for (j, w_ij) in model.couplings(i) {
+                if j <= i {
+                    continue;
+                }
+                if state.pair_flip_delta_with_coupling(i, j, w_ij) < -1e-15 {
+                    state.apply_pair_flip(i, j);
                     improved = true;
                 }
             }
@@ -178,7 +173,8 @@ pub fn pair_aware_descent(
             break;
         }
     }
-    (x, energy)
+    state.debug_validate();
+    state.into_solution()
 }
 
 #[cfg(test)]

@@ -82,10 +82,10 @@ impl Schedule {
         potential_power: f64,
         potential_scale: f64,
     ) -> Result<Self, QuboError> {
-        if !(total_time > 0.0) || !total_time.is_finite() {
+        if !total_time.is_finite() || total_time <= 0.0 {
             return Err(QuboError::InvalidConfig { reason: "total_time must be positive".into() });
         }
-        if !(t0 > 0.0) || !t0.is_finite() {
+        if !t0.is_finite() || t0 <= 0.0 {
             return Err(QuboError::InvalidConfig { reason: "t0 must be positive".into() });
         }
         for (name, v) in [

@@ -153,15 +153,9 @@ impl QhdConfigBuilder {
 ///
 /// See the [crate-level documentation](crate) for the algorithm description and
 /// an end-to-end example.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct QhdSolver {
     config: QhdConfig,
-}
-
-impl Default for QhdSolver {
-    fn default() -> Self {
-        QhdSolver { config: QhdConfig::default() }
-    }
 }
 
 impl QhdSolver {
@@ -291,7 +285,7 @@ impl QuboSolver for QhdSolver {
                 match self.run_sample(model, backend, self.config.seed.wrapping_add(k as u64)) {
                     Ok((solution, energy)) => {
                         let mut guard = best.lock();
-                        let better = guard.as_ref().map_or(true, |(_, e)| energy < *e);
+                        let better = guard.as_ref().is_none_or(|(_, e)| energy < *e);
                         if better {
                             *guard = Some((solution, energy));
                         }

@@ -113,7 +113,11 @@ impl QuboBuilder {
     /// # Errors
     ///
     /// Returns [`QuboError::VariableOutOfBounds`] or [`QuboError::InvalidCoefficient`].
-    pub fn add_penalty_exactly_one(&mut self, vars: &[usize], weight: f64) -> Result<(), QuboError> {
+    pub fn add_penalty_exactly_one(
+        &mut self,
+        vars: &[usize],
+        weight: f64,
+    ) -> Result<(), QuboError> {
         self.add_penalty_sum_equals(vars, 1.0, weight)
     }
 

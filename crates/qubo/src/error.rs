@@ -40,10 +40,9 @@ impl fmt::Display for QuboError {
             QuboError::InvalidCoefficient { coefficient } => {
                 write!(f, "coefficient {coefficient} is not finite")
             }
-            QuboError::SolutionSizeMismatch { solution, variables } => write!(
-                f,
-                "solution has {solution} entries but the model has {variables} variables"
-            ),
+            QuboError::SolutionSizeMismatch { solution, variables } => {
+                write!(f, "solution has {solution} entries but the model has {variables} variables")
+            }
             QuboError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
         }
     }

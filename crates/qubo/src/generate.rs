@@ -152,11 +152,11 @@ pub fn instance_corpus(config: &CorpusConfig) -> Result<Vec<CorpusInstance>, Qub
     let mut out = Vec::with_capacity(config.num_small + config.num_large);
     let mut id = 0usize;
     let stratum = |rng: &mut ChaCha8Rng,
-                       count: usize,
-                       range: (usize, usize),
-                       density: f64,
-                       out: &mut Vec<CorpusInstance>,
-                       id: &mut usize|
+                   count: usize,
+                   range: (usize, usize),
+                   density: f64,
+                   out: &mut Vec<CorpusInstance>,
+                   id: &mut usize|
      -> Result<(), QuboError> {
         for _ in 0..count {
             let n = rng.gen_range(range.0..=range.1);
@@ -171,8 +171,22 @@ pub fn instance_corpus(config: &CorpusConfig) -> Result<Vec<CorpusInstance>, Qub
         }
         Ok(())
     };
-    stratum(&mut rng, config.num_small, config.small_size_range, config.small_density, &mut out, &mut id)?;
-    stratum(&mut rng, config.num_large, config.large_size_range, config.large_density, &mut out, &mut id)?;
+    stratum(
+        &mut rng,
+        config.num_small,
+        config.small_size_range,
+        config.small_density,
+        &mut out,
+        &mut id,
+    )?;
+    stratum(
+        &mut rng,
+        config.num_large,
+        config.large_size_range,
+        config.large_density,
+        &mut out,
+        &mut id,
+    )?;
     Ok(out)
 }
 
@@ -182,7 +196,8 @@ mod tests {
 
     #[test]
     fn random_qubo_is_deterministic() {
-        let cfg = RandomQuboConfig { num_variables: 30, density: 0.3, coefficient_range: 2.0, seed: 5 };
+        let cfg =
+            RandomQuboConfig { num_variables: 30, density: 0.3, coefficient_range: 2.0, seed: 5 };
         assert_eq!(random_qubo(&cfg).unwrap(), random_qubo(&cfg).unwrap());
     }
 
@@ -196,7 +211,8 @@ mod tests {
 
     #[test]
     fn invalid_configs_are_rejected() {
-        let base = RandomQuboConfig { num_variables: 10, density: 0.5, coefficient_range: 1.0, seed: 0 };
+        let base =
+            RandomQuboConfig { num_variables: 10, density: 0.5, coefficient_range: 1.0, seed: 0 };
         assert!(random_qubo(&RandomQuboConfig { num_variables: 0, ..base.clone() }).is_err());
         assert!(random_qubo(&RandomQuboConfig { density: 1.5, ..base.clone() }).is_err());
         assert!(random_qubo(&RandomQuboConfig { coefficient_range: 0.0, ..base.clone() }).is_err());

@@ -142,7 +142,8 @@ mod tests {
 
     #[test]
     fn ising_evaluate_checks_length() {
-        let ising = IsingModel { fields: vec![1.0, -1.0], couplings: vec![(0, 1, 0.5)], offset: 0.0 };
+        let ising =
+            IsingModel { fields: vec![1.0, -1.0], couplings: vec![(0, 1, 0.5)], offset: 0.0 };
         assert!(ising.evaluate(&[true]).is_err());
         assert_eq!(ising.num_spins(), 2);
         // s = (+1, −1): 1 − (−1) + 0.5·(−1) = 1 + 1 − 0.5 = 1.5.

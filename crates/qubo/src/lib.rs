@@ -5,6 +5,10 @@
 //!
 //! * [`QuboModel`] — a sparse, immutable QUBO instance with fast full and
 //!   incremental (single-flip) evaluation, built through [`QuboBuilder`].
+//! * [`LocalFieldState`] — the incremental local-field engine powering every
+//!   single-flip search loop in the workspace: O(1) flip-delta queries,
+//!   O(deg) applied flips, O(nnz) rebuilds (see [`fields`] for the
+//!   invariants).
 //! * [`ising`] — lossless conversion between QUBO and Ising (`s ∈ {−1,+1}`) form.
 //! * [`solver`] — the [`QuboSolver`] trait shared by the QHD solver and all
 //!   classical baselines, together with [`SolveReport`] / [`SolveStatus`]
@@ -36,11 +40,13 @@ mod builder;
 mod error;
 mod model;
 
+pub mod fields;
 pub mod generate;
 pub mod ising;
 pub mod solver;
 
 pub use builder::QuboBuilder;
 pub use error::QuboError;
+pub use fields::LocalFieldState;
 pub use model::{BinarySolution, QuboModel};
 pub use solver::{QuboSolver, SolveReport, SolveStatus, SolverOptions};

@@ -37,7 +37,9 @@ pub struct QuboModel {
     offset: f64,
     /// CSR-style adjacency over the symmetric coupling structure: for each
     /// variable `i`, the list of `(j, w_ij)` with `j != i`, where `w_ij` is the
-    /// full coefficient of the `x_i x_j` term.
+    /// full coefficient of the `x_i x_j` term. Each row is sorted by `j`
+    /// ascending (a consequence of `pairs` being sorted), which
+    /// [`QuboModel::coupling`] exploits for O(log deg) lookups.
     adj_offsets: Vec<usize>,
     adj_vars: Vec<usize>,
     adj_weights: Vec<f64>,
@@ -72,15 +74,14 @@ impl QuboModel {
             adj_weights[cursor[j]] = w;
             cursor[j] += 1;
         }
-        QuboModel {
-            num_variables,
-            linear,
-            offset,
-            adj_offsets,
-            adj_vars,
-            adj_weights,
-            pairs,
-        }
+        debug_assert!(
+            pairs.windows(2).all(|w| (w[0].0, w[0].1) < (w[1].0, w[1].1)),
+            "pair list must be strictly sorted for CSR rows to come out sorted"
+        );
+        debug_assert!((0..num_variables).all(|i| {
+            adj_vars[adj_offsets[i]..adj_offsets[i + 1]].windows(2).all(|w| w[0] < w[1])
+        }));
+        QuboModel { num_variables, linear, offset, adj_offsets, adj_vars, adj_weights, pairs }
     }
 
     /// Number of binary variables.
@@ -115,10 +116,25 @@ impl QuboModel {
     /// Panics if `i >= self.num_variables()`.
     pub fn couplings(&self, i: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
         let range = self.adj_offsets[i]..self.adj_offsets[i + 1];
-        self.adj_vars[range.clone()]
-            .iter()
-            .copied()
-            .zip(self.adj_weights[range].iter().copied())
+        self.adj_vars[range.clone()].iter().copied().zip(self.adj_weights[range].iter().copied())
+    }
+
+    /// The coupling coefficient `w_ij` of the `x_i x_j` term, or `0.0` if the
+    /// variables are uncoupled. Binary search over the sorted CSR row of the
+    /// lower-degree endpoint: O(log min(deg i, deg j)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i == j` or either index is out of range.
+    pub fn coupling(&self, i: usize, j: usize) -> f64 {
+        assert_ne!(i, j, "the coupling matrix has no diagonal");
+        let degree = |v: usize| self.adj_offsets[v + 1] - self.adj_offsets[v];
+        let (row, target) = if degree(i) <= degree(j) { (i, j) } else { (j, i) };
+        let span = self.adj_offsets[row]..self.adj_offsets[row + 1];
+        match self.adj_vars[span.clone()].binary_search(&target) {
+            Ok(pos) => self.adj_weights[span.start + pos],
+            Err(_) => 0.0,
+        }
     }
 
     /// Density of the quadratic coefficient matrix: fraction of the `n(n−1)/2`
@@ -235,14 +251,17 @@ impl QuboModel {
     }
 
     /// Returns the dense symmetric coupling matrix `W` (with `W_ij = W_ji =`
-    /// the coefficient of `x_i x_j`, zero diagonal), row-major. `O(n²)` memory;
-    /// intended for the exact small-instance QHD simulator and for tests.
-    pub fn to_dense(&self) -> Vec<Vec<f64>> {
+    /// the coefficient of `x_i x_j`, zero diagonal) as a single flat row-major
+    /// buffer of length `n²` (entry `(i, j)` at index `i * n + j`). One
+    /// contiguous allocation instead of `n` boxed rows, so dense backends can
+    /// stream it cache-linearly. `O(n²)` memory; intended for the exact
+    /// small-instance QHD simulator and for tests.
+    pub fn to_dense(&self) -> Vec<f64> {
         let n = self.num_variables;
-        let mut m = vec![vec![0.0; n]; n];
+        let mut m = vec![0.0; n * n];
         for &(i, j, w) in &self.pairs {
-            m[i][j] = w;
-            m[j][i] = w;
+            m[i * n + j] = w;
+            m[j * n + i] = w;
         }
         m
     }
@@ -298,12 +317,8 @@ mod tests {
     #[test]
     fn flip_delta_matches_full_reevaluation() {
         let m = small_model();
-        let assignments = [
-            [false, false, false],
-            [true, false, true],
-            [true, true, true],
-            [false, true, false],
-        ];
+        let assignments =
+            [[false, false, false], [true, false, true], [true, true, true], [false, true, false]];
         for x in assignments {
             for i in 0..3 {
                 let before = m.evaluate(&x).unwrap();
@@ -330,14 +345,30 @@ mod tests {
     fn dense_matrix_is_symmetric_with_zero_diagonal() {
         let m = small_model();
         let d = m.to_dense();
+        assert_eq!(d.len(), 9);
         for i in 0..3 {
-            assert_eq!(d[i][i], 0.0);
+            assert_eq!(d[i * 3 + i], 0.0);
             for j in 0..3 {
-                assert_eq!(d[i][j], d[j][i]);
+                assert_eq!(d[i * 3 + j], d[j * 3 + i]);
             }
         }
-        assert_eq!(d[0][1], 3.0);
-        assert_eq!(d[1][2], -1.5);
+        assert_eq!(d[1], 3.0); // (0, 1)
+        assert_eq!(d[5], -1.5); // (1, 2)
+    }
+
+    #[test]
+    fn coupling_lookup_matches_the_pair_list() {
+        let m = small_model();
+        assert_eq!(m.coupling(0, 1), 3.0);
+        assert_eq!(m.coupling(1, 0), 3.0);
+        assert_eq!(m.coupling(1, 2), -1.5);
+        assert_eq!(m.coupling(0, 2), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no diagonal")]
+    fn coupling_rejects_the_diagonal() {
+        small_model().coupling(1, 1);
     }
 
     #[test]

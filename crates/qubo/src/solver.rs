@@ -80,18 +80,12 @@ impl SolveReport {
 ///
 /// Solvers interpret a `None` time limit as "run to completion" (exact solvers)
 /// or "use the iteration budget only" (heuristics).
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct SolverOptions {
     /// Wall-clock budget for the solve.
     pub time_limit: Option<Duration>,
     /// Seed for any randomised decisions.
     pub seed: u64,
-}
-
-impl Default for SolverOptions {
-    fn default() -> Self {
-        SolverOptions { time_limit: None, seed: 0 }
-    }
 }
 
 impl SolverOptions {
@@ -231,8 +225,14 @@ mod tests {
         .unwrap();
         assert_eq!(r.objective, -1.0);
         assert_eq!(r.iterations, 7);
-        assert!(SolveReport::from_solution(&m, vec![true], SolveStatus::Heuristic, Duration::ZERO, 0)
-            .is_err());
+        assert!(SolveReport::from_solution(
+            &m,
+            vec![true],
+            SolveStatus::Heuristic,
+            Duration::ZERO,
+            0
+        )
+        .is_err());
     }
 
     #[test]
@@ -259,7 +259,7 @@ mod tests {
         assert_eq!(report.status, SolveStatus::Heuristic);
         assert!((m.evaluate(&report.solution).unwrap() - report.objective).abs() < 1e-12);
         // Random sampling should at least beat the all-zero assignment here.
-        assert!(report.objective <= m.evaluate(&vec![false; 12]).unwrap());
+        assert!(report.objective <= m.evaluate(&[false; 12]).unwrap());
     }
 
     #[test]

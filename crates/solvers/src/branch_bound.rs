@@ -14,18 +14,12 @@ use std::time::{Duration, Instant};
 /// Exact branch-and-bound solver with a configurable time limit.
 ///
 /// See the [crate-level documentation](crate) for an example.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct BranchAndBound {
     /// Time limit and seed.
     pub options: SolverOptions,
     /// Optional cap on the number of explored nodes (mainly for tests).
     pub node_limit: Option<u64>,
-}
-
-impl Default for BranchAndBound {
-    fn default() -> Self {
-        BranchAndBound { options: SolverOptions::default(), node_limit: None }
-    }
 }
 
 impl BranchAndBound {
@@ -75,7 +69,8 @@ impl SearchState<'_> {
         let mut bound = self.partial_energy;
         for i in 0..self.model.num_variables() {
             if !self.is_fixed[i] {
-                let optimistic = self.model.linear()[i] + self.fixed_field[i] + self.neg_remaining[i];
+                let optimistic =
+                    self.model.linear()[i] + self.fixed_field[i] + self.neg_remaining[i];
                 if optimistic < 0.0 {
                     bound += optimistic;
                 }
@@ -92,7 +87,7 @@ impl SearchState<'_> {
             self.stopped = true;
             return true;
         }
-        if self.nodes % 1024 == 0 {
+        if self.nodes.is_multiple_of(1024) {
             if let Some(deadline) = self.deadline {
                 if Instant::now() >= deadline {
                     self.stopped = true;
@@ -151,8 +146,7 @@ impl SearchState<'_> {
         }
         let var = self.order[depth];
         // Try the more promising value first.
-        let optimistic =
-            self.model.linear()[var] + self.fixed_field[var] + self.neg_remaining[var];
+        let optimistic = self.model.linear()[var] + self.fixed_field[var] + self.neg_remaining[var];
         let first = optimistic < 0.0;
         for value in [first, !first] {
             self.fix(var, value);
@@ -247,7 +241,7 @@ mod tests {
             })
             .unwrap();
             let bb = BranchAndBound::default().solve(&model).unwrap();
-            let exact = ExhaustiveSearch::default().solve(&model).unwrap();
+            let exact = ExhaustiveSearch.solve(&model).unwrap();
             assert_eq!(bb.status, SolveStatus::Optimal);
             assert!(
                 (bb.objective - exact.objective).abs() < 1e-9,
@@ -281,7 +275,8 @@ mod tests {
             seed: 7,
         })
         .unwrap();
-        let report = BranchAndBound::with_time_limit(Duration::from_millis(20)).solve(&model).unwrap();
+        let report =
+            BranchAndBound::with_time_limit(Duration::from_millis(20)).solve(&model).unwrap();
         assert_eq!(report.status, SolveStatus::TimeLimit);
         // The incumbent is still a valid solution.
         assert!((model.evaluate(&report.solution).unwrap() - report.objective).abs() < 1e-12);

@@ -92,10 +92,10 @@ mod tests {
 
     #[test]
     fn rejects_oversized_and_empty_models() {
-        assert!(ExhaustiveSearch::default()
+        assert!(ExhaustiveSearch
             .solve(&QuboBuilder::new(MAX_EXHAUSTIVE_VARIABLES + 1).build())
             .is_err());
-        assert!(ExhaustiveSearch::default().solve(&QuboBuilder::new(0).build()).is_err());
+        assert!(ExhaustiveSearch.solve(&QuboBuilder::new(0).build()).is_err());
     }
 
     #[test]
@@ -107,7 +107,7 @@ mod tests {
             seed: 17,
         })
         .unwrap();
-        let optimum = ExhaustiveSearch::default().solve(&model).unwrap().objective;
+        let optimum = ExhaustiveSearch.solve(&model).unwrap().objective;
         for bits in 0..(1u32 << 10) {
             let x: Vec<bool> = (0..10).map(|i| (bits >> i) & 1 == 1).collect();
             assert!(model.evaluate(&x).unwrap() >= optimum - 1e-12);

@@ -119,7 +119,7 @@ mod tests {
             })
             .unwrap();
             let greedy = MultiStartGreedy::default().with_seed(seed).solve(&model).unwrap();
-            let exact = ExhaustiveSearch::default().solve(&model).unwrap();
+            let exact = ExhaustiveSearch.solve(&model).unwrap();
             // Multi-start greedy is not exact but should be within a small gap.
             let gap = (greedy.objective - exact.objective).abs();
             assert!(gap <= 0.25 * exact.objective.abs().max(1.0), "seed={seed} gap={gap}");

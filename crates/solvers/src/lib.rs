@@ -50,20 +50,20 @@ pub use tabu::TabuSearch;
 pub(crate) mod local_search {
     //! Shared single-flip descent used to seed and polish incumbents.
 
-    use qhdcd_qubo::QuboModel;
+    use qhdcd_qubo::{LocalFieldState, QuboModel};
 
     /// First-improvement single-flip descent; returns the improved solution and
     /// its energy. Identical semantics to the refinement step in `qhdcd-qhd`,
-    /// duplicated here to keep the baseline crate independent of the QHD crate.
-    pub fn descend(model: &QuboModel, mut x: Vec<bool>, max_sweeps: usize) -> (Vec<bool>, f64) {
-        let mut energy = model.evaluate(&x).expect("solution length matches model");
+    /// duplicated here to keep the baseline crate independent of the QHD crate;
+    /// both run on the shared [`LocalFieldState`] engine, so a candidate flip
+    /// costs O(1) and a sweep costs O(n) plus O(deg) per accepted move.
+    pub fn descend(model: &QuboModel, x: Vec<bool>, max_sweeps: usize) -> (Vec<bool>, f64) {
+        let mut state = LocalFieldState::new(model, x);
         for _ in 0..max_sweeps {
             let mut improved = false;
-            for i in 0..x.len() {
-                let delta = model.flip_delta(&x, i);
-                if delta < -1e-15 {
-                    x[i] = !x[i];
-                    energy += delta;
+            for i in 0..state.num_variables() {
+                if state.flip_delta(i) < -1e-15 {
+                    state.apply_flip(i);
                     improved = true;
                 }
             }
@@ -71,7 +71,8 @@ pub(crate) mod local_search {
                 break;
             }
         }
-        (x, energy)
+        state.debug_validate();
+        state.into_solution()
     }
 
     #[cfg(test)]

@@ -1,6 +1,13 @@
 //! Single-flip Metropolis simulated annealing for QUBO.
+//!
+//! The Metropolis loop runs on [`LocalFieldState`]: proposing a flip costs
+//! O(1) (one cached-field read) and only *accepted* flips pay the O(deg)
+//! neighbour-field update — on low-acceptance phases late in the cooling
+//! schedule this is the difference between O(deg) and O(1) per proposal.
 
-use qhdcd_qubo::{QuboError, QuboModel, QuboSolver, SolveReport, SolveStatus, SolverOptions};
+use qhdcd_qubo::{
+    LocalFieldState, QuboError, QuboModel, QuboSolver, SolveReport, SolveStatus, SolverOptions,
+};
 use rand::prelude::*;
 use rand_chacha::ChaCha8Rng;
 use std::time::Instant;
@@ -107,20 +114,22 @@ impl QuboSolver for SimulatedAnnealing {
         let mut best: Vec<bool> = vec![false; n];
         let mut best_e = model.evaluate(&best)?;
         let mut total_sweeps = 0u64;
+        // One local-field engine reused across restarts (set_solution rebuilds
+        // the fields in O(nnz) without reallocating).
+        let mut state = LocalFieldState::new(model, vec![false; n]);
         'restarts: for _ in 0..self.restarts.max(1) {
-            let mut x: Vec<bool> = (0..n).map(|_| rng.gen()).collect();
-            let mut e = model.evaluate(&x)?;
+            let x: Vec<bool> = (0..n).map(|_| rng.gen()).collect();
+            state.set_solution(&x);
             let mut temperature = t_start;
             for _ in 0..self.sweeps {
                 for _ in 0..n {
                     let i = rng.gen_range(0..n);
-                    let delta = model.flip_delta(&x, i);
+                    let delta = state.flip_delta(i);
                     if delta <= 0.0 || rng.gen::<f64>() < (-delta / temperature).exp() {
-                        x[i] = !x[i];
-                        e += delta;
-                        if e < best_e {
-                            best_e = e;
-                            best.copy_from_slice(&x);
+                        state.apply_flip(i);
+                        if state.energy() < best_e {
+                            best_e = state.energy();
+                            best.copy_from_slice(state.solution());
                         }
                     }
                 }
@@ -133,6 +142,7 @@ impl QuboSolver for SimulatedAnnealing {
                 }
             }
         }
+        state.debug_validate();
         Ok(SolveReport {
             solution: best,
             objective: best_e,
@@ -162,7 +172,7 @@ mod tests {
             })
             .unwrap();
             let sa = SimulatedAnnealing::default().with_seed(seed).solve(&model).unwrap();
-            let exact = ExhaustiveSearch::default().solve(&model).unwrap();
+            let exact = ExhaustiveSearch.solve(&model).unwrap();
             assert!(
                 (sa.objective - exact.objective).abs() < 1e-9,
                 "seed={seed}: sa={} exact={}",

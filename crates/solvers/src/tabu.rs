@@ -1,7 +1,14 @@
 //! Single-flip tabu search for QUBO.
+//!
+//! The move scan runs on [`LocalFieldState`]: each of the `n` candidate flips
+//! per iteration is scored in O(1) from the cached fields, and only the one
+//! applied move pays the O(deg) field update — an O(nnz) → O(n + deg)
+//! per-iteration improvement.
 
 use crate::local_search;
-use qhdcd_qubo::{QuboError, QuboModel, QuboSolver, SolveReport, SolveStatus, SolverOptions};
+use qhdcd_qubo::{
+    LocalFieldState, QuboError, QuboModel, QuboSolver, SolveReport, SolveStatus, SolverOptions,
+};
 use rand::prelude::*;
 use rand_chacha::ChaCha8Rng;
 use std::time::Instant;
@@ -75,38 +82,40 @@ impl QuboSolver for TabuSearch {
         if self.iterations == 0 {
             return Err(QuboError::InvalidConfig { reason: "iterations must be positive".into() });
         }
-        let tenure = self.tenure.unwrap_or_else(|| (n / 10).max(10)).min(n.saturating_sub(1)).max(1);
+        let tenure =
+            self.tenure.unwrap_or_else(|| (n / 10).max(10)).min(n.saturating_sub(1)).max(1);
         let deadline = self.options.time_limit.map(|limit| start + limit);
 
         let mut rng = ChaCha8Rng::seed_from_u64(self.options.seed);
         // Start from a greedily improved random assignment.
         let random_start: Vec<bool> = (0..n).map(|_| rng.gen()).collect();
-        let (mut x, mut e) = local_search::descend(model, random_start, 50);
-        let mut best = x.clone();
+        let (x, e) = local_search::descend(model, random_start, 50);
+        let mut state = LocalFieldState::new(model, x);
+        let mut best = state.solution().to_vec();
         let mut best_e = e;
         // tabu_until[i] = first iteration at which flipping i is allowed again.
         let mut tabu_until = vec![0usize; n];
         let mut performed = 0u64;
         for iter in 0..self.iterations {
+            let e = state.energy();
             let mut chosen: Option<(usize, f64)> = None;
-            for i in 0..n {
-                let delta = model.flip_delta(&x, i);
+            for (i, &until) in tabu_until.iter().enumerate() {
+                let delta = state.flip_delta(i);
                 let aspires = e + delta < best_e - 1e-12;
-                if tabu_until[i] > iter && !aspires {
+                if until > iter && !aspires {
                     continue;
                 }
-                if chosen.map_or(true, |(_, d)| delta < d) {
+                if chosen.is_none_or(|(_, d)| delta < d) {
                     chosen = Some((i, delta));
                 }
             }
-            let Some((i, delta)) = chosen else { break };
-            x[i] = !x[i];
-            e += delta;
+            let Some((i, _)) = chosen else { break };
+            state.apply_flip(i);
             tabu_until[i] = iter + 1 + tenure;
             performed += 1;
-            if e < best_e - 1e-12 {
-                best_e = e;
-                best.copy_from_slice(&x);
+            if state.energy() < best_e - 1e-12 {
+                best_e = state.energy();
+                best.copy_from_slice(state.solution());
             }
             if iter % 256 == 0 {
                 if let Some(d) = deadline {
@@ -116,6 +125,7 @@ impl QuboSolver for TabuSearch {
                 }
             }
         }
+        state.debug_validate();
         Ok(SolveReport {
             solution: best,
             objective: best_e,
@@ -144,7 +154,7 @@ mod tests {
             })
             .unwrap();
             let tabu = TabuSearch::default().with_seed(seed).solve(&model).unwrap();
-            let exact = ExhaustiveSearch::default().solve(&model).unwrap();
+            let exact = ExhaustiveSearch.solve(&model).unwrap();
             assert!(
                 (tabu.objective - exact.objective).abs() < 1e-9,
                 "seed={seed}: tabu={} exact={}",

@@ -12,8 +12,8 @@
 //! cargo run --release --example multilevel_scaling
 //! ```
 
-use qhdcd::core::multilevel::{detect, MultilevelConfig};
 use qhdcd::core::coarsen::CoarsenConfig;
+use qhdcd::core::multilevel::{detect, MultilevelConfig};
 use qhdcd::graph::generators::{self, PlantedPartitionConfig};
 use qhdcd::prelude::*;
 

@@ -36,7 +36,10 @@ fn main() -> Result<(), CdError> {
         ("louvain", Method::Louvain),
         ("label-propagation", Method::LabelPropagation),
     ];
-    println!("{:<22} {:>10} {:>12} {:>8} {:>10}", "method", "modularity", "communities", "nmi", "time[s]");
+    println!(
+        "{:<22} {:>10} {:>12} {:>8} {:>10}",
+        "method", "modularity", "communities", "nmi", "time[s]"
+    );
     for (name, method) in methods {
         let result = CommunityDetector::new(method)
             .with_communities(communities)

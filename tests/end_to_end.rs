@@ -35,7 +35,7 @@ fn qhd_direct_matches_exact_solver_on_a_small_graph() {
     let pg = generators::ring_of_cliques(2, 4).unwrap();
     let qubo = build_qubo(&pg.graph, &FormulationConfig::with_communities(2)).unwrap();
 
-    let exact = ExhaustiveSearch::default().solve(qubo.model()).unwrap();
+    let exact = ExhaustiveSearch.solve(qubo.model()).unwrap();
     let exact_partition = qubo.decode(&pg.graph, &exact.solution).unwrap();
     let exact_q = modularity::modularity(&pg.graph, &exact_partition);
 
@@ -58,7 +58,7 @@ fn all_solvers_agree_on_tiny_community_detection_qubos() {
     let qubo = build_qubo(&pg.graph, &FormulationConfig::with_communities(2)).unwrap();
     let model = qubo.model();
 
-    let exact = ExhaustiveSearch::default().solve(model).unwrap().objective;
+    let exact = ExhaustiveSearch.solve(model).unwrap().objective;
     let bb = BranchAndBound::default().solve(model).unwrap();
     assert_eq!(bb.status, SolveStatus::Optimal);
     assert!((bb.objective - exact).abs() < 1e-9);
@@ -122,7 +122,8 @@ fn qhd_beats_label_propagation_on_ambiguous_graphs() {
         .with_coarsen_threshold(80)
         .detect(&pg.graph)
         .unwrap();
-    let lpa = CommunityDetector::new(Method::LabelPropagation).with_seed(1).detect(&pg.graph).unwrap();
+    let lpa =
+        CommunityDetector::new(Method::LabelPropagation).with_seed(1).detect(&pg.graph).unwrap();
     assert!(
         qhd.modularity >= lpa.modularity - 0.02,
         "qhd={} lpa={}",

@@ -4,7 +4,7 @@
 use proptest::prelude::*;
 use qhdcd::core::formulation::{build_qubo, FormulationConfig};
 use qhdcd::graph::{metrics, modularity, GraphBuilder, Partition};
-use qhdcd::qubo::{ising, QuboBuilder};
+use qhdcd::qubo::{ising, LocalFieldState, QuboBuilder, QuboModel};
 
 /// Strategy: a random small undirected graph as (num_nodes, edge list).
 fn arbitrary_graph() -> impl Strategy<Value = (usize, Vec<(usize, usize)>)> {
@@ -180,5 +180,81 @@ proptest! {
         let (improved, energy) = qhdcd::qhd::refine::greedy_descent(&model, x, 50);
         prop_assert!(energy <= before + 1e-9);
         prop_assert!((model.evaluate(&improved).expect("length matches") - energy).abs() < 1e-9);
+    }
+
+    /// After an arbitrary flip sequence, the incremental local-field engine
+    /// agrees with the ground-truth `flip_delta` / `evaluate` on every count:
+    /// cached fields, O(1) deltas, pair deltas and the running energy.
+    #[test]
+    fn local_field_state_tracks_ground_truth_through_flip_sequences(
+        (n, linear, quadratic) in arbitrary_qubo(),
+        bits in proptest::collection::vec(any::<bool>(), 2..10),
+        flips in proptest::collection::vec(0usize..10, 0..40),
+    ) {
+        let model = build_model(n, &linear, &quadratic);
+        let start: Vec<bool> = (0..n).map(|i| bits[i % bits.len()]).collect();
+        let mut state = LocalFieldState::new(&model, start.clone());
+        let mut mirror = start;
+        for &f in &flips {
+            let i = f % n;
+            let predicted = state.flip_delta(i);
+            prop_assert!((predicted - model.flip_delta(&mirror, i)).abs() < 1e-9);
+            state.apply_flip(i);
+            mirror[i] = !mirror[i];
+        }
+        prop_assert_eq!(state.solution(), &mirror[..]);
+        let exact = model.evaluate(&mirror).expect("length matches");
+        prop_assert!((state.energy() - exact).abs() < 1e-9);
+        for i in 0..n {
+            prop_assert!((state.field(i) - model.local_field(&mirror, i)).abs() < 1e-9);
+            for j in 0..n {
+                if i != j {
+                    let mut y = mirror.clone();
+                    y[i] = !y[i];
+                    y[j] = !y[j];
+                    let pair_exact = model.evaluate(&y).expect("length matches") - exact;
+                    prop_assert!((state.pair_flip_delta(i, j) - pair_exact).abs() < 1e-9);
+                }
+            }
+        }
+        prop_assert!(state.consistency_error() < 1e-9);
+    }
+
+    /// The engine-based first-improvement descent reproduces the seed (naive
+    /// per-candidate `flip_delta`) implementation exactly: same trajectory,
+    /// same final assignment, for every random instance and start.
+    #[test]
+    fn refactored_descent_matches_naive_reference(
+        (n, linear, quadratic) in arbitrary_qubo(),
+        bits in proptest::collection::vec(any::<bool>(), 2..10),
+    ) {
+        fn naive_first_improvement(
+            model: &QuboModel,
+            mut x: Vec<bool>,
+            max_sweeps: usize,
+        ) -> (Vec<bool>, f64) {
+            let mut energy = model.evaluate(&x).expect("length matches");
+            for _ in 0..max_sweeps {
+                let mut improved = false;
+                for i in 0..x.len() {
+                    let delta = model.flip_delta(&x, i);
+                    if delta < -1e-15 {
+                        x[i] = !x[i];
+                        energy += delta;
+                        improved = true;
+                    }
+                }
+                if !improved {
+                    break;
+                }
+            }
+            (x, energy)
+        }
+        let model = build_model(n, &linear, &quadratic);
+        let start: Vec<bool> = (0..n).map(|i| bits[i % bits.len()]).collect();
+        let (naive_x, naive_e) = naive_first_improvement(&model, start.clone(), 50);
+        let (new_x, new_e) = qhdcd::qhd::refine::first_improvement_descent(&model, start, 50);
+        prop_assert_eq!(new_x, naive_x);
+        prop_assert!((new_e - naive_e).abs() < 1e-9);
     }
 }
