@@ -1,0 +1,126 @@
+//! Restart-scaling benchmark for the parallel portfolio runtime.
+//!
+//! Runs a fixed portfolio schedule (annealing restarts on the PR-2 gate
+//! instance: 5 000 variables, 1 % density) at 1, 2, 4 and 8 worker threads
+//! and reports the wall-clock speedup of each worker count over the serial
+//! run. Because the runtime derives every restart from its own ChaCha stream,
+//! all worker counts produce bit-identical results — asserted before timing —
+//! so the ratio is a pure scheduling measurement.
+//!
+//! The speedup ceiling is `min(workers, cores)`: on a single-core container
+//! the 8-worker run measures the runtime's thread overhead instead of a gain,
+//! which is why the emitted JSON records `available_parallelism` next to the
+//! ratios. The machine-readable summary between `BENCH_JSON_BEGIN` /
+//! `BENCH_JSON_END` is captured into `BENCH_refine.json` at the repo root.
+
+use criterion::{criterion_group, criterion_main, measure, BenchmarkId, Criterion, Summary};
+use qhdcd_qubo::generate::{random_qubo, RandomQuboConfig};
+use qhdcd_qubo::{QuboModel, QuboSolver};
+use qhdcd_solvers::{PortfolioConfig, PortfolioSolver, Strategy};
+use std::time::Duration;
+
+const NUM_VARIABLES: usize = 5_000;
+const DENSITY: f64 = 0.01;
+const RESTARTS: usize = 8;
+const SWEEPS: usize = 10;
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn gate_instance() -> QuboModel {
+    random_qubo(&RandomQuboConfig {
+        num_variables: NUM_VARIABLES,
+        density: DENSITY,
+        coefficient_range: 1.0,
+        seed: 2025,
+    })
+    .expect("valid generator configuration")
+}
+
+fn portfolio(threads: usize) -> PortfolioSolver {
+    PortfolioSolver::with_config(PortfolioConfig {
+        restarts: RESTARTS,
+        threads,
+        sweeps: SWEEPS,
+        seed: 7,
+        ..PortfolioConfig::default()
+    })
+    .with_strategies(vec![Strategy::Annealing {
+        initial_temperature: 2.0,
+        final_temperature: 0.01,
+    }])
+}
+
+fn bench_portfolio_scaling(c: &mut Criterion) {
+    let model = gate_instance();
+    let cores = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    println!(
+        "instance: {} variables, {} quadratic terms; {RESTARTS} restarts x {SWEEPS} sweeps; \
+         {cores} core(s) available",
+        model.num_variables(),
+        model.num_quadratic_terms(),
+    );
+
+    // Determinism gate before timing anything: every worker count must return
+    // the bit-identical best solution and energy.
+    let reference = portfolio(1).solve(&model).expect("solve succeeds");
+    for &threads in &WORKER_COUNTS[1..] {
+        let run = portfolio(threads).solve(&model).expect("solve succeeds");
+        assert_eq!(run.solution, reference.solution, "threads={threads} diverged");
+        assert_eq!(
+            run.objective.to_bits(),
+            reference.objective.to_bits(),
+            "threads={threads} energy diverged"
+        );
+    }
+
+    let mut group = c.benchmark_group("portfolio_scaling");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(200));
+    group.measurement_time(Duration::from_secs(1));
+    for &threads in &WORKER_COUNTS {
+        group.bench_with_input(BenchmarkId::new("workers", threads), &model, |b, m| {
+            let solver = portfolio(threads);
+            b.iter(|| solver.solve(m).expect("solve succeeds"))
+        });
+    }
+    group.finish();
+
+    // Machine-readable summary (captured into BENCH_refine.json).
+    let warm = Duration::from_millis(200);
+    let window = Duration::from_secs(1);
+    let time = |s: Summary| s.median.as_secs_f64() * 1e3;
+    let timings: Vec<(usize, f64)> = WORKER_COUNTS
+        .iter()
+        .map(|&threads| {
+            let solver = portfolio(threads);
+            let ms =
+                time(measure(|| solver.solve(&model).expect("solve succeeds"), warm, window, 10));
+            (threads, ms)
+        })
+        .collect();
+    let serial_ms = timings[0].1;
+    println!("BENCH_JSON_BEGIN");
+    let rows: Vec<String> = timings
+        .iter()
+        .map(|&(threads, ms)| {
+            format!(
+                "    {{ \"workers\": {threads}, \"median_ms\": {ms:.3}, \"speedup\": {:.2} }}",
+                serial_ms / ms
+            )
+        })
+        .collect();
+    println!(
+        "{{\n  \"bench\": \"portfolio_scaling\",\n  \"instance\": {{ \"num_variables\": {}, \
+         \"density\": {}, \"quadratic_terms\": {}, \"seed\": 2025 }},\n  \"schedule\": {{ \
+         \"restarts\": {RESTARTS}, \"sweeps\": {SWEEPS}, \"strategy\": \"annealing\" }},\n  \
+         \"available_parallelism\": {cores},\n  \"deterministic_across_worker_counts\": true,\n  \
+         \"scaling\": [\n{}\n  ]\n}}",
+        NUM_VARIABLES,
+        DENSITY,
+        model.num_quadratic_terms(),
+        rows.join(",\n")
+    );
+    println!("BENCH_JSON_END");
+}
+
+criterion_group!(benches, bench_portfolio_scaling);
+criterion_main!(benches);

@@ -12,7 +12,7 @@ use crate::{label_propagation, louvain, CdError};
 use qhdcd_graph::{Graph, Partition};
 use qhdcd_qhd::QhdSolver;
 use qhdcd_qubo::SolverOptions;
-use qhdcd_solvers::{BranchAndBound, SimulatedAnnealing};
+use qhdcd_solvers::{BranchAndBound, MoveSet, PortfolioSolver, SimulatedAnnealing};
 use std::time::{Duration, Instant};
 
 /// The detection algorithm to run.
@@ -26,6 +26,10 @@ pub enum Method {
     BranchAndBoundDirect,
     /// Multilevel pipeline with simulated annealing on the coarsest graph.
     AnnealingMultilevel,
+    /// Multilevel pipeline with the parallel restart portfolio
+    /// (greedy + annealing + tabu over the deterministic runtime, pair-aware
+    /// moves for the one-hot encoding) on the coarsest graph.
+    PortfolioMultilevel,
     /// Classical Louvain baseline (no QUBO involved).
     Louvain,
     /// Classical label-propagation baseline (no QUBO involved).
@@ -43,6 +47,7 @@ impl std::fmt::Display for Method {
             Method::QhdMultilevel => "qhd-multilevel",
             Method::BranchAndBoundDirect => "branch-and-bound-direct",
             Method::AnnealingMultilevel => "annealing-multilevel",
+            Method::PortfolioMultilevel => "portfolio-multilevel",
             Method::Louvain => "louvain",
             Method::LabelPropagation => "label-propagation",
             Method::Spectral => "spectral",
@@ -223,6 +228,15 @@ impl CommunityDetector {
                 let out = multilevel::detect(graph, &solver, &self.multilevel_config())?;
                 (out.partition, out.modularity)
             }
+            Method::PortfolioMultilevel => {
+                // Pair-aware moves let the greedy members reassign one-hot
+                // indicators natively instead of stalling on the penalty wall.
+                let mut solver = PortfolioSolver::default().with_seed(self.seed);
+                solver.config.move_set = MoveSet::PairAware;
+                solver.config.time_limit = self.time_limit;
+                let out = multilevel::detect(graph, &solver, &self.multilevel_config())?;
+                (out.partition, out.modularity)
+            }
             Method::Louvain => {
                 let out = louvain::detect(graph, &louvain::LouvainConfig::default())?;
                 (out.partition, out.modularity)
@@ -285,6 +299,7 @@ mod tests {
             Method::QhdDirect,
             Method::QhdMultilevel,
             Method::AnnealingMultilevel,
+            Method::PortfolioMultilevel,
             Method::Louvain,
             Method::LabelPropagation,
             Method::Spectral,

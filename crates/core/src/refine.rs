@@ -4,9 +4,58 @@
 //! neighbouring community with the highest positive modularity gain until no
 //! improving move remains or the pass budget is exhausted. The same routine
 //! also powers the local phase of the Louvain baseline.
+//!
+//! # Unified move engine
+//!
+//! Refinement is one-hot local search: node `i` in community `a` corresponds
+//! to the indicator `x_{i,a} = 1`, and moving it to community `b` clears
+//! `x_{i,a}` and sets `x_{i,b}` — exactly the native
+//! [`LocalFieldState::apply_reassign`] move of the shared QUBO engine. The
+//! modularity gain splits into
+//!
+//! * a **sparse part** `(k_{i→b} − k_{i→a})/m` carried by a per-slot adjacency
+//!   QUBO (`nk` variables, one `−2 A_uv` coupling per edge per slot) whose
+//!   cached local fields price a candidate reassignment in O(1) via
+//!   [`LocalFieldState::reassign_delta_with_coupling`], and
+//! * a **dense part** `−d_i (Σtot_b − Σtot_a + d_i)/(2m²)` from the
+//!   degree-product term, which collapses to the per-community degree sums
+//!   `Σtot_c` and is maintained as a k-length aggregate — it never needs the
+//!   O(n²) pair expansion.
+//!
+//! The sum is algebraically identical to the classical Louvain gain formula
+//! (`ModularityState::gain`); a test pins the two paths against each other.
+//! Because the engine path materialises `n·k` variables and `m·k` couplings
+//! per call, it runs only where that construction pays off: community counts
+//! up to [`ENGINE_MAX_SLOTS`] (the multilevel regime) or instances small
+//! enough that it is free ([`ENGINE_SMALL_VARIABLES`]), within the
+//! [`ENGINE_MAX_VARIABLES`] / [`ENGINE_MAX_COUPLINGS`] memory budget.
+//! Everything else — notably the k ≈ n singleton starts of Louvain local
+//! phases — keeps the O(m)-setup aggregate-only [`ModularityState`]
+//! bookkeeping.
 
 use crate::CdError;
 use qhdcd_graph::{modularity::ModularityState, Graph, Partition};
+use qhdcd_qubo::{LocalFieldState, QuboBuilder};
+
+/// Upper bound on `n·k` (one-hot indicator variables) for the engine-backed
+/// refinement path; larger instances use the aggregate fallback.
+pub const ENGINE_MAX_VARIABLES: usize = 100_000;
+
+/// Upper bound on `m·k` (per-slot adjacency couplings) for the engine-backed
+/// refinement path; larger instances use the aggregate fallback.
+pub const ENGINE_MAX_COUPLINGS: usize = 1_500_000;
+
+/// Upper bound on the community count `k` for the engine-backed path (unless
+/// the whole instance is tiny, see [`ENGINE_SMALL_VARIABLES`]). The engine
+/// pays O(m·k) construction per call, which is wasted effort in the k ≈ n
+/// regime (Louvain local phases start from singletons every level) where the
+/// O(m)-setup aggregate path reaches the same quality.
+pub const ENGINE_MAX_SLOTS: usize = 64;
+
+/// `n·k` threshold below which the engine path is used regardless of
+/// [`ENGINE_MAX_SLOTS`] — tiny instances (karate-scale singleton starts)
+/// build their QUBO in microseconds.
+pub const ENGINE_SMALL_VARIABLES: usize = 4_096;
 
 /// Configuration of the modularity-gain refinement.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -68,7 +117,122 @@ pub fn refine_partition(
         return Err(CdError::InvalidConfig { reason: "max_passes must be > 0".into() });
     }
     partition.check_matches(graph).map_err(CdError::Graph)?;
-    let mut state = ModularityState::new(graph, partition);
+    let renum = partition.renumbered();
+    let n = graph.num_nodes();
+    let k = renum.num_communities().max(1);
+    let num_couplings = k * graph.edges().filter(|&(u, v, _)| u != v).count();
+    let within_budget = n * k <= ENGINE_MAX_VARIABLES && num_couplings <= ENGINE_MAX_COUPLINGS;
+    let worthwhile = k <= ENGINE_MAX_SLOTS || n * k <= ENGINE_SMALL_VARIABLES;
+    if within_budget && worthwhile {
+        refine_with_engine(graph, &renum, config)
+    } else {
+        refine_with_aggregates(graph, &renum, config)
+    }
+}
+
+/// The engine-backed path: reassign moves on a per-slot adjacency QUBO plus
+/// the `Σtot` aggregate for the degree-product term.
+fn refine_with_engine(
+    graph: &Graph,
+    renum: &Partition,
+    config: &RefineConfig,
+) -> Result<RefineOutcome, CdError> {
+    let n = graph.num_nodes();
+    let k = renum.num_communities().max(1);
+    let two_m = 2.0 * graph.total_edge_weight();
+    let m = two_m / 2.0;
+    let idx = |node: usize, c: usize| node * k + c;
+
+    // Per-slot adjacency QUBO: E_sparse(x) = −Σ_c Σ_{u<v} 2 A_uv x_uc x_vc.
+    // Self-loops contribute identically to every slot of their node and cancel
+    // in every reassignment, so they are omitted. The degree-product part of
+    // the modularity matrix is handled by the Σtot aggregate below instead of
+    // an O(n²k) pair expansion.
+    let mut builder = QuboBuilder::new(n * k);
+    for (u, v, w) in graph.edges() {
+        if u == v {
+            continue;
+        }
+        for c in 0..k {
+            builder.add_quadratic(idx(u, c), idx(v, c), -2.0 * w).map_err(CdError::Qubo)?;
+        }
+    }
+    let model = builder.build();
+
+    let mut labels: Vec<usize> = (0..n).map(|node| renum.community_of(node)).collect();
+    let mut x = vec![false; n * k];
+    for (node, &c) in labels.iter().enumerate() {
+        x[idx(node, c)] = true;
+    }
+    let mut state = LocalFieldState::try_new(&model, x).map_err(CdError::Qubo)?;
+    let mut sigma_tot = vec![0.0f64; k];
+    for node in 0..n {
+        sigma_tot[labels[node]] += graph.degree(node);
+    }
+
+    // Per-(pass, node) visit stamps for candidate-community deduplication.
+    let mut stamp = vec![usize::MAX; k];
+    let mut visit = 0usize;
+
+    let mut total_gain = 0.0;
+    let mut moves = 0usize;
+    let mut passes = 0usize;
+    for _ in 0..config.max_passes {
+        passes += 1;
+        let mut pass_gain = 0.0;
+        for node in 0..n {
+            visit += 1;
+            let cur = labels[node];
+            let d_i = graph.degree(node);
+            let mut best: Option<(usize, f64)> = None;
+            for (v, _) in graph.neighbors(node) {
+                if v == node {
+                    continue;
+                }
+                let c = labels[v];
+                if c == cur || stamp[c] == visit {
+                    continue;
+                }
+                stamp[c] = visit;
+                // The two indicators of a node are never coupled (all
+                // couplings live within one slot), so w_ij = 0.
+                let delta_sparse =
+                    state.reassign_delta_with_coupling(idx(node, cur), idx(node, c), 0.0);
+                let delta_dense =
+                    if m > 0.0 { (d_i / m) * (sigma_tot[c] - sigma_tot[cur] + d_i) } else { 0.0 };
+                let gain = if two_m > 0.0 { -(delta_sparse + delta_dense) / two_m } else { 0.0 };
+                if gain > best.map_or(0.0, |(_, g)| g) && gain > 1e-12 {
+                    best = Some((c, gain));
+                }
+            }
+            if let Some((target, gain)) = best {
+                state.apply_reassign(idx(node, cur), idx(node, target));
+                sigma_tot[cur] -= d_i;
+                sigma_tot[target] += d_i;
+                labels[node] = target;
+                pass_gain += gain;
+                moves += 1;
+            }
+        }
+        total_gain += pass_gain;
+        if pass_gain < config.min_gain {
+            break;
+        }
+    }
+    state.debug_validate();
+    let partition = Partition::from_labels(labels).map_err(CdError::Graph)?.renumbered();
+    Ok(RefineOutcome { partition, total_gain, moves, passes })
+}
+
+/// The aggregate-only fallback for instances too large to materialise the
+/// per-slot QUBO: classic `ModularityState` bookkeeping (`Σtot` per community,
+/// O(deg) gain scans).
+fn refine_with_aggregates(
+    graph: &Graph,
+    renum: &Partition,
+    config: &RefineConfig,
+) -> Result<RefineOutcome, CdError> {
+    let mut state = ModularityState::new(graph, renum);
     let mut total_gain = 0.0;
     let mut moves = 0usize;
     let mut passes = 0usize;
@@ -153,5 +317,127 @@ mod tests {
         let config = RefineConfig { max_passes: 1, ..RefineConfig::default() };
         let out = refine_partition(&pg.graph, &Partition::singletons(100), &config).unwrap();
         assert_eq!(out.passes, 1);
+    }
+
+    #[test]
+    fn engine_and_aggregate_paths_agree_on_quality() {
+        // Both paths implement the same greedy gain formula; tie-breaking and
+        // rounding can route individual moves differently, so pin the reached
+        // modularity (and local-optimality) rather than exact partitions.
+        let pg = generators::planted_partition(&generators::PlantedPartitionConfig {
+            num_nodes: 90,
+            num_communities: 3,
+            p_in: 0.3,
+            p_out: 0.02,
+            seed: 9,
+        })
+        .unwrap();
+        for start in [Partition::singletons(90), pg.ground_truth.clone()] {
+            let engine =
+                refine_with_engine(&pg.graph, &start.renumbered(), &RefineConfig::default())
+                    .unwrap();
+            let aggregate =
+                refine_with_aggregates(&pg.graph, &start.renumbered(), &RefineConfig::default())
+                    .unwrap();
+            let q_engine = modularity::modularity(&pg.graph, &engine.partition);
+            let q_aggregate = modularity::modularity(&pg.graph, &aggregate.partition);
+            assert!(
+                (q_engine - q_aggregate).abs() < 0.06,
+                "engine={q_engine} aggregate={q_aggregate}"
+            );
+            // The engine result is a local optimum of the aggregate gain too:
+            // one more aggregate pass must find (almost) nothing.
+            let polish = refine_with_aggregates(
+                &pg.graph,
+                &engine.partition,
+                &RefineConfig { max_passes: 1, ..RefineConfig::default() },
+            )
+            .unwrap();
+            assert!(polish.total_gain < 1e-6, "residual gain {}", polish.total_gain);
+        }
+    }
+
+    #[test]
+    fn engine_gains_match_the_louvain_gain_formula() {
+        // For every node and neighbouring community of a fixed partition, the
+        // engine-path gain (sparse reassign delta + Σtot correction) must equal
+        // ModularityState::gain and the recomputed modularity difference.
+        let pg = generators::ring_of_cliques(4, 5).unwrap();
+        let g = &pg.graph;
+        let p = pg.ground_truth.renumbered();
+        let k = p.num_communities();
+        let n = g.num_nodes();
+        let idx = |node: usize, c: usize| node * k + c;
+        let mut builder = QuboBuilder::new(n * k);
+        for (u, v, w) in g.edges() {
+            if u != v {
+                for c in 0..k {
+                    builder.add_quadratic(idx(u, c), idx(v, c), -2.0 * w).unwrap();
+                }
+            }
+        }
+        let model = builder.build();
+        let mut x = vec![false; n * k];
+        for node in 0..n {
+            x[idx(node, p.community_of(node))] = true;
+        }
+        let state = LocalFieldState::new(&model, x);
+        let mut sigma_tot = vec![0.0f64; k];
+        for node in 0..n {
+            sigma_tot[p.community_of(node)] += g.degree(node);
+        }
+        let two_m = 2.0 * g.total_edge_weight();
+        let m = two_m / 2.0;
+        let reference = ModularityState::new(g, &p);
+        let before = modularity::modularity(g, &p);
+        for node in 0..n {
+            let cur = p.community_of(node);
+            for target in 0..k {
+                if target == cur {
+                    continue;
+                }
+                let delta_sparse =
+                    state.reassign_delta_with_coupling(idx(node, cur), idx(node, target), 0.0);
+                let delta_dense =
+                    (g.degree(node) / m) * (sigma_tot[target] - sigma_tot[cur] + g.degree(node));
+                let engine_gain = -(delta_sparse + delta_dense) / two_m;
+                let louvain_gain = reference.gain(g, node, target);
+                assert!(
+                    (engine_gain - louvain_gain).abs() < 1e-12,
+                    "node {node} -> {target}: engine {engine_gain} louvain {louvain_gain}"
+                );
+                let mut moved = p.clone();
+                moved.assign(node, target);
+                let exact = modularity::modularity(g, &moved) - before;
+                assert!(
+                    (engine_gain - exact).abs() < 1e-9,
+                    "node {node} -> {target}: engine {engine_gain} exact {exact}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_instances_route_to_the_aggregate_fallback() {
+        // A singleton start on a larger graph exceeds the n·k variable gate
+        // (600 nodes × 600 slots > ENGINE_MAX_VARIABLES) and must still refine
+        // correctly through the fallback.
+        let pg = generators::planted_partition(&generators::PlantedPartitionConfig {
+            num_nodes: 600,
+            num_communities: 6,
+            p_in: 0.1,
+            p_out: 0.005,
+            seed: 4,
+        })
+        .unwrap();
+        let (n, k) = (600usize, 600usize);
+        assert!(n * k > ENGINE_MAX_VARIABLES, "test premise: singleton start exceeds the gate");
+        let before = modularity::modularity(&pg.graph, &Partition::singletons(600));
+        let out =
+            refine_partition(&pg.graph, &Partition::singletons(600), &RefineConfig::default())
+                .unwrap();
+        let after = modularity::modularity(&pg.graph, &out.partition);
+        assert!(after > before);
+        assert!(out.moves > 0);
     }
 }

@@ -92,14 +92,7 @@ pub fn first_improvement_descent(
     assert_eq!(solution.len(), model.num_variables(), "solution length must match the model");
     let mut state = LocalFieldState::new(model, solution);
     for _ in 0..max_sweeps {
-        let mut improved = false;
-        for i in 0..state.num_variables() {
-            if state.flip_delta(i) < -1e-15 {
-                state.apply_flip(i);
-                improved = true;
-            }
-        }
-        if !improved {
+        if !state.single_flip_sweep() {
             break;
         }
     }
@@ -126,15 +119,22 @@ pub fn pair_flip_delta(model: &QuboModel, x: &[bool], i: usize, j: usize) -> f64
     model.flip_delta(x, i) + model.flip_delta(x, j) + w_ij * sign(x[i]) * sign(x[j])
 }
 
-/// Local search combining single-flip and coupled pair-flip moves.
+/// Local search combining single-flip and coupled pair moves.
 ///
 /// One-hot encodings (such as the community-detection QUBO, where reassigning
 /// a node means clearing one indicator bit and setting another) have the
 /// property that every useful move crosses a high-penalty intermediate state,
 /// so plain 1-opt descent stalls immediately. This routine alternates
 /// first-improvement single-flip sweeps with sweeps over *coupled* variable
-/// pairs (pairs sharing a quadratic term), applying any pair flip that lowers
+/// pairs (pairs sharing a quadratic term), applying any pair move that lowers
 /// the energy, until neither move type improves or `max_sweeps` is reached.
+///
+/// An improving pair with one set and one clear bit — the reassignment case
+/// one-hot encodings live on — is applied as the engine's native
+/// [`LocalFieldState::apply_reassign`]: one fused O(deg i + deg j) update
+/// whose energy never passes through the invalid intermediate state, instead
+/// of two emulated single flips. Same-state pairs fall back to
+/// [`LocalFieldState::apply_pair_flip`].
 ///
 /// # Panics
 ///
@@ -147,29 +147,9 @@ pub fn pair_aware_descent(
     assert_eq!(solution.len(), model.num_variables(), "solution length must match the model");
     let mut state = LocalFieldState::new(model, solution);
     for _ in 0..max_sweeps {
-        let mut improved = false;
-        // Single-flip pass.
-        for i in 0..state.num_variables() {
-            if state.flip_delta(i) < -1e-15 {
-                state.apply_flip(i);
-                improved = true;
-            }
-        }
-        // Coupled pair-flip pass: iterate the CSR row directly, so the
-        // coupling weight each pair delta needs is already in hand — no
-        // partner list allocation, no O(deg) weight lookup.
-        for i in 0..state.num_variables() {
-            for (j, w_ij) in model.couplings(i) {
-                if j <= i {
-                    continue;
-                }
-                if state.pair_flip_delta_with_coupling(i, j, w_ij) < -1e-15 {
-                    state.apply_pair_flip(i, j);
-                    improved = true;
-                }
-            }
-        }
-        if !improved {
+        // Non-short-circuiting: the pair sweep runs even when the single-flip
+        // sweep already improved, exactly one of each per iteration.
+        if !(state.single_flip_sweep() | state.coupled_pair_sweep()) {
             break;
         }
     }

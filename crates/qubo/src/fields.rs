@@ -134,13 +134,20 @@ impl<'m> LocalFieldState<'m> {
     /// Replaces the assignment (same length) and rebuilds in O(n + nnz),
     /// reusing the internal buffers — the cheap way to restart a search.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `solution.len()` differs from the model's variable count.
-    pub fn set_solution(&mut self, solution: &[bool]) {
-        assert_eq!(solution.len(), self.x.len(), "solution length must match the model");
+    /// Returns [`QuboError::SolutionSizeMismatch`] if `solution.len()` differs
+    /// from the model's variable count; the state is left untouched.
+    pub fn set_solution(&mut self, solution: &[bool]) -> Result<(), QuboError> {
+        if solution.len() != self.x.len() {
+            return Err(QuboError::SolutionSizeMismatch {
+                solution: solution.len(),
+                variables: self.x.len(),
+            });
+        }
         self.x.copy_from_slice(solution);
         self.rebuild();
+        Ok(())
     }
 
     /// The model this state tracks.
@@ -256,6 +263,136 @@ impl<'m> LocalFieldState<'m> {
     pub fn apply_pair_flip(&mut self, i: usize, j: usize) -> f64 {
         assert_ne!(i, j, "pair flip requires two distinct variables");
         self.apply_flip(i) + self.apply_flip(j)
+    }
+
+    /// Energy change of *reassigning* the set bit `i` to the clear bit `j`
+    /// (clear `x_i`, set `x_j`), in O(1), given their coupling `w_ij`.
+    ///
+    /// This is the native move of one-hot encodings: moving a node between two
+    /// community slots clears one indicator and sets another, and pricing the
+    /// move as two independent flips would double-count the high one-hot
+    /// penalty of the invalid intermediate state. The identity is
+    /// `Δ = −field[i] + field[j] − w_ij` (both single-flip deltas count the
+    /// joint term as if the other bit were fixed; since the bits move in
+    /// opposite directions the correction is `−w_ij`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i == j` or either index is out of range. Debug builds also
+    /// assert the move's orientation (`x_i` set, `x_j` clear).
+    #[inline]
+    pub fn reassign_delta_with_coupling(&self, i: usize, j: usize, w_ij: f64) -> f64 {
+        assert_ne!(i, j, "reassign requires two distinct variables");
+        debug_assert!(
+            self.x[i] && !self.x[j],
+            "reassign moves the set bit {i} to the clear bit {j}"
+        );
+        // Same association as `apply_reassign` accumulates, so the predicted
+        // and applied deltas agree bit for bit.
+        -self.field[i] + (self.field[j] - w_ij)
+    }
+
+    /// Energy change of reassigning the set bit `i` to the clear bit `j`.
+    /// Looks the coupling up with [`QuboModel::coupling`] (O(log deg)); prefer
+    /// [`reassign_delta_with_coupling`] inside loops that already hold `w_ij`.
+    ///
+    /// [`reassign_delta_with_coupling`]: LocalFieldState::reassign_delta_with_coupling
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i == j` or either index is out of range.
+    pub fn reassign_delta(&self, i: usize, j: usize) -> f64 {
+        self.reassign_delta_with_coupling(i, j, self.model.coupling(i, j))
+    }
+
+    /// Reassigns the set bit `i` to the clear bit `j` in one fused
+    /// O(deg i + deg j) pass: clears `x_i`, sets `x_j`, updates every
+    /// neighbour's field and the energy. Returns the applied energy delta
+    /// (equal to [`reassign_delta`] up to rounding).
+    ///
+    /// Unlike [`apply_pair_flip`], the energy never passes through the invalid
+    /// intermediate state, and the coupling `w_ij` is picked up during the
+    /// neighbour sweep instead of a separate lookup.
+    ///
+    /// [`reassign_delta`]: LocalFieldState::reassign_delta
+    /// [`apply_pair_flip`]: LocalFieldState::apply_pair_flip
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i == j` or either index is out of range. Debug builds also
+    /// assert the move's orientation (`x_i` set, `x_j` clear).
+    pub fn apply_reassign(&mut self, i: usize, j: usize) -> f64 {
+        assert_ne!(i, j, "reassign requires two distinct variables");
+        debug_assert!(
+            self.x[i] && !self.x[j],
+            "reassign moves the set bit {i} to the clear bit {j}"
+        );
+        let field_i = self.field[i];
+        let field_j = self.field[j];
+        let mut w_ij = 0.0;
+        for (v, w) in self.model.couplings(i) {
+            if v == j {
+                w_ij = w;
+            }
+            self.field[v] -= w;
+        }
+        for (v, w) in self.model.couplings(j) {
+            self.field[v] += w;
+        }
+        self.x[i] = false;
+        self.x[j] = true;
+        // Same association as the sum of the two sequential flip deltas of
+        // `apply_pair_flip`: (−field_i) + (field_j − w_ij).
+        let delta = -field_i + (field_j - w_ij);
+        self.energy += delta;
+        delta
+    }
+
+    /// One first-improvement single-flip sweep: visits every variable in
+    /// ascending order and applies each flip whose delta is below `−1e-15`.
+    /// Returns whether any flip was applied. This is the shared inner sweep of
+    /// every descent in the workspace (QHD refinement, the classical
+    /// baselines, the portfolio runtime), kept in one place so their
+    /// trajectories stay identical by construction.
+    pub fn single_flip_sweep(&mut self) -> bool {
+        let mut improved = false;
+        for i in 0..self.x.len() {
+            if self.flip_delta(i) < -1e-15 {
+                self.apply_flip(i);
+                improved = true;
+            }
+        }
+        improved
+    }
+
+    /// One coupled-pair sweep: for every quadratic term `(i, j)` with `i < j`
+    /// (iterated per CSR row, so the coupling is already in hand), applies the
+    /// pair move if its delta is below `−1e-15`. An improving pair with one
+    /// set and one clear bit is applied as the native [`apply_reassign`] (the
+    /// one-hot "move the indicator" move); same-state pairs fall back to
+    /// [`apply_pair_flip`]. Returns whether any move was applied.
+    ///
+    /// [`apply_reassign`]: LocalFieldState::apply_reassign
+    /// [`apply_pair_flip`]: LocalFieldState::apply_pair_flip
+    pub fn coupled_pair_sweep(&mut self) -> bool {
+        let model = self.model;
+        let mut improved = false;
+        for i in 0..self.x.len() {
+            for (j, w_ij) in model.couplings(i) {
+                if j <= i {
+                    continue;
+                }
+                if self.pair_flip_delta_with_coupling(i, j, w_ij) < -1e-15 {
+                    match (self.x[i], self.x[j]) {
+                        (true, false) => self.apply_reassign(i, j),
+                        (false, true) => self.apply_reassign(j, i),
+                        _ => self.apply_pair_flip(i, j),
+                    };
+                    improved = true;
+                }
+            }
+        }
+        improved
     }
 
     /// Consumes the engine, returning the assignment and its energy.
@@ -390,7 +527,7 @@ mod tests {
         state.apply_flip(0);
         state.apply_flip(10);
         let restart = vec![true; 25];
-        state.set_solution(&restart);
+        state.set_solution(&restart).unwrap();
         assert_eq!(state.solution(), &restart[..]);
         assert!((state.energy() - model.evaluate(&restart).unwrap()).abs() < 1e-12);
         state.debug_validate();
@@ -401,6 +538,113 @@ mod tests {
         let model = QuboBuilder::new(3).build();
         assert!(LocalFieldState::try_new(&model, vec![false; 2]).is_err());
         assert!(LocalFieldState::try_new(&model, vec![false; 3]).is_ok());
+    }
+
+    #[test]
+    fn set_solution_rejects_wrong_lengths_and_leaves_state_intact() {
+        // Regression: a wrong-length restart vector used to panic (index out of
+        // bounds in the rebuild); it must instead surface a QuboError and keep
+        // the engine usable.
+        let model = random_model(10, 0.4, 11);
+        let mut state = LocalFieldState::new(&model, vec![true; 10]);
+        let energy_before = state.energy();
+        let err = state.set_solution(&[false; 7]).unwrap_err();
+        assert!(matches!(err, QuboError::SolutionSizeMismatch { solution: 7, variables: 10 }));
+        let err = state.set_solution(&[false; 12]).unwrap_err();
+        assert!(matches!(err, QuboError::SolutionSizeMismatch { solution: 12, variables: 10 }));
+        assert_eq!(state.energy(), energy_before);
+        assert_eq!(state.solution(), &[true; 10]);
+        state.debug_validate();
+        assert!(state.set_solution(&[false; 10]).is_ok());
+    }
+
+    #[test]
+    fn reassign_delta_matches_reevaluation_on_one_hot_states() {
+        // A one-hot style instance: 5 "nodes" × 3 "slots" with exactly-one
+        // penalties, plus random couplings across groups.
+        let mut b = QuboBuilder::new(15);
+        for node in 0..5 {
+            let vars: Vec<usize> = (0..3).map(|c| node * 3 + c).collect();
+            b.add_penalty_exactly_one(&vars, 8.0).unwrap();
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(17);
+        for i in 0..15 {
+            for j in (i + 1)..15 {
+                if i / 3 != j / 3 && rng.gen::<f64>() < 0.4 {
+                    b.add_quadratic(i, j, rng.gen::<f64>() * 2.0 - 1.0).unwrap();
+                }
+            }
+        }
+        let model = b.build();
+        // One-hot assignment: node `n` sits in slot `n % 3`.
+        let mut x = vec![false; 15];
+        for node in 0..5 {
+            x[node * 3 + node % 3] = true;
+        }
+        let state = LocalFieldState::new(&model, x.clone());
+        let base = model.evaluate(&x).unwrap();
+        for node in 0..5 {
+            let from = node * 3 + node % 3;
+            for slot in 0..3 {
+                let to = node * 3 + slot;
+                if to == from {
+                    continue;
+                }
+                let mut y = x.clone();
+                y[from] = false;
+                y[to] = true;
+                let exact = model.evaluate(&y).unwrap() - base;
+                assert!(
+                    (state.reassign_delta(from, to) - exact).abs() < 1e-9,
+                    "node {node}: {from} -> {to}"
+                );
+                let w = model.coupling(from, to);
+                assert!(
+                    (state.reassign_delta_with_coupling(from, to, w) - exact).abs() < 1e-9,
+                    "node {node}: {from} -> {to} with explicit coupling"
+                );
+                // The reassign delta equals the pair-flip delta for this
+                // orientation — it is the same move, priced natively.
+                assert!(
+                    (state.reassign_delta(from, to) - state.pair_flip_delta(from, to)).abs()
+                        < 1e-12
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn apply_reassign_matches_pair_flip_and_keeps_state_consistent() {
+        let model = random_model(30, 0.3, 19);
+        let mut rng = ChaCha8Rng::seed_from_u64(23);
+        let x: Vec<bool> = (0..30).map(|_| rng.gen()).collect();
+        let mut via_reassign = LocalFieldState::new(&model, x.clone());
+        let mut via_pair = LocalFieldState::new(&model, x);
+        for _ in 0..200 {
+            let set: Vec<usize> = (0..30).filter(|&i| via_reassign.solution()[i]).collect();
+            let clear: Vec<usize> = (0..30).filter(|&i| !via_reassign.solution()[i]).collect();
+            if set.is_empty() || clear.is_empty() {
+                break;
+            }
+            let i = set[rng.gen_range(0..set.len())];
+            let j = clear[rng.gen_range(0..clear.len())];
+            let predicted = via_reassign.reassign_delta(i, j);
+            let applied = via_reassign.apply_reassign(i, j);
+            assert_eq!(applied, predicted, "reassign {i} -> {j}");
+            via_pair.apply_pair_flip(i, j);
+            assert_eq!(via_reassign.solution(), via_pair.solution());
+            assert!((via_reassign.energy() - via_pair.energy()).abs() < 1e-9);
+        }
+        via_reassign.debug_validate();
+        assert!(via_reassign.consistency_error() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "two distinct variables")]
+    fn reassign_rejects_identical_indices() {
+        let model = QuboBuilder::new(2).build();
+        let state = LocalFieldState::new(&model, vec![true, false]);
+        state.reassign_delta_with_coupling(1, 1, 0.0);
     }
 
     #[test]

@@ -1,7 +1,15 @@
 //! Multi-start greedy descent for QUBO.
+//!
+//! Restarts are batched over the deterministic parallel
+//! [`runtime`](crate::runtime); restart 0 always descends from the all-zero
+//! assignment so the result is never worse than the trivial one, and every
+//! other restart draws its random start from its own ChaCha stream.
 
 use crate::local_search;
-use qhdcd_qubo::{QuboError, QuboModel, QuboSolver, SolveReport, SolveStatus, SolverOptions};
+use crate::runtime::{self, RestartRun};
+use qhdcd_qubo::{
+    LocalFieldState, QuboError, QuboModel, QuboSolver, SolveReport, SolveStatus, SolverOptions,
+};
 use rand::prelude::*;
 use rand_chacha::ChaCha8Rng;
 use std::time::Instant;
@@ -31,13 +39,21 @@ pub struct MultiStartGreedy {
     pub options: SolverOptions,
     /// Number of random restarts.
     pub restarts: usize,
+    /// Worker threads the restarts are batched over (`0` = all cores). The
+    /// result does not depend on this value.
+    pub threads: usize,
     /// Maximum descent sweeps per restart.
     pub max_sweeps: usize,
 }
 
 impl Default for MultiStartGreedy {
     fn default() -> Self {
-        MultiStartGreedy { options: SolverOptions::default(), restarts: 16, max_sweeps: 100 }
+        MultiStartGreedy {
+            options: SolverOptions::default(),
+            restarts: 16,
+            threads: 1,
+            max_sweeps: 100,
+        }
     }
 }
 
@@ -50,6 +66,12 @@ impl MultiStartGreedy {
     /// Returns a copy with a different number of restarts.
     pub fn with_restarts(mut self, restarts: usize) -> Self {
         self.restarts = restarts.max(1);
+        self
+    }
+
+    /// Returns a copy with a different worker-thread count (`0` = all cores).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
         self
     }
 
@@ -72,31 +94,38 @@ impl QuboSolver for MultiStartGreedy {
             return Err(QuboError::InvalidConfig { reason: "model has no variables".into() });
         }
         let deadline = self.options.time_limit.map(|limit| start + limit);
-        let mut rng = ChaCha8Rng::seed_from_u64(self.options.seed);
-        // The all-zero start is always included so the result is never worse
-        // than the trivial assignment.
-        let (mut best, mut best_e) = local_search::descend(model, vec![false; n], self.max_sweeps);
-        let mut restarts_run = 1u64;
-        for _ in 1..self.restarts.max(1) {
-            let x: Vec<bool> = (0..n).map(|_| rng.gen()).collect();
-            let (candidate, e) = local_search::descend(model, x, self.max_sweeps);
-            restarts_run += 1;
-            if e < best_e {
-                best = candidate;
-                best_e = e;
+        let max_sweeps = self.max_sweeps;
+        let kernel = |k: usize,
+                      rng: &mut ChaCha8Rng,
+                      state: &mut LocalFieldState<'_>,
+                      deadline: Option<Instant>| {
+            // Restart 0 descends from the all-zero assignment so the result is
+            // never worse than the trivial one; all others start random.
+            let x: Vec<bool> =
+                if k == 0 { vec![false; n] } else { (0..n).map(|_| rng.gen()).collect() };
+            state.set_solution(&x).expect("worker state matches the model");
+            local_search::descend_state(state, max_sweeps, deadline);
+            state.debug_validate();
+            RestartRun {
+                solution: state.solution().to_vec(),
+                energy: state.energy(),
+                iterations: 1,
             }
-            if let Some(d) = deadline {
-                if Instant::now() >= d {
-                    break;
-                }
-            }
-        }
+        };
+        let run = runtime::run_restarts(
+            model,
+            self.restarts.max(1),
+            self.threads,
+            self.options.seed,
+            deadline,
+            &kernel,
+        );
         Ok(SolveReport {
-            solution: best,
-            objective: best_e,
+            solution: run.solution,
+            objective: run.energy,
             status: SolveStatus::Heuristic,
             elapsed: start.elapsed(),
-            iterations: restarts_run,
+            iterations: run.restarts_completed,
         })
     }
 }

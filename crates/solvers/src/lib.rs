@@ -13,6 +13,14 @@
 //! * [`SimulatedAnnealing`] — single-flip Metropolis with geometric cooling.
 //! * [`TabuSearch`] — single-flip tabu search with aspiration.
 //! * [`MultiStartGreedy`] — repeated greedy 1-opt descent from random starts.
+//! * [`PortfolioSolver`] — a restart portfolio interleaving the heuristic
+//!   families above over the deterministic parallel [`runtime`].
+//!
+//! All restart-based solvers batch their restarts through the shared
+//! [`runtime`]: one [`LocalFieldState`](qhdcd_qubo::LocalFieldState) per
+//! worker thread, a private ChaCha stream per restart derived from the root
+//! seed, and a reduction ordered by `(energy, restart index)`, so results are
+//! bit-identical for every thread count.
 //!
 //! # Example
 //!
@@ -38,39 +46,71 @@
 mod branch_bound;
 mod exhaustive;
 mod greedy;
+pub mod portfolio;
+pub mod runtime;
 mod simulated_annealing;
 mod tabu;
 
 pub use branch_bound::BranchAndBound;
 pub use exhaustive::ExhaustiveSearch;
 pub use greedy::MultiStartGreedy;
+pub use portfolio::{MoveSet, PortfolioConfig, PortfolioSolver, Strategy};
 pub use simulated_annealing::SimulatedAnnealing;
 pub use tabu::TabuSearch;
 
 pub(crate) mod local_search {
-    //! Shared single-flip descent used to seed and polish incumbents.
+    //! Shared descent loops used to seed and polish incumbents, built on the
+    //! engine's [`LocalFieldState::single_flip_sweep`] /
+    //! [`LocalFieldState::coupled_pair_sweep`] primitives (the same sweeps the
+    //! QHD refinement uses, so trajectories agree by construction).
 
     use qhdcd_qubo::{LocalFieldState, QuboModel};
+    use std::time::Instant;
 
-    /// First-improvement single-flip descent; returns the improved solution and
-    /// its energy. Identical semantics to the refinement step in `qhdcd-qhd`,
-    /// duplicated here to keep the baseline crate independent of the QHD crate;
-    /// both run on the shared [`LocalFieldState`] engine, so a candidate flip
-    /// costs O(1) and a sweep costs O(n) plus O(deg) per accepted move.
-    pub fn descend(model: &QuboModel, x: Vec<bool>, max_sweeps: usize) -> (Vec<bool>, f64) {
-        let mut state = LocalFieldState::new(model, x);
+    /// First-improvement single-flip descent on an existing engine state;
+    /// returns the number of sweeps performed. A candidate flip costs O(1)
+    /// from the cached fields and a sweep costs O(n) plus O(deg) per accepted
+    /// move. The deadline is checked between sweeps.
+    pub fn descend_state(
+        state: &mut LocalFieldState<'_>,
+        max_sweeps: usize,
+        deadline: Option<Instant>,
+    ) -> u64 {
+        let mut sweeps = 0u64;
         for _ in 0..max_sweeps {
-            let mut improved = false;
-            for i in 0..state.num_variables() {
-                if state.flip_delta(i) < -1e-15 {
-                    state.apply_flip(i);
-                    improved = true;
-                }
-            }
-            if !improved {
+            let improved = state.single_flip_sweep();
+            sweeps += 1;
+            if !improved || deadline.is_some_and(|d| Instant::now() >= d) {
                 break;
             }
         }
+        sweeps
+    }
+
+    /// Descent alternating single-flip sweeps with coupled pair sweeps (one-set
+    /// one-clear pairs applied as native reassignments). Returns the number of
+    /// sweeps performed. The deadline is checked between sweeps.
+    pub fn pair_aware_descend_state(
+        state: &mut LocalFieldState<'_>,
+        max_sweeps: usize,
+        deadline: Option<Instant>,
+    ) -> u64 {
+        let mut sweeps = 0u64;
+        for _ in 0..max_sweeps {
+            let improved = state.single_flip_sweep() | state.coupled_pair_sweep();
+            sweeps += 1;
+            if !improved || deadline.is_some_and(|d| Instant::now() >= d) {
+                break;
+            }
+        }
+        sweeps
+    }
+
+    /// Owned-solution wrapper around [`descend_state`]: builds a fresh engine,
+    /// descends, and returns the improved solution and its energy.
+    pub fn descend(model: &QuboModel, x: Vec<bool>, max_sweeps: usize) -> (Vec<bool>, f64) {
+        let mut state = LocalFieldState::new(model, x);
+        descend_state(&mut state, max_sweeps, None);
         state.debug_validate();
         state.into_solution()
     }

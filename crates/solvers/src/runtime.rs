@@ -1,0 +1,288 @@
+//! Deterministic parallel restart runtime shared by every restart-based solver.
+//!
+//! Restarts of local-search solvers (greedy descent, simulated annealing, tabu
+//! search) are embarrassingly parallel, but a naive parallelisation is
+//! *non-deterministic*: if all restarts draw from one shared RNG, the
+//! trajectory of restart `k` depends on how many draws earlier restarts
+//! consumed, which depends on scheduling. This runtime makes parallel restarts
+//! **bit-identical regardless of thread count** by construction:
+//!
+//! 1. **Per-restart streams.** Restart `k` runs on its own `ChaCha8Rng` seeded
+//!    with [`restart_stream_seed`]`(root_seed, k)` — a SplitMix64 mix of the
+//!    root seed and the restart index. A restart's trajectory is a pure
+//!    function of `(model, root_seed, k)`.
+//! 2. **One engine per worker.** Each worker thread owns a single
+//!    [`LocalFieldState`] reused across its restarts (`set_solution` rebuilds
+//!    the cached fields in O(n + nnz) without reallocating), the same batching
+//!    pattern `QhdSolver` uses for samples.
+//! 3. **Ordered reduction.** The best restart is selected by the total order
+//!    `(energy, restart index)` — strictly lower energy wins, ties go to the
+//!    lowest restart index — so the reduction result does not depend on which
+//!    worker finished first.
+//!
+//! The only escape from determinism is an explicit wall-clock deadline: a
+//! deadline bounds how many restarts run (and how far each gets), which
+//! necessarily depends on machine speed and scheduling. Runs without a time
+//! limit are exactly reproducible.
+
+use qhdcd_qubo::{LocalFieldState, QuboModel};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::time::Instant;
+
+/// The result a restart kernel reports back to the runtime.
+#[derive(Debug, Clone)]
+pub struct RestartRun {
+    /// Best solution found during this restart's trajectory.
+    pub solution: Vec<bool>,
+    /// Energy of [`RestartRun::solution`] (accumulated incrementally).
+    pub energy: f64,
+    /// Solver-specific work counter for this restart (sweeps, moves, …).
+    pub iterations: u64,
+}
+
+/// Outcome of a full portfolio of restarts.
+#[derive(Debug, Clone)]
+pub struct PortfolioRun {
+    /// Best solution over all completed restarts.
+    pub solution: Vec<bool>,
+    /// Energy of [`PortfolioRun::solution`].
+    pub energy: f64,
+    /// Index of the restart that produced the best solution.
+    pub best_restart: usize,
+    /// Total work counter summed over all completed restarts.
+    pub iterations: u64,
+    /// Number of restarts that ran to completion (may be fewer than requested
+    /// when a deadline preempts the schedule).
+    pub restarts_completed: u64,
+}
+
+/// Derives the RNG stream seed of restart `restart` from the portfolio's root
+/// seed: one SplitMix64 scramble of the root advanced by `restart + 1` gamma
+/// steps. Distinct restarts get well-separated ChaCha key schedules, and the
+/// mapping is pure, so a restart's trajectory never depends on scheduling.
+pub fn restart_stream_seed(root: u64, restart: u64) -> u64 {
+    let mut z = root.wrapping_add(restart.wrapping_add(1).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Resolves a thread-count knob: `0` means "all available parallelism", any
+/// other value is taken literally; the result is clamped to the restart count.
+pub fn resolve_threads(threads: usize, restarts: usize) -> usize {
+    let resolved = if threads == 0 {
+        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+    } else {
+        threads
+    };
+    resolved.clamp(1, restarts.max(1))
+}
+
+/// Per-worker accumulator: local best by `(energy, restart index)` plus work
+/// counters, merged across workers in worker order.
+struct WorkerResult {
+    best: Option<(f64, usize, Vec<bool>)>,
+    iterations: u64,
+    completed: u64,
+}
+
+/// Runs `restarts` independent restarts of `kernel` over `threads` worker
+/// threads and reduces to the best result.
+///
+/// The kernel receives the restart index, the restart's private RNG stream,
+/// the worker's shared [`LocalFieldState`] (in an arbitrary previous state —
+/// kernels must install their own start via `set_solution`) and the optional
+/// deadline, and returns the restart's best solution and energy. Results are
+/// bit-identical for any `threads` value as long as `deadline` is `None`; see
+/// the module docs for the construction.
+///
+/// Restart 0 always runs even when the deadline has already passed (kernels
+/// observe the deadline and exit early), so the returned `PortfolioRun`
+/// always holds at least one completed restart; every other restart is
+/// skipped once the deadline expires.
+pub fn run_restarts<K>(
+    model: &QuboModel,
+    restarts: usize,
+    threads: usize,
+    root_seed: u64,
+    deadline: Option<Instant>,
+    kernel: &K,
+) -> PortfolioRun
+where
+    K: Fn(usize, &mut ChaCha8Rng, &mut LocalFieldState<'_>, Option<Instant>) -> RestartRun + Sync,
+{
+    let restarts = restarts.max(1);
+    let threads = resolve_threads(threads, restarts);
+
+    let run_worker = |range: std::ops::Range<usize>| -> WorkerResult {
+        let mut state = LocalFieldState::new(model, vec![false; model.num_variables()]);
+        let mut result = WorkerResult { best: None, iterations: 0, completed: 0 };
+        for k in range {
+            // Restart 0 always runs so a result exists even with an expired
+            // deadline (the kernel itself still observes the deadline and
+            // exits early); every other restart is skipped once expired.
+            if k > 0 && deadline.is_some_and(|d| Instant::now() >= d) {
+                break;
+            }
+            let mut rng = ChaCha8Rng::seed_from_u64(restart_stream_seed(root_seed, k as u64));
+            let run = kernel(k, &mut rng, &mut state, deadline);
+            result.iterations += run.iterations;
+            result.completed += 1;
+            // Restart indices ascend within a worker, so a strict comparison
+            // implements the (energy, index) tie-break.
+            if result.best.as_ref().is_none_or(|(e, _, _)| run.energy < *e) {
+                result.best = Some((run.energy, k, run.solution));
+            }
+        }
+        result
+    };
+
+    let worker_results: Vec<WorkerResult> = if threads == 1 {
+        vec![run_worker(0..restarts)]
+    } else {
+        let chunk = restarts.div_ceil(threads);
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .filter_map(|w| {
+                    let lo = w * chunk;
+                    let hi = ((w + 1) * chunk).min(restarts);
+                    (lo < hi).then(|| scope.spawn(move |_| run_worker(lo..hi)))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("restart workers do not panic")).collect()
+        })
+        .expect("restart scope does not panic")
+    };
+
+    // Workers hold ascending restart ranges, so merging in worker order with a
+    // strict comparison keeps the lowest-index tie-break global.
+    let mut best: Option<(f64, usize, Vec<bool>)> = None;
+    let mut iterations = 0u64;
+    let mut completed = 0u64;
+    for worker in worker_results {
+        iterations += worker.iterations;
+        completed += worker.completed;
+        if let Some((energy, k, solution)) = worker.best {
+            if best.as_ref().is_none_or(|(e, _, _)| energy < *e) {
+                best = Some((energy, k, solution));
+            }
+        }
+    }
+    let (energy, best_restart, solution) = best.expect("at least one restart always completes");
+    PortfolioRun { solution, energy, best_restart, iterations, restarts_completed: completed }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qhdcd_qubo::generate::{random_qubo, RandomQuboConfig};
+    use rand::Rng;
+
+    fn model(n: usize, seed: u64) -> QuboModel {
+        random_qubo(&RandomQuboConfig {
+            num_variables: n,
+            density: 0.2,
+            coefficient_range: 1.0,
+            seed,
+        })
+        .unwrap()
+    }
+
+    /// A toy kernel: random start, greedy first-improvement descent.
+    fn descent_kernel(
+        _k: usize,
+        rng: &mut ChaCha8Rng,
+        state: &mut LocalFieldState<'_>,
+        _deadline: Option<Instant>,
+    ) -> RestartRun {
+        let n = state.num_variables();
+        let x: Vec<bool> = (0..n).map(|_| rng.gen()).collect();
+        state.set_solution(&x).expect("same model");
+        let mut sweeps = 0u64;
+        loop {
+            let mut improved = false;
+            for i in 0..n {
+                if state.flip_delta(i) < -1e-15 {
+                    state.apply_flip(i);
+                    improved = true;
+                }
+            }
+            sweeps += 1;
+            if !improved || sweeps >= 100 {
+                break;
+            }
+        }
+        RestartRun {
+            solution: state.solution().to_vec(),
+            energy: state.energy(),
+            iterations: sweeps,
+        }
+    }
+
+    #[test]
+    fn stream_seeds_are_distinct_and_pure() {
+        let a = restart_stream_seed(42, 0);
+        let b = restart_stream_seed(42, 1);
+        let c = restart_stream_seed(43, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, restart_stream_seed(42, 0));
+    }
+
+    #[test]
+    fn thread_resolution_clamps_to_restarts() {
+        assert_eq!(resolve_threads(4, 2), 2);
+        assert_eq!(resolve_threads(1, 100), 1);
+        assert!(resolve_threads(0, 100) >= 1);
+        assert_eq!(resolve_threads(3, 0), 1);
+    }
+
+    #[test]
+    fn results_are_bit_identical_across_thread_counts() {
+        let m = model(60, 5);
+        let runs: Vec<PortfolioRun> = [1usize, 2, 3, 8]
+            .iter()
+            .map(|&t| run_restarts(&m, 12, t, 7, None, &descent_kernel))
+            .collect();
+        for r in &runs[1..] {
+            assert_eq!(r.solution, runs[0].solution);
+            assert_eq!(r.energy.to_bits(), runs[0].energy.to_bits());
+            assert_eq!(r.best_restart, runs[0].best_restart);
+            assert_eq!(r.iterations, runs[0].iterations);
+            assert_eq!(r.restarts_completed, 12);
+        }
+    }
+
+    #[test]
+    fn reduction_prefers_the_lowest_restart_index_on_ties() {
+        // A kernel that returns the same energy for every restart: the winner
+        // must be restart 0 for every thread count.
+        let m = model(10, 1);
+        let tie_kernel = |_k: usize,
+                          _rng: &mut ChaCha8Rng,
+                          state: &mut LocalFieldState<'_>,
+                          _d: Option<Instant>| {
+            state.set_solution(&[false; 10]).expect("same model");
+            RestartRun { solution: state.solution().to_vec(), energy: 0.0, iterations: 1 }
+        };
+        for threads in [1, 2, 5] {
+            let run = run_restarts(&m, 5, threads, 0, None, &tie_kernel);
+            assert_eq!(run.best_restart, 0, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn an_expired_deadline_still_completes_exactly_one_restart() {
+        let m = model(20, 2);
+        for threads in [1usize, 4] {
+            let deadline = Some(Instant::now() - std::time::Duration::from_millis(1));
+            let run = run_restarts(&m, 50, threads, 3, deadline, &descent_kernel);
+            // Only restart 0 is exempt from the deadline check; no worker may
+            // burn time on any other restart.
+            assert_eq!(run.restarts_completed, 1, "threads={threads}");
+            assert_eq!(run.best_restart, 0, "threads={threads}");
+            assert_eq!(run.solution.len(), 20);
+        }
+    }
+}

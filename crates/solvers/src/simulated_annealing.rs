@@ -4,7 +4,13 @@
 //! O(1) (one cached-field read) and only *accepted* flips pay the O(deg)
 //! neighbour-field update — on low-acceptance phases late in the cooling
 //! schedule this is the difference between O(deg) and O(1) per proposal.
+//!
+//! Restarts are batched over the deterministic parallel
+//! [`runtime`](crate::runtime): restart `k` draws from its own ChaCha stream
+//! derived from the root seed, so the result is bit-identical for every
+//! worker-thread count.
 
+use crate::runtime::{self, RestartRun};
 use qhdcd_qubo::{
     LocalFieldState, QuboError, QuboModel, QuboSolver, SolveReport, SolveStatus, SolverOptions,
 };
@@ -12,7 +18,61 @@ use rand::prelude::*;
 use rand_chacha::ChaCha8Rng;
 use std::time::Instant;
 
-/// Simulated-annealing QUBO solver with geometric cooling and restarts.
+/// The instance's coefficient scale used to normalise annealing temperatures:
+/// the largest absolute linear or quadratic coefficient (at least 1e-9), so
+/// the default temperature window works for instances of any magnitude.
+pub(crate) fn annealing_scale(model: &QuboModel) -> f64 {
+    model
+        .linear()
+        .iter()
+        .map(|v| v.abs())
+        .chain(model.quadratic_terms().map(|(_, _, w)| w.abs()))
+        .fold(0.0f64, f64::max)
+        .max(1e-9)
+}
+
+/// Runs one annealing restart on the worker's engine: a random start drawn
+/// from the restart's stream, `sweeps` Metropolis sweeps under geometric
+/// cooling, tracking the best assignment seen along the trajectory.
+pub(crate) fn anneal_restart(
+    state: &mut LocalFieldState<'_>,
+    rng: &mut ChaCha8Rng,
+    sweeps: usize,
+    t_start: f64,
+    cooling: f64,
+    deadline: Option<Instant>,
+) -> RestartRun {
+    let n = state.num_variables();
+    let x: Vec<bool> = (0..n).map(|_| rng.gen()).collect();
+    state.set_solution(&x).expect("worker state matches the model");
+    let mut best = state.solution().to_vec();
+    let mut best_e = state.energy();
+    let mut temperature = t_start;
+    let mut performed = 0u64;
+    for _ in 0..sweeps {
+        for _ in 0..n {
+            let i = rng.gen_range(0..n);
+            let delta = state.flip_delta(i);
+            if delta <= 0.0 || rng.gen::<f64>() < (-delta / temperature).exp() {
+                state.apply_flip(i);
+                if state.energy() < best_e {
+                    best_e = state.energy();
+                    best.copy_from_slice(state.solution());
+                }
+            }
+        }
+        temperature *= cooling;
+        performed += 1;
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            break;
+        }
+    }
+    state.debug_validate();
+    RestartRun { solution: best, energy: best_e, iterations: performed }
+}
+
+/// Simulated-annealing QUBO solver with geometric cooling and parallel
+/// restarts.
 ///
 /// # Example
 ///
@@ -35,6 +95,9 @@ pub struct SimulatedAnnealing {
     pub options: SolverOptions,
     /// Number of independent annealing restarts.
     pub restarts: usize,
+    /// Worker threads the restarts are batched over (`0` = all cores). The
+    /// result does not depend on this value.
+    pub threads: usize,
     /// Metropolis sweeps per restart.
     pub sweeps: usize,
     /// Initial temperature (in units of the typical flip magnitude).
@@ -48,6 +111,7 @@ impl Default for SimulatedAnnealing {
         SimulatedAnnealing {
             options: SolverOptions::default(),
             restarts: 4,
+            threads: 1,
             sweeps: 200,
             initial_temperature: 2.0,
             final_temperature: 0.01,
@@ -70,6 +134,12 @@ impl SimulatedAnnealing {
     /// Returns a copy with a different number of restarts.
     pub fn with_restarts(mut self, restarts: usize) -> Self {
         self.restarts = restarts.max(1);
+        self
+    }
+
+    /// Returns a copy with a different worker-thread count (`0` = all cores).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
         self
     }
 
@@ -98,57 +168,38 @@ impl QuboSolver for SimulatedAnnealing {
         }
         // Scale temperatures by the typical coefficient magnitude so defaults
         // work for instances of any scale.
-        let scale = model
-            .linear()
-            .iter()
-            .map(|v| v.abs())
-            .chain(model.quadratic_terms().map(|(_, _, w)| w.abs()))
-            .fold(0.0f64, f64::max)
-            .max(1e-9);
+        let scale = annealing_scale(model);
         let t_start = self.initial_temperature * scale;
         let t_end = self.final_temperature * scale;
         let cooling = (t_end / t_start).powf(1.0 / self.sweeps.max(1) as f64);
-
         let deadline = self.options.time_limit.map(|limit| start + limit);
-        let mut rng = ChaCha8Rng::seed_from_u64(self.options.seed);
-        let mut best: Vec<bool> = vec![false; n];
-        let mut best_e = model.evaluate(&best)?;
-        let mut total_sweeps = 0u64;
-        // One local-field engine reused across restarts (set_solution rebuilds
-        // the fields in O(nnz) without reallocating).
-        let mut state = LocalFieldState::new(model, vec![false; n]);
-        'restarts: for _ in 0..self.restarts.max(1) {
-            let x: Vec<bool> = (0..n).map(|_| rng.gen()).collect();
-            state.set_solution(&x);
-            let mut temperature = t_start;
-            for _ in 0..self.sweeps {
-                for _ in 0..n {
-                    let i = rng.gen_range(0..n);
-                    let delta = state.flip_delta(i);
-                    if delta <= 0.0 || rng.gen::<f64>() < (-delta / temperature).exp() {
-                        state.apply_flip(i);
-                        if state.energy() < best_e {
-                            best_e = state.energy();
-                            best.copy_from_slice(state.solution());
-                        }
-                    }
-                }
-                temperature *= cooling;
-                total_sweeps += 1;
-                if let Some(d) = deadline {
-                    if Instant::now() >= d {
-                        break 'restarts;
-                    }
-                }
-            }
-        }
-        state.debug_validate();
+
+        let kernel = |_k: usize,
+                      rng: &mut ChaCha8Rng,
+                      state: &mut LocalFieldState<'_>,
+                      deadline: Option<Instant>| {
+            anneal_restart(state, rng, self.sweeps, t_start, cooling, deadline)
+        };
+        let run = runtime::run_restarts(
+            model,
+            self.restarts.max(1),
+            self.threads,
+            self.options.seed,
+            deadline,
+            &kernel,
+        );
+        // The all-zero baseline keeps the result no worse than the trivial
+        // assignment even when every restart lands badly.
+        let zero = vec![false; n];
+        let zero_e = model.evaluate(&zero)?;
+        let (solution, objective) =
+            if zero_e < run.energy { (zero, zero_e) } else { (run.solution, run.energy) };
         Ok(SolveReport {
-            solution: best,
-            objective: best_e,
+            solution,
+            objective,
             status: SolveStatus::Heuristic,
             elapsed: start.elapsed(),
-            iterations: total_sweeps,
+            iterations: run.iterations,
         })
     }
 }
@@ -202,7 +253,7 @@ mod tests {
         .unwrap();
         let report = SimulatedAnnealing::default().solve(&model).unwrap();
         assert_eq!(report.status, SolveStatus::Heuristic);
-        assert!((model.evaluate(&report.solution).unwrap() - report.objective).abs() < 1e-12);
+        assert!((model.evaluate(&report.solution).unwrap() - report.objective).abs() < 1e-9);
     }
 
     #[test]
@@ -227,7 +278,7 @@ mod tests {
     }
 
     #[test]
-    fn deterministic_for_a_fixed_seed() {
+    fn deterministic_for_a_fixed_seed_and_any_thread_count() {
         let model = random_qubo(&RandomQuboConfig {
             num_variables: 30,
             density: 0.2,
@@ -239,5 +290,22 @@ mod tests {
         let b = SimulatedAnnealing::default().with_seed(4).solve(&model).unwrap();
         assert_eq!(a.objective, b.objective);
         assert_eq!(a.solution, b.solution);
+        let c = SimulatedAnnealing::default().with_seed(4).with_threads(8).solve(&model).unwrap();
+        assert_eq!(a.objective.to_bits(), c.objective.to_bits());
+        assert_eq!(a.solution, c.solution);
+    }
+
+    #[test]
+    fn never_worse_than_the_all_zero_assignment() {
+        // A model where random starts are poor: large positive couplings mean
+        // the all-zero assignment is already optimal.
+        let mut b = QuboBuilder::new(10);
+        for i in 0..9 {
+            b.add_quadratic(i, i + 1, 5.0).unwrap();
+        }
+        let model = b.build();
+        let report =
+            SimulatedAnnealing::default().with_sweeps(1).with_seed(3).solve(&model).unwrap();
+        assert!(report.objective <= 0.0);
     }
 }

@@ -4,14 +4,72 @@
 //! per iteration is scored in O(1) from the cached fields, and only the one
 //! applied move pays the O(deg) field update — an O(nnz) → O(n + deg)
 //! per-iteration improvement.
+//!
+//! Restarts (disabled by default) are batched over the deterministic parallel
+//! [`runtime`](crate::runtime); each restart runs an independent tabu chain
+//! from its own ChaCha stream.
 
 use crate::local_search;
+use crate::runtime::{self, RestartRun};
 use qhdcd_qubo::{
     LocalFieldState, QuboError, QuboModel, QuboSolver, SolveReport, SolveStatus, SolverOptions,
 };
 use rand::prelude::*;
 use rand_chacha::ChaCha8Rng;
 use std::time::Instant;
+
+/// Runs one tabu restart on the worker's engine: a random start drawn from the
+/// restart's stream, a short seeding descent, then `iterations` tabu moves
+/// with aspiration. Returns the best assignment of the chain.
+pub(crate) fn tabu_restart(
+    state: &mut LocalFieldState<'_>,
+    rng: &mut ChaCha8Rng,
+    iterations: usize,
+    tenure: Option<usize>,
+    deadline: Option<Instant>,
+) -> RestartRun {
+    let n = state.num_variables();
+    // Default tenure max(10, n/10), capped at n/2: a tenure close to n makes
+    // almost every variable tabu at once and degenerates the chain into a
+    // near-cycle on tiny instances. The cap only affects n < 20.
+    let tenure =
+        tenure.unwrap_or_else(|| (n / 10).max(10).min(n / 2)).min(n.saturating_sub(1)).max(1);
+    let x: Vec<bool> = (0..n).map(|_| rng.gen()).collect();
+    state.set_solution(&x).expect("worker state matches the model");
+    local_search::descend_state(state, 50, deadline);
+    let mut best = state.solution().to_vec();
+    let mut best_e = state.energy();
+    // tabu_until[i] = first iteration at which flipping i is allowed again.
+    let mut tabu_until = vec![0usize; n];
+    let mut performed = 0u64;
+    for iter in 0..iterations {
+        let e = state.energy();
+        let mut chosen: Option<(usize, f64)> = None;
+        for (i, &until) in tabu_until.iter().enumerate() {
+            let delta = state.flip_delta(i);
+            let aspires = e + delta < best_e - 1e-12;
+            if until > iter && !aspires {
+                continue;
+            }
+            if chosen.is_none_or(|(_, d)| delta < d) {
+                chosen = Some((i, delta));
+            }
+        }
+        let Some((i, _)) = chosen else { break };
+        state.apply_flip(i);
+        tabu_until[i] = iter + 1 + tenure;
+        performed += 1;
+        if state.energy() < best_e - 1e-12 {
+            best_e = state.energy();
+            best.copy_from_slice(state.solution());
+        }
+        if iter % 256 == 0 && deadline.is_some_and(|d| Instant::now() >= d) {
+            break;
+        }
+    }
+    state.debug_validate();
+    RestartRun { solution: best, energy: best_e, iterations: performed }
+}
 
 /// Tabu-search QUBO solver: at every iteration the best non-tabu single flip is
 /// applied (even if it worsens the energy), recently flipped variables are tabu
@@ -37,15 +95,27 @@ use std::time::Instant;
 pub struct TabuSearch {
     /// Time limit and RNG seed.
     pub options: SolverOptions,
-    /// Number of tabu iterations (single flips).
+    /// Number of tabu iterations (single flips) per restart.
     pub iterations: usize,
-    /// Tabu tenure; `None` uses `max(10, n/10)`.
+    /// Tabu tenure; `None` uses `max(10, n/10)` capped at `n/2` (the cap only
+    /// affects `n < 20`, where a tenure near `n` degenerates the chain).
     pub tenure: Option<usize>,
+    /// Number of independent restarts (independent chains; best-of reduction).
+    pub restarts: usize,
+    /// Worker threads the restarts are batched over (`0` = all cores). The
+    /// result does not depend on this value.
+    pub threads: usize,
 }
 
 impl Default for TabuSearch {
     fn default() -> Self {
-        TabuSearch { options: SolverOptions::default(), iterations: 2_000, tenure: None }
+        TabuSearch {
+            options: SolverOptions::default(),
+            iterations: 2_000,
+            tenure: None,
+            restarts: 1,
+            threads: 1,
+        }
     }
 }
 
@@ -58,6 +128,18 @@ impl TabuSearch {
     /// Returns a copy with a different iteration budget.
     pub fn with_iterations(mut self, iterations: usize) -> Self {
         self.iterations = iterations;
+        self
+    }
+
+    /// Returns a copy with a different number of restarts.
+    pub fn with_restarts(mut self, restarts: usize) -> Self {
+        self.restarts = restarts.max(1);
+        self
+    }
+
+    /// Returns a copy with a different worker-thread count (`0` = all cores).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
         self
     }
 
@@ -82,56 +164,27 @@ impl QuboSolver for TabuSearch {
         if self.iterations == 0 {
             return Err(QuboError::InvalidConfig { reason: "iterations must be positive".into() });
         }
-        let tenure =
-            self.tenure.unwrap_or_else(|| (n / 10).max(10)).min(n.saturating_sub(1)).max(1);
         let deadline = self.options.time_limit.map(|limit| start + limit);
-
-        let mut rng = ChaCha8Rng::seed_from_u64(self.options.seed);
-        // Start from a greedily improved random assignment.
-        let random_start: Vec<bool> = (0..n).map(|_| rng.gen()).collect();
-        let (x, e) = local_search::descend(model, random_start, 50);
-        let mut state = LocalFieldState::new(model, x);
-        let mut best = state.solution().to_vec();
-        let mut best_e = e;
-        // tabu_until[i] = first iteration at which flipping i is allowed again.
-        let mut tabu_until = vec![0usize; n];
-        let mut performed = 0u64;
-        for iter in 0..self.iterations {
-            let e = state.energy();
-            let mut chosen: Option<(usize, f64)> = None;
-            for (i, &until) in tabu_until.iter().enumerate() {
-                let delta = state.flip_delta(i);
-                let aspires = e + delta < best_e - 1e-12;
-                if until > iter && !aspires {
-                    continue;
-                }
-                if chosen.is_none_or(|(_, d)| delta < d) {
-                    chosen = Some((i, delta));
-                }
-            }
-            let Some((i, _)) = chosen else { break };
-            state.apply_flip(i);
-            tabu_until[i] = iter + 1 + tenure;
-            performed += 1;
-            if state.energy() < best_e - 1e-12 {
-                best_e = state.energy();
-                best.copy_from_slice(state.solution());
-            }
-            if iter % 256 == 0 {
-                if let Some(d) = deadline {
-                    if Instant::now() >= d {
-                        break;
-                    }
-                }
-            }
-        }
-        state.debug_validate();
+        let kernel = |_k: usize,
+                      rng: &mut ChaCha8Rng,
+                      state: &mut LocalFieldState<'_>,
+                      deadline: Option<Instant>| {
+            tabu_restart(state, rng, self.iterations, self.tenure, deadline)
+        };
+        let run = runtime::run_restarts(
+            model,
+            self.restarts.max(1),
+            self.threads,
+            self.options.seed,
+            deadline,
+            &kernel,
+        );
         Ok(SolveReport {
-            solution: best,
-            objective: best_e,
+            solution: run.solution,
+            objective: run.energy,
             status: SolveStatus::Heuristic,
             elapsed: start.elapsed(),
-            iterations: performed,
+            iterations: run.iterations,
         })
     }
 }
@@ -196,7 +249,7 @@ mod tests {
         })
         .unwrap();
         let report = TabuSearch::default().solve(&model).unwrap();
-        assert!((model.evaluate(&report.solution).unwrap() - report.objective).abs() < 1e-12);
+        assert!((model.evaluate(&report.solution).unwrap() - report.objective).abs() < 1e-9);
         assert_eq!(report.status, SolveStatus::Heuristic);
         assert!(report.iterations > 0);
     }
@@ -213,5 +266,25 @@ mod tests {
         let a = TabuSearch::default().with_seed(7).solve(&model).unwrap();
         let b = TabuSearch::default().with_seed(7).solve(&model).unwrap();
         assert_eq!(a.objective, b.objective);
+    }
+
+    #[test]
+    fn restarts_never_worsen_the_single_chain_result() {
+        let model = random_qubo(&RandomQuboConfig {
+            num_variables: 40,
+            density: 0.2,
+            coefficient_range: 1.0,
+            seed: 21,
+        })
+        .unwrap();
+        let single = TabuSearch::default().with_seed(3).with_iterations(400).solve(&model).unwrap();
+        let multi = TabuSearch::default()
+            .with_seed(3)
+            .with_iterations(400)
+            .with_restarts(4)
+            .with_threads(2)
+            .solve(&model)
+            .unwrap();
+        assert!(multi.objective <= single.objective + 1e-12);
     }
 }

@@ -220,6 +220,70 @@ proptest! {
         prop_assert!(state.consistency_error() < 1e-9);
     }
 
+    /// The native reassign move prices exactly like a rebuild-based energy
+    /// difference on random one-hot states, and applying it keeps the engine
+    /// consistent under its debug-mode check.
+    #[test]
+    fn reassign_move_matches_rebuild_on_one_hot_states(
+        (nodes, slots) in (2usize..6, 2usize..5),
+        weights in proptest::collection::vec(-2.0f64..2.0, 60),
+        start_slots in proptest::collection::vec(0usize..5, 6),
+        moves in proptest::collection::vec((0usize..6, 0usize..5), 1..25),
+    ) {
+        // One-hot instance: `nodes` groups of `slots` indicators with
+        // exactly-one penalties, plus couplings between groups.
+        let n = nodes * slots;
+        let mut b = QuboBuilder::new(n);
+        for node in 0..nodes {
+            let vars: Vec<usize> = (0..slots).map(|c| node * slots + c).collect();
+            b.add_penalty_exactly_one(&vars, 7.5).expect("valid group");
+        }
+        let mut w = weights.iter().cycle();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if i / slots != j / slots {
+                    b.add_quadratic(i, j, *w.next().expect("cycled")).expect("in bounds");
+                }
+            }
+        }
+        let model = b.build();
+        // Random one-hot start.
+        let mut x = vec![false; n];
+        for node in 0..nodes {
+            x[node * slots + start_slots[node] % slots] = true;
+        }
+        let mut state = LocalFieldState::new(&model, x.clone());
+        let mut mirror = x;
+        for &(node_pick, slot_pick) in &moves {
+            let node = node_pick % nodes;
+            let to_slot = slot_pick % slots;
+            let from_slot =
+                (0..slots).find(|&c| mirror[node * slots + c]).expect("state stays one-hot");
+            if to_slot == from_slot {
+                continue;
+            }
+            let from = node * slots + from_slot;
+            let to = node * slots + to_slot;
+            // Delta query matches a rebuild-based energy difference.
+            let before = model.evaluate(&mirror).expect("length matches");
+            mirror[from] = false;
+            mirror[to] = true;
+            let after = model.evaluate(&mirror).expect("length matches");
+            let predicted = state.reassign_delta(from, to);
+            prop_assert!(
+                (predicted - (after - before)).abs() < 1e-9,
+                "reassign {from} -> {to}: predicted {predicted}, exact {}",
+                after - before
+            );
+            // Applying returns the same delta and tracks the mirror.
+            let applied = state.apply_reassign(from, to);
+            prop_assert_eq!(applied.to_bits(), predicted.to_bits());
+        }
+        prop_assert_eq!(state.solution(), &mirror[..]);
+        state.debug_validate();
+        prop_assert!(state.consistency_error() < 1e-9);
+    }
+
     /// The engine-based first-improvement descent reproduces the seed (naive
     /// per-candidate `flip_delta`) implementation exactly: same trajectory,
     /// same final assignment, for every random instance and start.

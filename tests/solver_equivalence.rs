@@ -2,12 +2,18 @@
 //!
 //! Every single-flip search loop in the workspace was rewritten from naive
 //! per-candidate `QuboModel::flip_delta` scans onto the O(1)
-//! `LocalFieldState` engine. These tests keep verbatim copies of the *seed*
-//! implementations (the naive loops, including their exact RNG consumption
-//! patterns) and assert that for fixed seeds the rewritten solvers walk the
-//! **identical trajectory**: same final assignment, bit for bit, and the same
-//! energy after exact re-evaluation. Accumulated energies are additionally
-//! pinned to the exact energy within 1e-9.
+//! `LocalFieldState` engine. These tests keep naive-engine copies of those
+//! loops (including their exact RNG consumption patterns) and assert that for
+//! fixed seeds the rewritten solvers walk the **identical trajectory**: same
+//! final assignment, bit for bit, and the same energy after exact
+//! re-evaluation. Accumulated energies are additionally pinned to the exact
+//! energy within 1e-9.
+//!
+//! The descent copies are verbatim seed implementations. The SA/tabu copies
+//! follow the *current* restart schedule (per-restart ChaCha streams derived
+//! with `runtime::restart_stream_seed`, introduced with the parallel restart
+//! portfolio runtime) — what they pin is the engine arithmetic, not the
+//! seeding scheme.
 
 // The naive implementations below are verbatim seed code; lints that would
 // rewrite them are suppressed so they stay byte-comparable with history.
@@ -15,6 +21,7 @@
 
 use qhdcd::qubo::generate::{random_qubo, RandomQuboConfig};
 use qhdcd::qubo::{QuboModel, QuboSolver};
+use qhdcd::solvers::runtime::restart_stream_seed;
 use qhdcd::solvers::{SimulatedAnnealing, TabuSearch};
 use rand::prelude::*;
 use rand_chacha::ChaCha8Rng;
@@ -122,9 +129,13 @@ fn naive_pair_aware_descent(
     (x, energy)
 }
 
-/// Seed implementation of the simulated-annealing solve loop, reproducing the
-/// RNG consumption pattern exactly (note: a rejected `delta <= 0` short-circuit
-/// consumes no acceptance draw, exactly as in the solver).
+/// Naive-engine implementation of the simulated-annealing solve loop, using
+/// per-candidate `QuboModel::flip_delta` scans but the *production* restart
+/// schedule: restart `k` draws from its own ChaCha stream derived with
+/// `runtime::restart_stream_seed` (PR 3 moved all restart-based solvers onto
+/// the parallel portfolio runtime), and the per-restart best is reduced by
+/// `(energy, restart index)`. A rejected `delta <= 0` short-circuit consumes
+/// no acceptance draw, exactly as in the solver.
 fn naive_simulated_annealing(model: &QuboModel, solver: &SimulatedAnnealing) -> (Vec<bool>, f64) {
     let n = model.num_variables();
     let scale = model
@@ -137,12 +148,13 @@ fn naive_simulated_annealing(model: &QuboModel, solver: &SimulatedAnnealing) -> 
     let t_start = solver.initial_temperature * scale;
     let t_end = solver.final_temperature * scale;
     let cooling = (t_end / t_start).powf(1.0 / solver.sweeps.max(1) as f64);
-    let mut rng = ChaCha8Rng::seed_from_u64(solver.options.seed);
-    let mut best: Vec<bool> = vec![false; n];
-    let mut best_e = model.evaluate(&best).unwrap();
-    for _ in 0..solver.restarts.max(1) {
+    let mut best: Option<(Vec<bool>, f64)> = None;
+    for k in 0..solver.restarts.max(1) {
+        let mut rng = ChaCha8Rng::seed_from_u64(restart_stream_seed(solver.options.seed, k as u64));
         let mut x: Vec<bool> = (0..n).map(|_| rng.gen()).collect();
         let mut e = model.evaluate(&x).unwrap();
+        let mut restart_best = x.clone();
+        let mut restart_best_e = e;
         let mut temperature = t_start;
         for _ in 0..solver.sweeps {
             for _ in 0..n {
@@ -151,23 +163,39 @@ fn naive_simulated_annealing(model: &QuboModel, solver: &SimulatedAnnealing) -> 
                 if delta <= 0.0 || rng.gen::<f64>() < (-delta / temperature).exp() {
                     x[i] = !x[i];
                     e += delta;
-                    if e < best_e {
-                        best_e = e;
-                        best.copy_from_slice(&x);
+                    if e < restart_best_e {
+                        restart_best_e = e;
+                        restart_best.copy_from_slice(&x);
                     }
                 }
             }
             temperature *= cooling;
         }
+        if best.as_ref().is_none_or(|(_, be)| restart_best_e < *be) {
+            best = Some((restart_best, restart_best_e));
+        }
     }
-    (best, best_e)
+    let (best, best_e) = best.unwrap();
+    // The production solver keeps the all-zero baseline as a floor.
+    let zero = vec![false; n];
+    let zero_e = model.evaluate(&zero).unwrap();
+    if zero_e < best_e {
+        (zero, zero_e)
+    } else {
+        (best, best_e)
+    }
 }
 
-/// Seed implementation of the tabu-search solve loop.
+/// Naive-engine implementation of the tabu-search solve loop (single restart,
+/// the default), on the production restart stream.
 fn naive_tabu(model: &QuboModel, solver: &TabuSearch) -> (Vec<bool>, f64) {
     let n = model.num_variables();
-    let tenure = solver.tenure.unwrap_or_else(|| (n / 10).max(10)).min(n.saturating_sub(1)).max(1);
-    let mut rng = ChaCha8Rng::seed_from_u64(solver.options.seed);
+    let tenure = solver
+        .tenure
+        .unwrap_or_else(|| (n / 10).max(10).min(n / 2))
+        .min(n.saturating_sub(1))
+        .max(1);
+    let mut rng = ChaCha8Rng::seed_from_u64(restart_stream_seed(solver.options.seed, 0));
     let random_start: Vec<bool> = (0..n).map(|_| rng.gen()).collect();
     let (mut x, mut e) = naive_first_improvement(model, random_start, 50);
     let mut best = x.clone();
