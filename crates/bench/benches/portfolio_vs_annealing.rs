@@ -1,0 +1,107 @@
+//! Time-matched comparison of the two classical multilevel configurations:
+//! `Method::PortfolioMultilevel` vs `Method::AnnealingMultilevel` on the
+//! planted corpus (the ROADMAP's "portfolio as the multilevel default" item).
+//!
+//! Both methods run with the *same wall-clock budget* per instance (the
+//! paper's time-matched methodology) across several planted-partition graphs
+//! and seeds; the comparison is on reached modularity (reported relative to
+//! the planted ground truth) and on NMI against the planted communities. The
+//! winner is promoted to `CommunityDetector::classical_fallback()` — the
+//! configuration the streaming subsystem uses for full re-detects.
+//!
+//! The machine-readable summary between `BENCH_JSON_BEGIN`/`BENCH_JSON_END`
+//! is captured into `BENCH_refine.json` at the repo root.
+
+use qhdcd_core::{CommunityDetector, Method};
+use qhdcd_graph::{generators, metrics, modularity};
+use std::time::Duration;
+
+const TIME_BUDGET_MS: u64 = 150;
+const SEEDS: [u64; 3] = [0, 1, 2];
+
+struct Case {
+    name: &'static str,
+    num_nodes: usize,
+    num_communities: usize,
+    p_in: f64,
+    p_out: f64,
+}
+
+const CORPUS: [Case; 3] = [
+    Case { name: "planted-1k", num_nodes: 1_000, num_communities: 8, p_in: 0.05, p_out: 0.002 },
+    Case { name: "planted-2k", num_nodes: 2_000, num_communities: 8, p_in: 0.03, p_out: 0.001 },
+    Case { name: "planted-4k", num_nodes: 4_000, num_communities: 12, p_in: 0.02, p_out: 0.0005 },
+];
+
+fn main() {
+    let budget = Duration::from_millis(TIME_BUDGET_MS);
+    let mut rows = Vec::new();
+    let mut portfolio_wins = 0usize;
+    let mut annealing_wins = 0usize;
+    for case in &CORPUS {
+        let mut q_portfolio = Vec::new();
+        let mut q_annealing = Vec::new();
+        let mut nmi_portfolio = Vec::new();
+        let mut nmi_annealing = Vec::new();
+        for &seed in &SEEDS {
+            let pg = generators::planted_partition(&generators::PlantedPartitionConfig {
+                num_nodes: case.num_nodes,
+                num_communities: case.num_communities,
+                p_in: case.p_in,
+                p_out: case.p_out,
+                seed: seed + 100,
+            })
+            .expect("valid generator configuration");
+            let q_truth = modularity::modularity(&pg.graph, &pg.ground_truth);
+            for (method, qs, nmis) in [
+                (Method::PortfolioMultilevel, &mut q_portfolio, &mut nmi_portfolio),
+                (Method::AnnealingMultilevel, &mut q_annealing, &mut nmi_annealing),
+            ] {
+                let result = CommunityDetector::new(method)
+                    .with_communities(case.num_communities)
+                    .with_seed(seed)
+                    .with_time_limit(budget)
+                    .detect(&pg.graph)
+                    .expect("detection succeeds");
+                qs.push(result.modularity / q_truth);
+                nmis.push(metrics::normalized_mutual_information(
+                    &result.partition,
+                    &pg.ground_truth,
+                ));
+            }
+        }
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        let (qp, qa) = (mean(&q_portfolio), mean(&q_annealing));
+        let (np, na) = (mean(&nmi_portfolio), mean(&nmi_annealing));
+        if qp >= qa {
+            portfolio_wins += 1;
+        } else {
+            annealing_wins += 1;
+        }
+        println!(
+            "{}: portfolio Q/Q* = {qp:.4} (NMI {np:.3}), annealing Q/Q* = {qa:.4} (NMI {na:.3})",
+            case.name
+        );
+        rows.push(format!(
+            "    {{ \"case\": \"{}\", \"num_nodes\": {}, \"portfolio_q_ratio\": {qp:.4}, \
+             \"annealing_q_ratio\": {qa:.4}, \"portfolio_nmi\": {np:.4}, \"annealing_nmi\": \
+             {na:.4} }}",
+            case.name, case.num_nodes
+        ));
+    }
+    let winner = if portfolio_wins >= annealing_wins { "portfolio" } else { "annealing" };
+    println!(
+        "time-matched at {TIME_BUDGET_MS} ms: portfolio wins {portfolio_wins}, annealing wins \
+         {annealing_wins} -> {winner} is the classical fallback"
+    );
+
+    println!("BENCH_JSON_BEGIN");
+    println!(
+        "{{\n  \"bench\": \"portfolio_vs_annealing\",\n  \"time_budget_ms\": {TIME_BUDGET_MS},\n  \
+         \"seeds_per_case\": {},\n  \"corpus\": [\n{}\n  ],\n  \"portfolio_wins\": \
+         {portfolio_wins},\n  \"annealing_wins\": {annealing_wins},\n  \"winner\": \"{winner}\"\n}}",
+        SEEDS.len(),
+        rows.join(",\n")
+    );
+    println!("BENCH_JSON_END");
+}

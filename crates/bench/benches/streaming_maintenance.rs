@@ -1,0 +1,167 @@
+//! Streaming maintenance benchmark: incremental community maintenance versus
+//! from-scratch re-detection, per batch of edge events.
+//!
+//! A 5 000-node planted-partition graph absorbs small batches of churn (edge
+//! insertions and removals). Two consumers process the identical event
+//! sequence:
+//!
+//! * **incremental** — one `StreamingDetector` applies each batch through its
+//!   O(1)-per-event aggregate patching plus localized frontier refinement;
+//! * **from-scratch** — a mirror `DynamicGraph` applies the same batch, takes
+//!   a CSR snapshot and runs a full `CommunityDetector` re-detect.
+//!
+//! Both paths are timed per batch; the acceptance gate of the streaming PR is
+//! that the incremental median beats the from-scratch median. Quality is
+//! tracked alongside (maintained modularity vs re-detected modularity), and
+//! the maintained-vs-recomputed invariant is asserted after every batch. The
+//! machine-readable summary between `BENCH_JSON_BEGIN`/`BENCH_JSON_END` is
+//! captured into `BENCH_refine.json` at the repo root.
+//!
+//! The timed region is stateful (each batch mutates the graph), so this
+//! harness uses explicit per-batch `Instant` timing instead of criterion's
+//! repeated-closure measurement.
+
+use qhdcd_core::CommunityDetector;
+use qhdcd_graph::{generators, modularity, DynamicGraph, EdgeEvent};
+use qhdcd_stream::{StreamConfig, StreamingDetector};
+use std::time::Instant;
+
+const NUM_NODES: usize = 5_000;
+const NUM_COMMUNITIES: usize = 10;
+const BATCHES: usize = 30;
+const ADDS_PER_BATCH: usize = 12;
+const REMOVALS_PER_BATCH: usize = 6;
+const SEED: u64 = 2025;
+
+fn median(values: &mut [f64]) -> f64 {
+    values.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    values[values.len() / 2]
+}
+
+/// SplitMix64 stream — deterministic churn, no RNG crate needed.
+struct Churn {
+    state: u64,
+}
+
+impl Churn {
+    fn next(&mut self, bound: usize) -> usize {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        ((z ^ (z >> 31)) % bound as u64) as usize
+    }
+}
+
+fn main() {
+    let pg = generators::planted_partition(&generators::PlantedPartitionConfig {
+        num_nodes: NUM_NODES,
+        num_communities: NUM_COMMUNITIES,
+        p_in: 0.012,
+        p_out: 0.0006,
+        seed: SEED,
+    })
+    .expect("valid generator configuration");
+    println!(
+        "instance: {} nodes, {} edges, ground-truth Q = {:.4}",
+        pg.graph.num_nodes(),
+        pg.graph.num_edges(),
+        modularity::modularity(&pg.graph, &pg.ground_truth)
+    );
+
+    let detector_config =
+        CommunityDetector::classical_fallback().with_communities(NUM_COMMUNITIES).with_seed(SEED);
+    let mut config = StreamConfig::default().with_seed(SEED);
+    config.detector = detector_config.clone();
+
+    // Both consumers start from the same full detection.
+    let initial = detector_config.detect(&pg.graph).expect("initial detection succeeds");
+    println!("initial detection: Q = {:.4}", initial.modularity);
+    let mut incremental = StreamingDetector::from_partition(
+        DynamicGraph::from_graph(&pg.graph),
+        initial.partition.clone(),
+        config,
+    )
+    .expect("valid streaming configuration");
+    let mut scratch_graph = DynamicGraph::from_graph(&pg.graph);
+
+    // Pre-generate the event sequence so both consumers replay the same churn.
+    let mut churn = Churn { state: SEED };
+    let mut added: Vec<(usize, usize)> = Vec::new();
+    let batches: Vec<Vec<EdgeEvent>> = (0..BATCHES)
+        .map(|_| {
+            let mut events = Vec::new();
+            while events.len() < ADDS_PER_BATCH {
+                let (u, v) = (churn.next(NUM_NODES), churn.next(NUM_NODES));
+                if u != v
+                    && !added.contains(&(u, v))
+                    && !added.contains(&(v, u))
+                    && !pg.graph.has_edge(u, v)
+                {
+                    events.push(EdgeEvent::Add { u, v, weight: 1.0 });
+                    added.push((u, v));
+                }
+            }
+            for _ in 0..REMOVALS_PER_BATCH {
+                if let Some((u, v)) = added.pop() {
+                    events.push(EdgeEvent::Remove { u, v });
+                }
+            }
+            events
+        })
+        .collect();
+
+    let mut incremental_ms = Vec::with_capacity(BATCHES);
+    let mut scratch_ms = Vec::with_capacity(BATCHES);
+    let mut full_redetects = 0u64;
+    let mut q_incremental = 0.0;
+    let mut q_scratch = 0.0;
+    for batch in &batches {
+        // Incremental path.
+        let start = Instant::now();
+        let stats = incremental.apply_events(batch).expect("batch applies cleanly");
+        incremental_ms.push(start.elapsed().as_secs_f64() * 1e3);
+        full_redetects += u64::from(stats.full_redetect);
+        q_incremental = stats.modularity;
+        // Invariant: maintained modularity == from-scratch recomputation.
+        let recomputed =
+            modularity::modularity(&incremental.graph().snapshot(), &incremental.partition());
+        assert!(
+            (stats.modularity - recomputed).abs() < 1e-9,
+            "maintained {} != recomputed {recomputed}",
+            stats.modularity
+        );
+
+        // From-scratch path over the identical events.
+        let start = Instant::now();
+        scratch_graph.apply_events(batch).expect("batch applies cleanly");
+        let result = detector_config.detect(&scratch_graph.snapshot()).expect("re-detect succeeds");
+        scratch_ms.push(start.elapsed().as_secs_f64() * 1e3);
+        q_scratch = result.modularity;
+    }
+
+    let inc_median = median(&mut incremental_ms);
+    let scr_median = median(&mut scratch_ms);
+    let speedup = scr_median / inc_median;
+    println!(
+        "incremental: median {inc_median:.3} ms/batch ({full_redetects} full re-detects), \
+         final Q = {q_incremental:.4}"
+    );
+    println!("from-scratch: median {scr_median:.3} ms/batch, final Q = {q_scratch:.4}");
+    println!("speedup: {speedup:.1}x");
+    assert!(speedup > 1.0, "incremental maintenance must beat from-scratch re-detection per batch");
+
+    println!("BENCH_JSON_BEGIN");
+    println!(
+        "{{\n  \"bench\": \"streaming_maintenance\",\n  \"instance\": {{ \"num_nodes\": \
+         {NUM_NODES}, \"num_communities\": {NUM_COMMUNITIES}, \"edges\": {}, \"seed\": {SEED} \
+         }},\n  \"schedule\": {{ \"batches\": {BATCHES}, \"adds_per_batch\": {ADDS_PER_BATCH}, \
+         \"removals_per_batch\": {REMOVALS_PER_BATCH} }},\n  \"incremental_median_ms\": \
+         {inc_median:.3},\n  \"from_scratch_median_ms\": {scr_median:.3},\n  \"speedup\": \
+         {speedup:.1},\n  \"full_redetects\": {full_redetects},\n  \"final_modularity\": {{ \
+         \"incremental\": {q_incremental:.4}, \"from_scratch\": {q_scratch:.4} }},\n  \
+         \"maintained_equals_recomputed\": true\n}}",
+        pg.graph.num_edges()
+    );
+    println!("BENCH_JSON_END");
+}

@@ -126,6 +126,20 @@ impl CommunityDetector {
         CommunityDetector::new(Method::BranchAndBoundDirect)
     }
 
+    /// The recommended *classical fallback* configuration: the multilevel
+    /// pipeline with the parallel restart portfolio on the coarsest graph.
+    ///
+    /// This is the configuration used wherever the QHD simulator is not
+    /// affordable — the streaming subsystem's full re-detects and any
+    /// time-critical serving path. The portfolio holds this role because it
+    /// beat [`Method::AnnealingMultilevel`] in the time-matched comparison on
+    /// the planted corpus (see `portfolio_vs_annealing` in
+    /// `BENCH_refine.json`); it is also the method with warm-start support
+    /// (`solve_with_hint` seeds one restart from the incumbent).
+    pub fn classical_fallback() -> Self {
+        CommunityDetector::new(Method::PortfolioMultilevel)
+    }
+
     /// Sets the number of communities `k` used by the QUBO formulations.
     pub fn with_communities(mut self, k: usize) -> Self {
         self.num_communities = k;
@@ -198,16 +212,65 @@ impl CommunityDetector {
     ///
     /// Propagates [`CdError`] from the underlying pipeline.
     pub fn detect(&self, graph: &Graph) -> Result<DetectionResult, CdError> {
+        self.detect_impl(graph, None)
+    }
+
+    /// Runs the configured method on `graph`, warm-started from a prior
+    /// partition.
+    ///
+    /// This is the re-solve entry point of the streaming subsystem: `hint` is
+    /// the incumbent community structure of a slightly different (older)
+    /// graph. The hint is threaded into the pipeline (for the QUBO methods it
+    /// is encoded and passed to the solver via `solve_with_hint`, which on the
+    /// portfolio dedicates one restart to polishing it), and the returned
+    /// result is additionally floored at the locally refined hint — warm
+    /// restarts can explore, but the caller never gets back a partition worse
+    /// than its own incumbent after local polish.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CdError::Graph`] if `hint` does not cover exactly the nodes
+    /// of `graph`, otherwise propagates [`CdError`] from the pipeline.
+    pub fn detect_with_hint(
+        &self,
+        graph: &Graph,
+        hint: &Partition,
+    ) -> Result<DetectionResult, CdError> {
         let start = Instant::now();
+        hint.check_matches(graph).map_err(CdError::Graph)?;
+        let polished =
+            crate::refine::refine_partition(graph, hint, &crate::refine::RefineConfig::default())?;
+        let polished_q = qhdcd_graph::modularity::modularity(graph, &polished.partition);
+        let mut result = self.detect_impl(graph, Some(hint))?;
+        if polished_q > result.modularity {
+            result.partition = polished.partition;
+            result.modularity = polished_q;
+            result.num_communities = result.partition.num_communities();
+        }
+        result.elapsed = start.elapsed();
+        Ok(result)
+    }
+
+    fn detect_impl(
+        &self,
+        graph: &Graph,
+        hint: Option<&Partition>,
+    ) -> Result<DetectionResult, CdError> {
+        let start = Instant::now();
+        let direct_config = || DirectConfig {
+            formulation: self.formulation(),
+            hint: hint.cloned(),
+            ..DirectConfig::default()
+        };
+        let multilevel_config =
+            || MultilevelConfig { hint: hint.cloned(), ..self.multilevel_config() };
         let (partition, modularity) = match self.method {
             Method::QhdDirect => {
-                let config =
-                    DirectConfig { formulation: self.formulation(), ..DirectConfig::default() };
-                let out = direct::detect(graph, &self.qhd_solver(), &config)?;
+                let out = direct::detect(graph, &self.qhd_solver(), &direct_config())?;
                 (out.partition, out.modularity)
             }
             Method::QhdMultilevel => {
-                let out = multilevel::detect(graph, &self.qhd_solver(), &self.multilevel_config())?;
+                let out = multilevel::detect(graph, &self.qhd_solver(), &multilevel_config())?;
                 (out.partition, out.modularity)
             }
             Method::BranchAndBoundDirect => {
@@ -215,9 +278,7 @@ impl CommunityDetector {
                     Some(limit) => BranchAndBound::with_time_limit(limit),
                     None => BranchAndBound::default(),
                 };
-                let config =
-                    DirectConfig { formulation: self.formulation(), ..DirectConfig::default() };
-                let out = direct::detect(graph, &solver, &config)?;
+                let out = direct::detect(graph, &solver, &direct_config())?;
                 (out.partition, out.modularity)
             }
             Method::AnnealingMultilevel => {
@@ -225,7 +286,7 @@ impl CommunityDetector {
                 if let Some(limit) = self.time_limit {
                     solver.options = SolverOptions::with_time_limit(limit).seeded(self.seed);
                 }
-                let out = multilevel::detect(graph, &solver, &self.multilevel_config())?;
+                let out = multilevel::detect(graph, &solver, &multilevel_config())?;
                 (out.partition, out.modularity)
             }
             Method::PortfolioMultilevel => {
@@ -234,7 +295,7 @@ impl CommunityDetector {
                 let mut solver = PortfolioSolver::default().with_seed(self.seed);
                 solver.config.move_set = MoveSet::PairAware;
                 solver.config.time_limit = self.time_limit;
-                let out = multilevel::detect(graph, &solver, &self.multilevel_config())?;
+                let out = multilevel::detect(graph, &solver, &multilevel_config())?;
                 (out.partition, out.modularity)
             }
             Method::Louvain => {
@@ -352,5 +413,65 @@ mod tests {
         let g = generators::karate_club();
         let result = CommunityDetector::qhd().with_communities(0).detect(&g);
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn classical_fallback_is_the_portfolio_multilevel() {
+        assert_eq!(CommunityDetector::classical_fallback().method(), Method::PortfolioMultilevel);
+        let pg = generators::ring_of_cliques(4, 5).unwrap();
+        let result = CommunityDetector::classical_fallback()
+            .with_communities(4)
+            .with_seed(1)
+            .detect(&pg.graph)
+            .unwrap();
+        assert!(result.modularity > 0.5, "q={}", result.modularity);
+    }
+
+    #[test]
+    fn detect_with_hint_never_returns_less_than_the_refined_hint() {
+        let pg = generators::planted_partition(&generators::PlantedPartitionConfig {
+            num_nodes: 120,
+            num_communities: 4,
+            p_in: 0.3,
+            p_out: 0.02,
+            seed: 6,
+        })
+        .unwrap();
+        let refined_truth = crate::refine::refine_partition(
+            &pg.graph,
+            &pg.ground_truth,
+            &crate::refine::RefineConfig::default(),
+        )
+        .unwrap();
+        let q_floor = qhdcd_graph::modularity::modularity(&pg.graph, &refined_truth.partition);
+        for method in [Method::PortfolioMultilevel, Method::AnnealingMultilevel, Method::Louvain] {
+            let result = CommunityDetector::new(method)
+                .with_communities(4)
+                .with_seed(0)
+                .detect_with_hint(&pg.graph, &pg.ground_truth)
+                .unwrap();
+            assert!(
+                result.modularity >= q_floor - 1e-12,
+                "{method}: q={} floor={q_floor}",
+                result.modularity
+            );
+        }
+    }
+
+    #[test]
+    fn detect_with_hint_is_deterministic() {
+        let pg = generators::ring_of_cliques(5, 6).unwrap();
+        let detector = CommunityDetector::classical_fallback().with_communities(5).with_seed(9);
+        let a = detector.detect_with_hint(&pg.graph, &pg.ground_truth).unwrap();
+        let b = detector.detect_with_hint(&pg.graph, &pg.ground_truth).unwrap();
+        assert_eq!(a.partition, b.partition);
+        assert_eq!(a.modularity.to_bits(), b.modularity.to_bits());
+    }
+
+    #[test]
+    fn detect_with_hint_rejects_mismatched_hints() {
+        let g = generators::karate_club();
+        let hint = qhdcd_graph::Partition::singletons(10);
+        assert!(CommunityDetector::classical_fallback().detect_with_hint(&g, &hint).is_err());
     }
 }

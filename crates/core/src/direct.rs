@@ -24,6 +24,11 @@ pub struct DirectConfig {
     pub refine: bool,
     /// Refinement parameters (ignored when `refine` is `false`).
     pub refine_config: RefineConfig,
+    /// Optional warm-start partition. When set, it is one-hot encoded and
+    /// passed to the solver through [`QuboSolver::solve_with_hint`]; solvers
+    /// without warm-start support ignore it. Labels beyond the formulation's
+    /// community count are folded modulo `k` by the encoder.
+    pub hint: Option<Partition>,
 }
 
 impl Default for DirectConfig {
@@ -32,6 +37,7 @@ impl Default for DirectConfig {
             formulation: FormulationConfig::default(),
             refine: true,
             refine_config: RefineConfig::default(),
+            hint: None,
         }
     }
 }
@@ -91,7 +97,13 @@ pub fn detect<S: QuboSolver>(
     let start = Instant::now();
     let qubo = build_qubo(graph, &config.formulation)?;
     let solve_start = Instant::now();
-    let report = solver.solve(qubo.model())?;
+    let report = match &config.hint {
+        Some(hint) => {
+            let warm = qubo.encode(hint)?;
+            solver.solve_with_hint(qubo.model(), &warm)?
+        }
+        None => solver.solve(qubo.model())?,
+    };
     let solver_time = solve_start.elapsed();
     let mut partition = qubo.decode(graph, &report.solution)?;
     if config.refine {

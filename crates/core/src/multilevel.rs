@@ -31,6 +31,12 @@ pub struct MultilevelConfig {
     pub refine: RefineConfig,
     /// Also run a final refinement pass on the original graph.
     pub final_refine: bool,
+    /// Optional warm-start partition of the *original* graph. It is pushed
+    /// through the coarsening hierarchy (each super-node inherits the label of
+    /// its lowest-index constituent) and handed to the base solver via
+    /// [`qhdcd_qubo::QuboSolver::solve_with_hint`]; solvers without warm-start
+    /// support ignore it.
+    pub hint: Option<Partition>,
 }
 
 impl Default for MultilevelConfig {
@@ -41,6 +47,7 @@ impl Default for MultilevelConfig {
             formulation: FormulationConfig::default(),
             refine: RefineConfig::default(),
             final_refine: true,
+            hint: None,
         }
     }
 }
@@ -130,7 +137,32 @@ pub fn detect<S: QuboSolver>(
     // --- Initial partition on the coarsest graph via the direct QUBO pipeline.
     let mut formulation = config.formulation.clone();
     formulation.num_communities = config.num_communities.min(coarsest_nodes.max(1));
-    let direct_config = DirectConfig { formulation, refine: false, refine_config: config.refine };
+    // Push the warm-start hint (a partition of the original graph) up the
+    // hierarchy: each super-node inherits the label of its lowest-index
+    // constituent, a deterministic representative choice.
+    let coarse_hint = match &config.hint {
+        Some(hint) => {
+            hint.check_matches(graph).map_err(CdError::Graph)?;
+            let mut labels = hint.labels().to_vec();
+            for level in &hierarchy.levels {
+                let mut coarse = vec![usize::MAX; level.graph.num_nodes()];
+                for (fine, &c) in level.coarse_of.iter().enumerate() {
+                    if coarse[c] == usize::MAX {
+                        coarse[c] = labels[fine];
+                    }
+                }
+                labels = coarse;
+            }
+            Some(Partition::from_labels(labels).map_err(CdError::Graph)?)
+        }
+        None => None,
+    };
+    let direct_config = DirectConfig {
+        formulation,
+        refine: false,
+        refine_config: config.refine,
+        hint: coarse_hint,
+    };
     let base = direct::detect(coarsest, solver, &direct_config)?;
     let solver_time = base.solver_time;
     let solver_status = base.solver_status;

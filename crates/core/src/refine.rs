@@ -224,6 +224,103 @@ fn refine_with_engine(
     Ok(RefineOutcome { partition, total_gain, moves, passes })
 }
 
+/// Refines only a *frontier* of nodes (plus whatever the moves reach), leaving
+/// the rest of the partition untouched.
+///
+/// This is the localized counterpart of [`refine_partition`] used by the
+/// streaming subsystem: after a batch of edge events perturbs a neighbourhood,
+/// only the touched nodes and their surroundings can profit from moving, so
+/// the move scan is restricted to a worklist seeded with `frontier`. Whenever
+/// a node moves, it and its neighbours are re-enqueued for the next pass, so
+/// improvements propagate outward exactly as far as they keep paying off.
+///
+/// The gain logic is the same Louvain gain the engine-backed path prices
+/// (pinned against it by tests); the traversal is fully deterministic — the
+/// worklist is scanned in ascending node order and candidate communities in
+/// ascending neighbour order, strict-improvement tie-breaks — which the
+/// streaming determinism contract relies on.
+///
+/// # Errors
+///
+/// Returns [`CdError::Graph`] if the partition does not cover exactly the
+/// nodes of `graph` or a frontier node is out of range, and
+/// [`CdError::InvalidConfig`] if `config.max_passes` is zero.
+pub fn refine_frontier(
+    graph: &Graph,
+    partition: &Partition,
+    frontier: &[usize],
+    config: &RefineConfig,
+) -> Result<RefineOutcome, CdError> {
+    if config.max_passes == 0 {
+        return Err(CdError::InvalidConfig { reason: "max_passes must be > 0".into() });
+    }
+    partition.check_matches(graph).map_err(CdError::Graph)?;
+    for &node in frontier {
+        graph.check_node(node).map_err(CdError::Graph)?;
+    }
+    let mut state = ModularityState::new(graph, &partition.renumbered());
+    let mut worklist: std::collections::BTreeSet<usize> = frontier.iter().copied().collect();
+    let mut total_gain = 0.0;
+    let mut moves = 0usize;
+    let mut passes = 0usize;
+    for _ in 0..config.max_passes {
+        if worklist.is_empty() {
+            break;
+        }
+        passes += 1;
+        let mut pass_gain = 0.0;
+        let mut next = std::collections::BTreeSet::new();
+        for &node in &worklist {
+            if let Some((target, gain)) = deterministic_best_move(graph, &state, node) {
+                state.apply_move(graph, node, target);
+                pass_gain += gain;
+                moves += 1;
+                next.insert(node);
+                for (v, _) in graph.neighbors(node) {
+                    next.insert(v);
+                }
+            }
+        }
+        total_gain += pass_gain;
+        worklist = next;
+        if pass_gain < config.min_gain {
+            break;
+        }
+    }
+    Ok(RefineOutcome { partition: state.to_partition().renumbered(), total_gain, moves, passes })
+}
+
+/// Deterministic single-node best-move scan: candidate communities are taken
+/// in ascending neighbour order (CSR order), the strictly best positive gain
+/// wins and ties keep the first candidate seen. Unlike
+/// `ModularityState::best_move`, whose candidate order comes from a hash map,
+/// this scan is reproducible bit-for-bit — required by the streaming
+/// determinism contract (the streaming detector mirrors this exact loop).
+fn deterministic_best_move(
+    graph: &Graph,
+    state: &ModularityState,
+    node: usize,
+) -> Option<(usize, f64)> {
+    let cur = state.community_of(node);
+    let mut seen: Vec<usize> = Vec::new();
+    let mut best: Option<(usize, f64)> = None;
+    for (v, _) in graph.neighbors(node) {
+        if v == node {
+            continue;
+        }
+        let c = state.community_of(v);
+        if c == cur || seen.contains(&c) {
+            continue;
+        }
+        seen.push(c);
+        let g = state.gain(graph, node, c);
+        if g > best.map_or(0.0, |(_, bg)| bg) && g > 1e-12 {
+            best = Some((c, g));
+        }
+    }
+    best
+}
+
 /// The aggregate-only fallback for instances too large to materialise the
 /// per-slot QUBO: classic `ModularityState` bookkeeping (`Σtot` per community,
 /// O(deg) gain scans).
@@ -415,6 +512,71 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn frontier_refinement_only_moves_reachable_nodes() {
+        // Start from the ground truth with one node misplaced; a frontier
+        // containing just that node must fix it without touching the rest.
+        let pg = generators::ring_of_cliques(6, 5).unwrap();
+        let mut start = pg.ground_truth.clone();
+        start.assign(0, start.community_of(7));
+        let out = refine_frontier(&pg.graph, &start, &[0], &RefineConfig::default()).unwrap();
+        assert!(out.moves >= 1);
+        let q_truth = modularity::modularity(&pg.graph, &pg.ground_truth);
+        let q_out = modularity::modularity(&pg.graph, &out.partition);
+        assert!((q_out - q_truth).abs() < 1e-12, "q_out={q_out} q_truth={q_truth}");
+        // An empty frontier is a no-op.
+        let noop = refine_frontier(&pg.graph, &start, &[], &RefineConfig::default()).unwrap();
+        assert_eq!(noop.moves, 0);
+        assert_eq!(noop.total_gain, 0.0);
+        assert_eq!(noop.partition, start.renumbered());
+    }
+
+    #[test]
+    fn frontier_refinement_never_decreases_modularity() {
+        let pg = generators::planted_partition(&generators::PlantedPartitionConfig {
+            num_nodes: 150,
+            num_communities: 5,
+            p_in: 0.25,
+            p_out: 0.02,
+            seed: 3,
+        })
+        .unwrap();
+        let frontier: Vec<usize> = (0..30).collect();
+        for start in [Partition::singletons(150), pg.ground_truth.clone()] {
+            let before = modularity::modularity(&pg.graph, &start);
+            let out =
+                refine_frontier(&pg.graph, &start, &frontier, &RefineConfig::default()).unwrap();
+            let after = modularity::modularity(&pg.graph, &out.partition);
+            assert!(after >= before - 1e-12, "before={before} after={after}");
+            assert!((after - before - out.total_gain).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn full_frontier_matches_whole_graph_quality() {
+        // With every node in the frontier, the localized refinement must reach
+        // the same quality ballpark as refine_partition from the same start.
+        let g = generators::karate_club();
+        let frontier: Vec<usize> = (0..34).collect();
+        let local =
+            refine_frontier(&g, &Partition::singletons(34), &frontier, &RefineConfig::default())
+                .unwrap();
+        let q = modularity::modularity(&g, &local.partition);
+        assert!(q > 0.30, "q={q}");
+    }
+
+    #[test]
+    fn frontier_refinement_rejects_invalid_inputs() {
+        let g = generators::karate_club();
+        let p = Partition::singletons(34);
+        assert!(refine_frontier(&g, &p, &[40], &RefineConfig::default()).is_err());
+        assert!(
+            refine_frontier(&g, &Partition::singletons(3), &[0], &RefineConfig::default()).is_err()
+        );
+        let bad = RefineConfig { max_passes: 0, ..RefineConfig::default() };
+        assert!(refine_frontier(&g, &p, &[0], &bad).is_err());
     }
 
     #[test]

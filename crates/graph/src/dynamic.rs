@@ -1,0 +1,509 @@
+//! A mutable, streaming-friendly graph layer.
+//!
+//! [`Graph`] is an immutable CSR structure optimised for read-heavy solver
+//! loops; rebuilding it for every edge arrival would cost O(m log m) per
+//! update. [`DynamicGraph`] is the mutable counterpart for streaming
+//! workloads: an adjacency-map representation with O(log deg) edge updates,
+//! cached weighted degrees and total edge weight, and a cheap O(n + m)
+//! [`DynamicGraph::snapshot`] compaction back to CSR whenever a solver needs
+//! the immutable view.
+//!
+//! Edge mutations arrive as [`EdgeEvent`] values (insert / remove / absolute
+//! weight update), the unit the streaming community-detection subsystem
+//! replays in batches. Conventions match [`Graph`] exactly: undirected edges,
+//! merged parallel edges, self-loops allowed and counted twice in degrees,
+//! total edge weight counting each undirected edge (and self-loop) once.
+//!
+//! # Example
+//!
+//! ```
+//! use qhdcd_graph::{DynamicGraph, EdgeEvent};
+//!
+//! # fn main() -> Result<(), qhdcd_graph::GraphError> {
+//! let mut g = DynamicGraph::new(3);
+//! g.apply(&EdgeEvent::Add { u: 0, v: 1, weight: 2.0 })?;
+//! g.apply(&EdgeEvent::Add { u: 1, v: 2, weight: 1.0 })?;
+//! g.apply(&EdgeEvent::Remove { u: 0, v: 1 })?;
+//! assert_eq!(g.num_edges(), 1);
+//! let snap = g.snapshot();
+//! assert_eq!(snap.total_edge_weight(), 1.0);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::{Graph, GraphError, NodeId};
+use std::collections::BTreeMap;
+
+/// A single timestamp-ordered mutation of a dynamic graph.
+///
+/// Events are the replay unit of the streaming subsystem: batches of events
+/// are applied to a [`DynamicGraph`] and the community structure is patched
+/// incrementally. `u` and `v` are interchangeable (edges are undirected).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EdgeEvent {
+    /// Insert an edge, *adding* `weight` to the existing weight if the edge is
+    /// already present (the same merge rule as [`crate::GraphBuilder`]).
+    Add {
+        /// First endpoint.
+        u: NodeId,
+        /// Second endpoint (`u == v` is a self-loop).
+        v: NodeId,
+        /// Weight to add; must be finite and non-negative.
+        weight: f64,
+    },
+    /// Remove an existing edge entirely.
+    Remove {
+        /// First endpoint.
+        u: NodeId,
+        /// Second endpoint.
+        v: NodeId,
+    },
+    /// Set the *absolute* weight of an existing edge.
+    Update {
+        /// First endpoint.
+        u: NodeId,
+        /// Second endpoint.
+        v: NodeId,
+        /// New absolute weight; must be finite and non-negative.
+        weight: f64,
+    },
+}
+
+impl EdgeEvent {
+    /// The endpoints of the event, in the order given.
+    pub fn endpoints(&self) -> (NodeId, NodeId) {
+        match *self {
+            EdgeEvent::Add { u, v, .. }
+            | EdgeEvent::Remove { u, v }
+            | EdgeEvent::Update { u, v, .. } => (u, v),
+        }
+    }
+}
+
+/// A mutable, undirected, weighted graph in adjacency-map form.
+///
+/// Maintains per-node sorted neighbour maps plus cached aggregates (weighted
+/// degrees, distinct edge count, total edge weight) so that every mutation is
+/// O(log deg) and every aggregate read is O(1). Node ids are dense
+/// (`0..num_nodes()`); new nodes are appended with [`DynamicGraph::add_node`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DynamicGraph {
+    /// Per-node neighbour → weight maps; an undirected edge `(u, v)` with
+    /// `u != v` is stored in both maps, a self-loop once in its node's map.
+    adjacency: Vec<BTreeMap<NodeId, f64>>,
+    /// Cached weighted degrees (self-loops counted twice).
+    degrees: Vec<f64>,
+    /// Node weights (1.0 for plain graphs, aggregate size for coarse graphs),
+    /// carried through snapshots but not touched by edge events.
+    node_weights: Vec<f64>,
+    /// Number of distinct undirected edges.
+    num_edges: usize,
+    /// Sum of weights over distinct undirected edges (self-loops once).
+    total_edge_weight: f64,
+}
+
+impl DynamicGraph {
+    /// Creates a dynamic graph with `num_nodes` nodes and no edges.
+    pub fn new(num_nodes: usize) -> Self {
+        DynamicGraph {
+            adjacency: vec![BTreeMap::new(); num_nodes],
+            degrees: vec![0.0; num_nodes],
+            node_weights: vec![1.0; num_nodes],
+            num_edges: 0,
+            total_edge_weight: 0.0,
+        }
+    }
+
+    /// Builds a dynamic graph holding the same nodes, node weights and edges
+    /// as `graph`.
+    pub fn from_graph(graph: &Graph) -> Self {
+        let mut dynamic = DynamicGraph::new(graph.num_nodes());
+        dynamic.node_weights.copy_from_slice(graph.node_weights());
+        for (u, v, w) in graph.edges() {
+            dynamic.insert_edge(u, v, w).expect("edges of a valid graph are valid");
+        }
+        dynamic
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Number of distinct undirected edges.
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Total edge weight `m` (each undirected edge and self-loop counted once).
+    pub fn total_edge_weight(&self) -> f64 {
+        self.total_edge_weight
+    }
+
+    /// Weighted degree of `node` (self-loops counted twice).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node >= self.num_nodes()`.
+    pub fn degree(&self, node: NodeId) -> f64 {
+        self.degrees[node]
+    }
+
+    /// Slice of all weighted degrees, indexed by node.
+    pub fn degrees(&self) -> &[f64] {
+        &self.degrees
+    }
+
+    /// Number of neighbours of `node` (a self-loop counts once).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node >= self.num_nodes()`.
+    pub fn neighbor_count(&self, node: NodeId) -> usize {
+        self.adjacency[node].len()
+    }
+
+    /// Iterator over the `(neighbor, weight)` pairs of `node`, in ascending
+    /// neighbour order (the same order a CSR [`Graph`] yields).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node >= self.num_nodes()`.
+    pub fn neighbors(&self, node: NodeId) -> impl Iterator<Item = (NodeId, f64)> + '_ {
+        self.adjacency[node].iter().map(|(&v, &w)| (v, w))
+    }
+
+    /// Weight of the edge `(u, v)` if present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u >= self.num_nodes()`.
+    pub fn edge_weight(&self, u: NodeId, v: NodeId) -> Option<f64> {
+        self.adjacency[u].get(&v).copied()
+    }
+
+    /// Returns `true` if the edge `(u, v)` exists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u >= self.num_nodes()`.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.adjacency[u].contains_key(&v)
+    }
+
+    /// Node weight of `node` (1.0 unless built from a coarsened graph).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node >= self.num_nodes()`.
+    pub fn node_weight(&self, node: NodeId) -> f64 {
+        self.node_weights[node]
+    }
+
+    /// Appends a new isolated node (weight 1.0) and returns its id.
+    pub fn add_node(&mut self) -> NodeId {
+        self.adjacency.push(BTreeMap::new());
+        self.degrees.push(0.0);
+        self.node_weights.push(1.0);
+        self.adjacency.len() - 1
+    }
+
+    fn check_endpoints(&self, u: NodeId, v: NodeId) -> Result<(), GraphError> {
+        let n = self.num_nodes();
+        if u >= n {
+            return Err(GraphError::NodeOutOfBounds { node: u, num_nodes: n });
+        }
+        if v >= n {
+            return Err(GraphError::NodeOutOfBounds { node: v, num_nodes: n });
+        }
+        Ok(())
+    }
+
+    /// Applies a weight delta to the cached degree/total aggregates.
+    fn patch_aggregates(&mut self, u: NodeId, v: NodeId, delta: f64) {
+        self.total_edge_weight += delta;
+        if u == v {
+            self.degrees[u] += 2.0 * delta;
+        } else {
+            self.degrees[u] += delta;
+            self.degrees[v] += delta;
+        }
+    }
+
+    /// Inserts the undirected edge `(u, v)`, adding `weight` to its current
+    /// weight if it already exists. Returns the signed change of the edge's
+    /// weight (always `weight` here; uniform with the other mutations).
+    ///
+    /// # Errors
+    ///
+    /// * [`GraphError::NodeOutOfBounds`] if either endpoint is out of range.
+    /// * [`GraphError::InvalidEdgeWeight`] if `weight` is negative, NaN or
+    ///   infinite.
+    pub fn insert_edge(&mut self, u: NodeId, v: NodeId, weight: f64) -> Result<f64, GraphError> {
+        self.check_endpoints(u, v)?;
+        if !weight.is_finite() || weight < 0.0 {
+            return Err(GraphError::InvalidEdgeWeight { weight });
+        }
+        let existing = self.adjacency[u].contains_key(&v);
+        *self.adjacency[u].entry(v).or_insert(0.0) += weight;
+        if u != v {
+            *self.adjacency[v].entry(u).or_insert(0.0) += weight;
+        }
+        if !existing {
+            self.num_edges += 1;
+        }
+        self.patch_aggregates(u, v, weight);
+        Ok(weight)
+    }
+
+    /// Removes the undirected edge `(u, v)` entirely. Returns the signed change
+    /// of the edge's weight (minus the removed weight).
+    ///
+    /// # Errors
+    ///
+    /// * [`GraphError::NodeOutOfBounds`] if either endpoint is out of range.
+    /// * [`GraphError::EdgeNotFound`] if the edge does not exist.
+    pub fn remove_edge(&mut self, u: NodeId, v: NodeId) -> Result<f64, GraphError> {
+        self.check_endpoints(u, v)?;
+        let weight = self.adjacency[u].remove(&v).ok_or(GraphError::EdgeNotFound { u, v })?;
+        if u != v {
+            self.adjacency[v].remove(&u);
+        }
+        self.num_edges -= 1;
+        self.patch_aggregates(u, v, -weight);
+        Ok(-weight)
+    }
+
+    /// Sets the absolute weight of the existing edge `(u, v)`. Returns the
+    /// signed change of the edge's weight (`weight − old`). The edge stays
+    /// present even at weight 0; use [`DynamicGraph::remove_edge`] to delete.
+    ///
+    /// # Errors
+    ///
+    /// * [`GraphError::NodeOutOfBounds`] if either endpoint is out of range.
+    /// * [`GraphError::InvalidEdgeWeight`] if `weight` is negative, NaN or
+    ///   infinite.
+    /// * [`GraphError::EdgeNotFound`] if the edge does not exist.
+    pub fn update_weight(&mut self, u: NodeId, v: NodeId, weight: f64) -> Result<f64, GraphError> {
+        self.check_endpoints(u, v)?;
+        if !weight.is_finite() || weight < 0.0 {
+            return Err(GraphError::InvalidEdgeWeight { weight });
+        }
+        let old = match self.adjacency[u].get_mut(&v) {
+            Some(w) => {
+                let old = *w;
+                *w = weight;
+                old
+            }
+            None => return Err(GraphError::EdgeNotFound { u, v }),
+        };
+        if u != v {
+            *self.adjacency[v].get_mut(&u).expect("symmetric entry exists") = weight;
+        }
+        let delta = weight - old;
+        self.patch_aggregates(u, v, delta);
+        Ok(delta)
+    }
+
+    /// Applies one [`EdgeEvent`], returning the signed change of the touched
+    /// edge's weight (what the modularity bookkeeping of a streaming consumer
+    /// needs to patch its aggregates).
+    ///
+    /// # Errors
+    ///
+    /// Same as the corresponding [`DynamicGraph::insert_edge`] /
+    /// [`DynamicGraph::remove_edge`] / [`DynamicGraph::update_weight`] call.
+    pub fn apply(&mut self, event: &EdgeEvent) -> Result<f64, GraphError> {
+        match *event {
+            EdgeEvent::Add { u, v, weight } => self.insert_edge(u, v, weight),
+            EdgeEvent::Remove { u, v } => self.remove_edge(u, v),
+            EdgeEvent::Update { u, v, weight } => self.update_weight(u, v, weight),
+        }
+    }
+
+    /// Applies a batch of events in order. On error, events before the failing
+    /// one remain applied; the failing event's index is reported alongside it.
+    ///
+    /// # Errors
+    ///
+    /// The first event error, wrapped with its position in the batch.
+    pub fn apply_events(&mut self, events: &[EdgeEvent]) -> Result<(), (usize, GraphError)> {
+        for (i, event) in events.iter().enumerate() {
+            self.apply(event).map_err(|e| (i, e))?;
+        }
+        Ok(())
+    }
+
+    /// Compacts the current state into an immutable CSR [`Graph`].
+    ///
+    /// O(n + m): the adjacency maps are already sorted by neighbour id, so
+    /// the CSR arrays are filled in one pass with no sort. Aggregates (edge
+    /// count, total weight) are carried over from the cached values; degrees
+    /// are recomputed by the CSR constructor, which keeps the snapshot
+    /// bit-independent of the mutation history.
+    pub fn snapshot(&self) -> Graph {
+        let n = self.num_nodes();
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0usize);
+        for map in &self.adjacency {
+            offsets.push(offsets.last().expect("non-empty") + map.len());
+        }
+        let nnz = *offsets.last().expect("non-empty");
+        let mut neighbors = Vec::with_capacity(nnz);
+        let mut weights = Vec::with_capacity(nnz);
+        for map in &self.adjacency {
+            for (&v, &w) in map {
+                neighbors.push(v);
+                weights.push(w);
+            }
+        }
+        Graph::from_csr(
+            offsets,
+            neighbors,
+            weights,
+            self.node_weights.clone(),
+            self.num_edges,
+            self.total_edge_weight,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn events() -> Vec<EdgeEvent> {
+        vec![
+            EdgeEvent::Add { u: 0, v: 1, weight: 1.0 },
+            EdgeEvent::Add { u: 1, v: 2, weight: 2.0 },
+            EdgeEvent::Add { u: 2, v: 2, weight: 0.5 },
+            EdgeEvent::Update { u: 1, v: 2, weight: 3.0 },
+            EdgeEvent::Remove { u: 0, v: 1 },
+        ]
+    }
+
+    #[test]
+    fn mutations_maintain_aggregates() {
+        let mut g = DynamicGraph::new(3);
+        g.apply_events(&events()).unwrap();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.total_edge_weight(), 3.5);
+        assert_eq!(g.degree(0), 0.0);
+        assert_eq!(g.degree(1), 3.0);
+        // Self-loop counted twice: 3.0 (edge to 1) + 1.0 (2 × 0.5 loop).
+        assert_eq!(g.degree(2), 4.0);
+        assert_eq!(g.edge_weight(1, 2), Some(3.0));
+        assert!(!g.has_edge(0, 1));
+    }
+
+    #[test]
+    fn insert_merges_parallel_edges() {
+        let mut g = DynamicGraph::new(2);
+        g.insert_edge(0, 1, 1.0).unwrap();
+        g.insert_edge(1, 0, 2.5).unwrap();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.edge_weight(0, 1), Some(3.5));
+        assert_eq!(g.edge_weight(1, 0), Some(3.5));
+    }
+
+    #[test]
+    fn snapshot_matches_builder_rebuild() {
+        let mut g = DynamicGraph::new(4);
+        g.apply_events(&events()).unwrap();
+        g.insert_edge(0, 3, 1.5).unwrap();
+        let snap = g.snapshot();
+        let mut b = GraphBuilder::new(4);
+        for u in 0..g.num_nodes() {
+            for (v, w) in g.neighbors(u) {
+                if u <= v {
+                    b.add_edge(u, v, w).unwrap();
+                }
+            }
+        }
+        let rebuilt = b.build();
+        assert_eq!(snap, rebuilt);
+        assert_eq!(snap.degrees(), g.degrees());
+        assert_eq!(snap.total_edge_weight(), g.total_edge_weight());
+        assert_eq!(snap.num_edges(), g.num_edges());
+    }
+
+    #[test]
+    fn from_graph_round_trips() {
+        let original = crate::generators::karate_club();
+        let dynamic = DynamicGraph::from_graph(&original);
+        assert_eq!(dynamic.snapshot(), original);
+        assert_eq!(dynamic.degrees(), original.degrees());
+    }
+
+    #[test]
+    fn node_weights_survive_the_round_trip() {
+        // Coarsened (super-node) graphs carry non-unit node weights; they must
+        // pass through from_graph → snapshot unchanged.
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 2.0).unwrap();
+        b.set_node_weight(0, 4.0).unwrap();
+        b.set_node_weight(2, 2.5).unwrap();
+        let original = b.build();
+        let mut dynamic = DynamicGraph::from_graph(&original);
+        assert_eq!(dynamic.node_weight(0), 4.0);
+        assert_eq!(dynamic.snapshot(), original);
+        let id = dynamic.add_node();
+        assert_eq!(dynamic.node_weight(id), 1.0);
+        assert_eq!(dynamic.snapshot().node_weight(2), 2.5);
+    }
+
+    #[test]
+    fn error_paths() {
+        let mut g = DynamicGraph::new(2);
+        assert!(matches!(g.insert_edge(0, 2, 1.0), Err(GraphError::NodeOutOfBounds { .. })));
+        assert!(matches!(g.insert_edge(0, 1, -1.0), Err(GraphError::InvalidEdgeWeight { .. })));
+        assert!(matches!(g.insert_edge(0, 1, f64::NAN), Err(GraphError::InvalidEdgeWeight { .. })));
+        assert!(matches!(g.remove_edge(0, 1), Err(GraphError::EdgeNotFound { .. })));
+        assert!(matches!(g.update_weight(0, 1, 2.0), Err(GraphError::EdgeNotFound { .. })));
+        g.insert_edge(0, 1, 1.0).unwrap();
+        assert!(matches!(
+            g.update_weight(0, 1, f64::INFINITY),
+            Err(GraphError::InvalidEdgeWeight { .. })
+        ));
+        // Batch application reports the failing index and keeps the prefix.
+        let err = g
+            .apply_events(&[
+                EdgeEvent::Add { u: 0, v: 0, weight: 1.0 },
+                EdgeEvent::Remove { u: 1, v: 1 },
+            ])
+            .unwrap_err();
+        assert_eq!(err.0, 1);
+        assert!(g.has_edge(0, 0));
+    }
+
+    #[test]
+    fn add_node_grows_the_graph() {
+        let mut g = DynamicGraph::new(1);
+        let id = g.add_node();
+        assert_eq!(id, 1);
+        g.insert_edge(0, 1, 2.0).unwrap();
+        assert_eq!(g.snapshot().num_nodes(), 2);
+        assert_eq!(g.degree(1), 2.0);
+    }
+
+    #[test]
+    fn update_to_zero_keeps_the_edge() {
+        let mut g = DynamicGraph::new(2);
+        g.insert_edge(0, 1, 2.0).unwrap();
+        let delta = g.update_weight(0, 1, 0.0).unwrap();
+        assert_eq!(delta, -2.0);
+        assert!(g.has_edge(0, 1));
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.total_edge_weight(), 0.0);
+    }
+
+    #[test]
+    fn empty_snapshot() {
+        let g = DynamicGraph::new(0);
+        let snap = g.snapshot();
+        assert_eq!(snap.num_nodes(), 0);
+        assert_eq!(snap.num_edges(), 0);
+    }
+}

@@ -25,6 +25,13 @@ pub enum GraphError {
     },
     /// A partition was constructed from an empty label vector.
     EmptyPartition,
+    /// An operation referenced an edge that does not exist in the graph.
+    EdgeNotFound {
+        /// First endpoint of the missing edge.
+        u: usize,
+        /// Second endpoint of the missing edge.
+        v: usize,
+    },
     /// An input file or string could not be parsed as an edge list.
     ParseEdgeList {
         /// 1-based line number of the offending entry.
@@ -34,6 +41,13 @@ pub enum GraphError {
     },
     /// A generator was asked for an impossible configuration.
     InvalidGeneratorConfig {
+        /// Human readable description of the problem.
+        reason: String,
+    },
+    /// An input file or string could not be parsed as an edge-event log.
+    ParseEventLog {
+        /// 1-based line number of the offending entry.
+        line: usize,
         /// Human readable description of the problem.
         reason: String,
     },
@@ -52,11 +66,17 @@ impl fmt::Display for GraphError {
                 write!(f, "partition has {labels} labels but the graph has {nodes} nodes")
             }
             GraphError::EmptyPartition => write!(f, "partition label vector is empty"),
+            GraphError::EdgeNotFound { u, v } => {
+                write!(f, "edge ({u}, {v}) does not exist in the graph")
+            }
             GraphError::ParseEdgeList { line, reason } => {
                 write!(f, "failed to parse edge list at line {line}: {reason}")
             }
             GraphError::InvalidGeneratorConfig { reason } => {
                 write!(f, "invalid generator configuration: {reason}")
+            }
+            GraphError::ParseEventLog { line, reason } => {
+                write!(f, "failed to parse event log at line {line}: {reason}")
             }
         }
     }

@@ -1,12 +1,22 @@
-//! Plain edge-list I/O.
+//! Plain edge-list and edge-event-log I/O.
 //!
-//! The format is one edge per line: `u v [weight]`, whitespace separated.
-//! Lines starting with `#` or `%` and blank lines are ignored. Node ids must be
-//! non-negative integers; the graph gets `max_id + 1` nodes (or more if a node
-//! count is given explicitly). This matches the SNAP edge-list convention used
-//! by the datasets in the paper.
+//! The edge-list format is one edge per line: `u v [weight]`, whitespace
+//! separated. Lines starting with `#` or `%` and blank lines are ignored. Node
+//! ids must be non-negative integers; the graph gets `max_id + 1` nodes (or
+//! more if a node count is given explicitly). This matches the SNAP edge-list
+//! convention used by the datasets in the paper.
+//!
+//! The event-log format ([`parse_event_log`]) carries a stream of mutations
+//! for the dynamic-graph layer: one event per line, optionally prefixed by a
+//! non-decreasing integer timestamp:
+//!
+//! ```text
+//! [t] add u v [w]    # insert edge (weight defaults to 1.0)
+//! [t] del u v        # remove edge
+//! [t] upd u v w      # set absolute edge weight
+//! ```
 
-use crate::{Graph, GraphBuilder, GraphError};
+use crate::{EdgeEvent, Graph, GraphBuilder, GraphError};
 use std::fs;
 use std::io::Write as _;
 use std::path::Path;
@@ -115,6 +125,113 @@ pub fn write_edge_list<P: AsRef<Path>>(graph: &Graph, path: P) -> Result<(), Gra
     })
 }
 
+/// Parses a timestamped edge-event log into replayable [`EdgeEvent`]s.
+///
+/// Each non-comment line is `[timestamp] op args` where `op` is `add u v [w]`
+/// (weight defaults to 1.0), `del u v` or `upd u v w`. The optional leading
+/// timestamp is a non-negative integer; when present, timestamps must be
+/// non-decreasing down the file (events are a replay log, not a set). Lines
+/// starting with `#` or `%` and blank lines are ignored.
+///
+/// # Errors
+///
+/// Returns [`GraphError::ParseEventLog`] with the 1-based line number for
+/// unknown operations, missing or malformed fields, trailing fields,
+/// non-finite/negative weights and out-of-order timestamps.
+///
+/// # Example
+///
+/// ```
+/// use qhdcd_graph::{io, EdgeEvent};
+///
+/// # fn main() -> Result<(), qhdcd_graph::GraphError> {
+/// let events = io::parse_event_log("# warm-up\n0 add 0 1\n3 add 1 2 2.5\n7 del 0 1\n")?;
+/// assert_eq!(events.len(), 3);
+/// assert_eq!(events[2], EdgeEvent::Remove { u: 0, v: 1 });
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_event_log(text: &str) -> Result<Vec<EdgeEvent>, GraphError> {
+    let err = |line: usize, reason: String| GraphError::ParseEventLog { line: line + 1, reason };
+    let mut events = Vec::new();
+    let mut last_timestamp: Option<u64> = None;
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with('%') {
+            continue;
+        }
+        let mut parts = line.split_whitespace().peekable();
+        // Optional leading timestamp: a token that parses as u64.
+        let first = *parts.peek().expect("non-blank line has a first token");
+        if let Ok(t) = first.parse::<u64>() {
+            parts.next();
+            if last_timestamp.is_some_and(|prev| t < prev) {
+                return Err(err(
+                    lineno,
+                    format!(
+                        "timestamp {t} is smaller than the previous timestamp {}",
+                        last_timestamp.expect("checked above")
+                    ),
+                ));
+            }
+            last_timestamp = Some(t);
+        }
+        let op = parts
+            .next()
+            .ok_or_else(|| err(lineno, "expected an operation after the timestamp".into()))?;
+        let mut node = |name: &str| -> Result<usize, GraphError> {
+            parts
+                .next()
+                .ok_or_else(|| err(lineno, format!("missing node id `{name}`")))?
+                .parse::<usize>()
+                .map_err(|e| err(lineno, format!("invalid node id `{name}`: {e}")))
+        };
+        let (u, v) = (node("u")?, node("v")?);
+        let mut weight = |required: bool| -> Result<Option<f64>, GraphError> {
+            match parts.next() {
+                Some(tok) => {
+                    let w = tok
+                        .parse::<f64>()
+                        .map_err(|e| err(lineno, format!("invalid weight: {e}")))?;
+                    if !w.is_finite() || w < 0.0 {
+                        return Err(err(
+                            lineno,
+                            format!("weight {w} is not a finite non-negative number"),
+                        ));
+                    }
+                    Ok(Some(w))
+                }
+                None if required => Err(err(lineno, "missing weight".into())),
+                None => Ok(None),
+            }
+        };
+        let event = match op {
+            "add" => EdgeEvent::Add { u, v, weight: weight(false)?.unwrap_or(1.0) },
+            "del" => EdgeEvent::Remove { u, v },
+            "upd" => EdgeEvent::Update { u, v, weight: weight(true)?.expect("required") },
+            other => return Err(err(lineno, format!("unknown operation `{other}`"))),
+        };
+        if parts.next().is_some() {
+            return Err(err(lineno, "too many fields".into()));
+        }
+        events.push(event);
+    }
+    Ok(events)
+}
+
+/// Reads an edge-event log from a file (see [`parse_event_log`]).
+///
+/// # Errors
+///
+/// Returns [`GraphError::ParseEventLog`] if the file cannot be read or parsed.
+pub fn read_event_log<P: AsRef<Path>>(path: P) -> Result<Vec<EdgeEvent>, GraphError> {
+    let text = fs::read_to_string(path.as_ref()).map_err(|e| GraphError::ParseEventLog {
+        line: 0,
+        reason: format!("cannot read {}: {e}", path.as_ref().display()),
+    })?;
+    parse_event_log(&text)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -181,5 +298,63 @@ mod tests {
     #[test]
     fn read_missing_file_is_an_error() {
         assert!(read_edge_list("/nonexistent/definitely_missing.edges").is_err());
+    }
+
+    #[test]
+    fn parse_event_log_happy_paths() {
+        let events = parse_event_log(
+            "# comment\n\n% another comment\nadd 0 1\n5 add 1 2 2.5\n5 upd 1 2 0.5\n9 del 1 2\n",
+        )
+        .unwrap();
+        assert_eq!(
+            events,
+            vec![
+                EdgeEvent::Add { u: 0, v: 1, weight: 1.0 },
+                EdgeEvent::Add { u: 1, v: 2, weight: 2.5 },
+                EdgeEvent::Update { u: 1, v: 2, weight: 0.5 },
+                EdgeEvent::Remove { u: 1, v: 2 },
+            ]
+        );
+        assert!(parse_event_log("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn parse_event_log_replays_onto_a_dynamic_graph() {
+        let events = parse_event_log("0 add 0 1\n1 add 1 2\n2 add 0 2 2.0\n3 del 0 1\n").unwrap();
+        let mut g = crate::DynamicGraph::new(3);
+        g.apply_events(&events).unwrap();
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.total_edge_weight(), 3.0);
+    }
+
+    #[test]
+    fn parse_event_log_rejects_malformed_input() {
+        let line_of = |text: &str| match parse_event_log(text).unwrap_err() {
+            GraphError::ParseEventLog { line, .. } => line,
+            other => panic!("unexpected error {other:?}"),
+        };
+        assert_eq!(line_of("add 0 1\nfrobnicate 0 1\n"), 2); // unknown op
+        assert_eq!(line_of("add 0\n"), 1); // missing v
+        assert_eq!(line_of("add x 1\n"), 1); // bad node id
+        assert_eq!(line_of("add 0 1 oops\n"), 1); // bad weight
+        assert_eq!(line_of("add 0 1 -2.0\n"), 1); // negative weight
+        assert_eq!(line_of("add 0 1 inf\n"), 1); // non-finite weight
+        assert_eq!(line_of("upd 0 1\n"), 1); // upd requires weight
+        assert_eq!(line_of("del 0 1 1.0\n"), 1); // trailing field
+        assert_eq!(line_of("add 0 1 1.0 extra\n"), 1); // trailing field
+        assert_eq!(line_of("7 add 0 1\n3 add 1 2\n"), 2); // timestamps go backwards
+        assert_eq!(line_of("9\n"), 1); // timestamp with no op
+    }
+
+    #[test]
+    fn event_log_round_trip_through_file() {
+        let dir = std::env::temp_dir().join("qhdcd_graph_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("stream.events");
+        std::fs::write(&path, "0 add 0 1\n1 del 0 1\n").unwrap();
+        let events = read_event_log(&path).unwrap();
+        assert_eq!(events.len(), 2);
+        std::fs::remove_file(&path).ok();
+        assert!(read_event_log("/nonexistent/definitely_missing.events").is_err());
     }
 }

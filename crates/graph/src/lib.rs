@@ -13,7 +13,10 @@
 //! * [`generators`] — deterministic synthetic graph generators (Erdős–Rényi,
 //!   planted partition / SBM, LFR-like power-law, ring of cliques, Zachary's
 //!   karate club) used to stand in for the paper's SNAP datasets.
-//! * [`io`] — plain edge-list reading and writing.
+//! * [`DynamicGraph`] — the mutable adjacency-map layer for streaming
+//!   workloads, mutated through [`EdgeEvent`]s and compacted back to CSR via
+//!   `snapshot()`.
+//! * [`io`] — plain edge-list reading and writing, plus edge-event logs.
 //! * [`quotient`] — aggregation of a graph by a partition (super-node graphs),
 //!   the basic operation behind multilevel coarsening.
 //!
@@ -37,6 +40,7 @@
 #![warn(missing_docs)]
 
 mod builder;
+mod dynamic;
 mod error;
 mod graph;
 mod partition;
@@ -50,6 +54,7 @@ pub mod modularity;
 pub mod quotient;
 
 pub use builder::GraphBuilder;
+pub use dynamic::{DynamicGraph, EdgeEvent};
 pub use error::GraphError;
 pub use graph::{Graph, NeighborIter, NodeId};
 pub use partition::Partition;

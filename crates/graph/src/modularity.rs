@@ -174,10 +174,12 @@ impl ModularityState {
     }
 
     /// Weight from `node` to each community in its neighbourhood, returned as
-    /// `(community, weight)` pairs, along with the weight to its own community
-    /// excluding self-loops.
+    /// `(community, weight)` pairs in ascending community order (a
+    /// deterministic order, so gain ties in [`ModularityState::best_move`]
+    /// always resolve the same way across runs), along with the weight to its
+    /// own community excluding self-loops.
     fn neighbor_community_weights(&self, graph: &Graph, node: usize) -> Vec<(usize, f64)> {
-        let mut acc: std::collections::HashMap<usize, f64> = std::collections::HashMap::new();
+        let mut acc: std::collections::BTreeMap<usize, f64> = std::collections::BTreeMap::new();
         for (v, w) in graph.neighbors(node) {
             if v == node {
                 continue;
@@ -220,7 +222,10 @@ impl ModularityState {
     }
 
     /// Finds the neighbouring community with the best positive gain for `node`,
-    /// if any, returning `(community, gain)`.
+    /// if any, returning `(community, gain)`. Candidates are scanned in
+    /// ascending community order and only a strictly better gain displaces the
+    /// incumbent, so exact gain ties deterministically resolve to the lowest
+    /// community id.
     pub fn best_move(&self, graph: &Graph, node: usize) -> Option<(usize, f64)> {
         let mut best: Option<(usize, f64)> = None;
         for (c, _) in self.neighbor_community_weights(graph, node) {
@@ -370,6 +375,19 @@ mod tests {
             }
         }
         assert!(q > 0.0);
+    }
+
+    #[test]
+    fn best_move_ties_resolve_to_the_lowest_community() {
+        // Path 1 — 0 — 2 with singleton communities: moving node 0 into
+        // community 1 or 2 has exactly the same gain by symmetry, so the
+        // deterministic candidate order must pick the lower community id.
+        let g = GraphBuilder::from_unweighted_edges(3, [(0, 1), (0, 2)]).unwrap();
+        let state = ModularityState::new(&g, &Partition::from_labels(vec![0, 1, 2]).unwrap());
+        let (community, gain) = state.best_move(&g, 0).unwrap();
+        assert!((state.gain(&g, 0, 1) - state.gain(&g, 0, 2)).abs() < 1e-15, "tie premise");
+        assert_eq!(community, 1);
+        assert!(gain > 0.0);
     }
 
     #[test]

@@ -118,6 +118,24 @@ pub trait QuboSolver {
     /// example, an exact state-vector simulation asked to handle more variables
     /// than it can represent).
     fn solve(&self, model: &QuboModel) -> Result<SolveReport, QuboError>;
+
+    /// Minimises `model`, warm-started from an incumbent assignment `hint`.
+    ///
+    /// Solvers that can exploit a prior solution (for example the restart
+    /// portfolio, which dedicates one restart to polishing the incumbent)
+    /// override this; the default simply ignores the hint and runs
+    /// [`QuboSolver::solve`]. Overrides should return a result no worse than
+    /// what local polish of the hint achieves.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`QuboSolver::solve`]; overrides additionally return
+    /// [`QuboError::SolutionSizeMismatch`] if the hint does not match the
+    /// model.
+    fn solve_with_hint(&self, model: &QuboModel, hint: &[bool]) -> Result<SolveReport, QuboError> {
+        let _ = hint;
+        self.solve(model)
+    }
 }
 
 /// Blanket implementation so `Box<dyn QuboSolver>` and `&S` work transparently.
@@ -129,6 +147,10 @@ impl<S: QuboSolver + ?Sized> QuboSolver for &S {
     fn solve(&self, model: &QuboModel) -> Result<SolveReport, QuboError> {
         (**self).solve(model)
     }
+
+    fn solve_with_hint(&self, model: &QuboModel, hint: &[bool]) -> Result<SolveReport, QuboError> {
+        (**self).solve_with_hint(model, hint)
+    }
 }
 
 impl<S: QuboSolver + ?Sized> QuboSolver for Box<S> {
@@ -138,6 +160,10 @@ impl<S: QuboSolver + ?Sized> QuboSolver for Box<S> {
 
     fn solve(&self, model: &QuboModel) -> Result<SolveReport, QuboError> {
         (**self).solve(model)
+    }
+
+    fn solve_with_hint(&self, model: &QuboModel, hint: &[bool]) -> Result<SolveReport, QuboError> {
+        (**self).solve_with_hint(model, hint)
     }
 }
 

@@ -192,6 +192,30 @@ impl PortfolioSolver {
     }
 }
 
+/// Runs the warm-start restart: installs the incumbent and polishes it by
+/// descent under `move_set`. The result can never be worse than the incumbent
+/// (descent only accepts improving moves), which gives warm-started portfolio
+/// solves a monotonicity guarantee the streaming re-solves rely on.
+fn warm_restart(
+    warm: &[bool],
+    state: &mut LocalFieldState<'_>,
+    sweeps: usize,
+    move_set: MoveSet,
+    deadline: Option<Instant>,
+) -> RestartRun {
+    state.set_solution(warm).expect("hint length is validated before the runtime starts");
+    let performed = match move_set {
+        MoveSet::SingleFlip => local_search::descend_state(state, sweeps, deadline),
+        MoveSet::PairAware => local_search::pair_aware_descend_state(state, sweeps, deadline),
+    };
+    state.debug_validate();
+    RestartRun {
+        solution: state.solution().to_vec(),
+        energy: state.energy(),
+        iterations: performed,
+    }
+}
+
 /// Runs one greedy restart: random start, descent under `move_set`.
 fn greedy_restart(
     rng: &mut ChaCha8Rng,
@@ -215,15 +239,23 @@ fn greedy_restart(
     }
 }
 
-impl QuboSolver for PortfolioSolver {
-    fn name(&self) -> &str {
-        "portfolio"
-    }
-
-    fn solve(&self, model: &QuboModel) -> Result<SolveReport, QuboError> {
+impl PortfolioSolver {
+    fn solve_impl(
+        &self,
+        model: &QuboModel,
+        warm_start: Option<&[bool]>,
+    ) -> Result<SolveReport, QuboError> {
         let start = Instant::now();
         if model.num_variables() == 0 {
             return Err(QuboError::InvalidConfig { reason: "model has no variables".into() });
+        }
+        if let Some(warm) = warm_start {
+            if warm.len() != model.num_variables() {
+                return Err(QuboError::SolutionSizeMismatch {
+                    solution: warm.len(),
+                    variables: model.num_variables(),
+                });
+            }
         }
         self.config.validate()?;
         if self.strategies.is_empty() {
@@ -247,6 +279,13 @@ impl QuboSolver for PortfolioSolver {
                       rng: &mut ChaCha8Rng,
                       state: &mut LocalFieldState<'_>,
                       deadline: Option<Instant>| {
+            // Restart 0 becomes the incumbent-polish member of a warm-started
+            // solve; every other restart keeps its regular strategy stream.
+            if k == 0 {
+                if let Some(warm) = warm_start {
+                    return warm_restart(warm, state, sweeps, self.config.move_set, deadline);
+                }
+            }
             match self.strategies[k % self.strategies.len()] {
                 Strategy::Greedy => {
                     greedy_restart(rng, state, sweeps, self.config.move_set, deadline)
@@ -282,6 +321,24 @@ impl QuboSolver for PortfolioSolver {
             elapsed: start.elapsed(),
             iterations: run.iterations,
         })
+    }
+}
+
+impl QuboSolver for PortfolioSolver {
+    fn name(&self) -> &str {
+        "portfolio"
+    }
+
+    fn solve(&self, model: &QuboModel) -> Result<SolveReport, QuboError> {
+        self.solve_impl(model, None)
+    }
+
+    /// Warm-started solve: restart 0 polishes `hint` by descent (under the
+    /// configured move set) instead of running its regular strategy, so the
+    /// result is never worse than the polished incumbent. All other restarts
+    /// are unchanged, and determinism across thread counts is preserved.
+    fn solve_with_hint(&self, model: &QuboModel, hint: &[bool]) -> Result<SolveReport, QuboError> {
+        self.solve_impl(model, Some(hint))
     }
 }
 
@@ -399,6 +456,60 @@ mod tests {
             let report = solver.solve(&model).unwrap();
             assert!(report.objective <= 0.0, "seed={seed}: {}", report.objective);
         }
+    }
+
+    #[test]
+    fn warm_start_is_never_worse_than_the_polished_incumbent() {
+        for seed in 0..4u64 {
+            let model = instance(40, 0.2, seed);
+            let solver = PortfolioSolver::default().with_seed(seed).with_restarts(3);
+            // Use the plain solve's result as the incumbent of a second solve:
+            // the warm-started objective must be at least as good.
+            let incumbent = solver.solve(&model).unwrap();
+            let warm = solver.solve_with_hint(&model, &incumbent.solution).unwrap();
+            assert!(
+                warm.objective <= incumbent.objective + 1e-12,
+                "seed={seed}: warm {} > incumbent {}",
+                warm.objective,
+                incumbent.objective
+            );
+            assert!((model.evaluate(&warm.solution).unwrap() - warm.objective).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn warm_start_polishes_a_bad_incumbent() {
+        // An incumbent with positive energy must at least descend to a local
+        // minimum no worse than itself, even with a single restart.
+        let model = instance(30, 0.3, 5);
+        let all_ones = vec![true; 30];
+        let incumbent_energy = model.evaluate(&all_ones).unwrap();
+        let mut solver = PortfolioSolver::default();
+        solver.config.restarts = 1;
+        let report = solver.solve_with_hint(&model, &all_ones).unwrap();
+        assert!(report.objective <= incumbent_energy + 1e-12);
+    }
+
+    #[test]
+    fn warm_start_is_deterministic_across_thread_counts() {
+        let model = instance(50, 0.2, 3);
+        let hint = vec![false; 50];
+        let base = PortfolioSolver::default().with_seed(2).with_restarts(9);
+        let runs: Vec<SolveReport> = [1usize, 2, 8]
+            .iter()
+            .map(|&t| base.clone().with_threads(t).solve_with_hint(&model, &hint).unwrap())
+            .collect();
+        for r in &runs[1..] {
+            assert_eq!(r.solution, runs[0].solution);
+            assert_eq!(r.objective.to_bits(), runs[0].objective.to_bits());
+        }
+    }
+
+    #[test]
+    fn warm_start_rejects_mismatched_hints() {
+        let model = instance(10, 0.3, 0);
+        let err = PortfolioSolver::default().solve_with_hint(&model, &[true; 4]).unwrap_err();
+        assert!(matches!(err, qhdcd_qubo::QuboError::SolutionSizeMismatch { .. }));
     }
 
     #[test]

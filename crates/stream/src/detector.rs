@@ -1,0 +1,766 @@
+//! The streaming detector: incremental community maintenance over edge events.
+//!
+//! See the crate docs for the architecture (event model → incremental
+//! bookkeeping → localized refinement → epoch fallback) and the determinism
+//! contract. The modularity bookkeeping mirrors the community-aggregated form
+//! used by `qhdcd_graph::modularity::modularity`:
+//!
+//! ```text
+//! Q = Σ_c [ Σin_c / (2m)  −  (Σtot_c / (2m))² ]
+//! ```
+//!
+//! where `Σin_c` sums `A_ij` over ordered in-community pairs (a self-loop of
+//! weight `w` contributes `A_ii = 2w`) and `Σtot_c` sums weighted degrees.
+//! Both aggregates are patched in O(1) per edge event and per reassign move,
+//! so the maintained modularity never requires a graph traversal. Equality
+//! with the from-scratch recomputation (to 1e-9) is enforced by tests after
+//! every batch.
+
+use crate::StreamError;
+use qhdcd_core::refine::RefineConfig;
+use qhdcd_core::CommunityDetector;
+use qhdcd_graph::{DynamicGraph, EdgeEvent, NodeId, Partition};
+use std::collections::BTreeSet;
+use std::time::{Duration, Instant};
+
+/// Configuration of a [`StreamingDetector`].
+#[derive(Debug, Clone)]
+pub struct StreamConfig {
+    /// Budget of the per-batch localized refinement (passes, minimum gain).
+    pub refine: RefineConfig,
+    /// Full re-detect trigger: dirty-frontier size as a fraction of the node
+    /// count. A batch whose frontier exceeds `frontier_fraction · n` falls
+    /// back to a full warm-started re-detect. Must be in `(0, 1]`.
+    pub frontier_fraction: f64,
+    /// Full re-detect trigger: accumulated absolute weight change since the
+    /// last full solve, as a fraction of the current total edge weight. Must
+    /// be positive.
+    pub drift_threshold: f64,
+    /// The detector used for the initial solve and for full re-detects (which
+    /// are warm-started from the incumbent via
+    /// [`CommunityDetector::detect_with_hint`]). Configure a time limit here
+    /// only if bit-reproducibility is not required.
+    pub detector: CommunityDetector,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig {
+            refine: RefineConfig::default(),
+            frontier_fraction: 0.25,
+            drift_threshold: 0.5,
+            detector: CommunityDetector::classical_fallback(),
+        }
+    }
+}
+
+impl StreamConfig {
+    /// Returns a copy with the given seed on the fallback detector.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.detector = self.detector.with_seed(seed);
+        self
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StreamError::InvalidConfig`] for out-of-range thresholds or a
+    /// zero refinement pass budget.
+    pub fn validate(&self) -> Result<(), StreamError> {
+        if !(self.frontier_fraction > 0.0 && self.frontier_fraction <= 1.0) {
+            return Err(StreamError::InvalidConfig {
+                reason: format!(
+                    "frontier_fraction must be in (0, 1], got {}",
+                    self.frontier_fraction
+                ),
+            });
+        }
+        if !(self.drift_threshold > 0.0 && self.drift_threshold.is_finite()) {
+            return Err(StreamError::InvalidConfig {
+                reason: format!("drift_threshold must be positive, got {}", self.drift_threshold),
+            });
+        }
+        if self.refine.max_passes == 0 {
+            return Err(StreamError::InvalidConfig {
+                reason: "refine.max_passes must be > 0".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Per-batch report of [`StreamingDetector::apply_events`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamStats {
+    /// Number of events applied in this batch.
+    pub events_applied: usize,
+    /// Size of the dirty frontier (touched endpoints plus their neighbours).
+    pub frontier_size: usize,
+    /// Number of node reassignments performed (localized moves, or nodes whose
+    /// community changed in a full re-detect).
+    pub nodes_moved: usize,
+    /// Localized refinement passes performed (0 on a full re-detect).
+    pub refine_passes: usize,
+    /// Whether this batch triggered the full re-detect fallback.
+    pub full_redetect: bool,
+    /// Maintained modularity before the batch was applied.
+    pub modularity_before: f64,
+    /// Maintained modularity after event application and refinement.
+    pub modularity: f64,
+    /// `modularity − modularity_before`.
+    pub modularity_delta: f64,
+    /// Wall-clock time of the batch.
+    pub elapsed: Duration,
+}
+
+/// Maintains a community partition of a [`DynamicGraph`] across batches of
+/// [`EdgeEvent`]s.
+///
+/// See the crate docs for the maintenance strategy and determinism contract.
+///
+/// # Example
+///
+/// ```
+/// use qhdcd_graph::{generators, DynamicGraph, EdgeEvent};
+/// use qhdcd_stream::{StreamConfig, StreamingDetector};
+///
+/// # fn main() -> Result<(), qhdcd_stream::StreamError> {
+/// let pg = generators::ring_of_cliques(4, 5)?;
+/// let graph = DynamicGraph::from_graph(&pg.graph);
+/// let mut detector =
+///     StreamingDetector::from_partition(graph, pg.ground_truth.clone(), StreamConfig::default())?;
+/// let stats = detector.apply_events(&[EdgeEvent::Add { u: 0, v: 1, weight: 0.5 }])?;
+/// assert_eq!(stats.events_applied, 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct StreamingDetector {
+    graph: DynamicGraph,
+    config: StreamConfig,
+    /// Current community label per node (labels are community slots, not
+    /// necessarily contiguous after moves empty a community).
+    labels: Vec<usize>,
+    /// Per-community degree sums `Σtot_c`.
+    sigma_tot: Vec<f64>,
+    /// Per-community internal weights `Σin_c` (ordered-pair convention).
+    sigma_in: Vec<f64>,
+    /// Accumulated absolute weight change since the last full solve.
+    drift: f64,
+    /// Number of batches applied.
+    batches: u64,
+    /// Number of full re-detect fallbacks triggered.
+    full_redetects: u64,
+}
+
+impl StreamingDetector {
+    /// Creates a streaming detector, running the configured detector once on a
+    /// snapshot of `graph` to obtain the initial partition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StreamError::InvalidConfig`] for an empty graph or invalid
+    /// configuration, and propagates the initial detection error.
+    pub fn new(graph: DynamicGraph, config: StreamConfig) -> Result<Self, StreamError> {
+        config.validate()?;
+        if graph.num_nodes() == 0 {
+            return Err(StreamError::InvalidConfig {
+                reason: "graph must have at least one node".into(),
+            });
+        }
+        let initial = config.detector.detect(&graph.snapshot())?;
+        Self::from_partition(graph, initial.partition, config)
+    }
+
+    /// Creates a streaming detector seeded with an existing partition instead
+    /// of running an initial detection.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StreamError::InvalidConfig`] for invalid configurations and
+    /// [`StreamError::Graph`] if the partition does not cover the graph.
+    pub fn from_partition(
+        graph: DynamicGraph,
+        partition: Partition,
+        config: StreamConfig,
+    ) -> Result<Self, StreamError> {
+        config.validate()?;
+        if partition.num_nodes() != graph.num_nodes() {
+            return Err(StreamError::Graph(qhdcd_graph::GraphError::PartitionSizeMismatch {
+                labels: partition.num_nodes(),
+                nodes: graph.num_nodes(),
+            }));
+        }
+        let labels = partition.renumbered().labels().to_vec();
+        let mut detector = StreamingDetector {
+            graph,
+            config,
+            labels,
+            sigma_tot: Vec::new(),
+            sigma_in: Vec::new(),
+            drift: 0.0,
+            batches: 0,
+            full_redetects: 0,
+        };
+        detector.rebuild_aggregates();
+        Ok(detector)
+    }
+
+    /// The underlying dynamic graph.
+    pub fn graph(&self) -> &DynamicGraph {
+        &self.graph
+    }
+
+    /// Number of nodes currently tracked.
+    pub fn num_nodes(&self) -> usize {
+        self.graph.num_nodes()
+    }
+
+    /// The maintained partition (renumbered).
+    pub fn partition(&self) -> Partition {
+        Partition::from_labels(self.labels.clone())
+            .expect("detector always tracks at least one node")
+            .renumbered()
+    }
+
+    /// The maintained modularity, computed in O(k) from the incrementally
+    /// patched aggregates (never from a graph traversal).
+    pub fn modularity(&self) -> f64 {
+        let two_m = 2.0 * self.graph.total_edge_weight();
+        if two_m <= 0.0 {
+            return 0.0;
+        }
+        let mut q = 0.0;
+        for c in 0..self.sigma_tot.len() {
+            q += self.sigma_in[c] / two_m - (self.sigma_tot[c] / two_m).powi(2);
+        }
+        q
+    }
+
+    /// Accumulated absolute weight change since the last full solve.
+    pub fn drift(&self) -> f64 {
+        self.drift
+    }
+
+    /// Number of batches applied so far.
+    pub fn batches_applied(&self) -> u64 {
+        self.batches
+    }
+
+    /// Number of full re-detect fallbacks triggered so far.
+    pub fn full_redetects(&self) -> u64 {
+        self.full_redetects
+    }
+
+    /// Appends a new isolated node in its own (new) community and returns its
+    /// id.
+    pub fn add_node(&mut self) -> NodeId {
+        let id = self.graph.add_node();
+        let community = self.sigma_tot.len();
+        self.labels.push(community);
+        self.sigma_tot.push(0.0);
+        self.sigma_in.push(0.0);
+        id
+    }
+
+    /// Applies a batch of edge events, incrementally patches the modularity
+    /// bookkeeping, and repairs the community structure: localized reassign
+    /// refinement over the dirty frontier, or a full warm-started re-detect
+    /// when the frontier or accumulated drift crosses the configured
+    /// thresholds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StreamError::EventFailed`] if an event is invalid (events
+    /// before it remain applied and the bookkeeping stays consistent), or
+    /// [`StreamError::Detect`] if a full re-detect fails.
+    pub fn apply_events(&mut self, events: &[EdgeEvent]) -> Result<StreamStats, StreamError> {
+        let start = Instant::now();
+        let modularity_before = self.modularity();
+
+        // --- Phase 1: apply events, patching aggregates in O(1) per event.
+        let mut touched: BTreeSet<NodeId> = BTreeSet::new();
+        for (index, event) in events.iter().enumerate() {
+            let delta = self
+                .graph
+                .apply(event)
+                .map_err(|source| StreamError::EventFailed { index, source })?;
+            let (u, v) = event.endpoints();
+            let (cu, cv) = (self.labels[u], self.labels[v]);
+            if u == v {
+                self.sigma_tot[cu] += 2.0 * delta;
+                self.sigma_in[cu] += 2.0 * delta;
+            } else {
+                self.sigma_tot[cu] += delta;
+                self.sigma_tot[cv] += delta;
+                if cu == cv {
+                    self.sigma_in[cu] += 2.0 * delta;
+                }
+            }
+            self.drift += delta.abs();
+            touched.insert(u);
+            touched.insert(v);
+        }
+
+        // --- Phase 2: dirty frontier = touched endpoints plus neighbours.
+        let mut frontier = touched.clone();
+        for &u in &touched {
+            for (v, _) in self.graph.neighbors(u) {
+                frontier.insert(v);
+            }
+        }
+
+        // --- Phase 3: localized repair or epoch fallback.
+        let n = self.graph.num_nodes();
+        let total_weight = self.graph.total_edge_weight();
+        let full_redetect = total_weight > 0.0
+            && (frontier.len() as f64 > self.config.frontier_fraction * n as f64
+                || self.drift > self.config.drift_threshold * total_weight);
+        let (nodes_moved, refine_passes) = if full_redetect {
+            (self.full_redetect()?, 0)
+        } else {
+            self.refine_localized(&frontier)
+        };
+
+        self.batches += 1;
+        let modularity = self.modularity();
+        Ok(StreamStats {
+            events_applied: events.len(),
+            frontier_size: frontier.len(),
+            nodes_moved,
+            refine_passes,
+            full_redetect,
+            modularity_before,
+            modularity,
+            modularity_delta: modularity - modularity_before,
+            elapsed: start.elapsed(),
+        })
+    }
+
+    /// Full epoch fallback: snapshot, warm-started re-detect, adopt, rebuild.
+    fn full_redetect(&mut self) -> Result<usize, StreamError> {
+        let snapshot = self.graph.snapshot();
+        let hint = self.partition();
+        let result = self.config.detector.detect_with_hint(&snapshot, &hint)?;
+        let new_labels = result.partition.renumbered().labels().to_vec();
+        let moved = nodes_moved_between(hint.labels(), &new_labels);
+        self.labels = new_labels;
+        self.rebuild_aggregates();
+        self.drift = 0.0;
+        self.full_redetects += 1;
+        Ok(moved)
+    }
+
+    /// Localized reassign refinement over `frontier`, mirroring
+    /// `qhdcd_core::refine::refine_frontier` move for move (ascending node
+    /// order, candidate communities in ascending neighbour order, strict
+    /// improvement, 1e-12 floor) while patching `Σtot`/`Σin` per move instead
+    /// of rebuilding any state. Returns `(moves, passes)`.
+    fn refine_localized(&mut self, frontier: &BTreeSet<NodeId>) -> (usize, usize) {
+        if self.graph.total_edge_weight() <= 0.0 {
+            return (0, 0);
+        }
+        let mut worklist = frontier.clone();
+        let mut moves = 0usize;
+        let mut passes = 0usize;
+        for _ in 0..self.config.refine.max_passes {
+            if worklist.is_empty() {
+                break;
+            }
+            passes += 1;
+            let mut pass_gain = 0.0;
+            let mut next = BTreeSet::new();
+            for &node in &worklist {
+                if let Some((target, gain)) = self.best_move(node) {
+                    self.apply_move(node, target);
+                    pass_gain += gain;
+                    moves += 1;
+                    next.insert(node);
+                    for (v, _) in self.graph.neighbors(node) {
+                        next.insert(v);
+                    }
+                }
+            }
+            worklist = next;
+            if pass_gain < self.config.refine.min_gain {
+                break;
+            }
+        }
+        (moves, passes)
+    }
+
+    /// Deterministic best-move scan (the streaming twin of
+    /// `refine_frontier`'s): candidates in ascending neighbour order, strictly
+    /// best positive gain wins, first seen wins ties.
+    fn best_move(&self, node: NodeId) -> Option<(usize, f64)> {
+        let cur = self.labels[node];
+        let mut seen: Vec<usize> = Vec::new();
+        let mut best: Option<(usize, f64)> = None;
+        for (v, _) in self.graph.neighbors(node) {
+            if v == node {
+                continue;
+            }
+            let c = self.labels[v];
+            if c == cur || seen.contains(&c) {
+                continue;
+            }
+            seen.push(c);
+            let g = self.gain(node, c);
+            if g > best.map_or(0.0, |(_, bg)| bg) && g > 1e-12 {
+                best = Some((c, g));
+            }
+        }
+        best
+    }
+
+    /// Modularity gain of moving `node` to `target` — the standard Louvain
+    /// gain, numerically identical to `ModularityState::gain` (pinned by
+    /// conformance tests against `refine_frontier`).
+    fn gain(&self, node: NodeId, target: usize) -> f64 {
+        let cur = self.labels[node];
+        let two_m = 2.0 * self.graph.total_edge_weight();
+        if cur == target || two_m <= 0.0 {
+            return 0.0;
+        }
+        let d_i = self.graph.degree(node);
+        let mut k_i_cur = 0.0;
+        let mut k_i_target = 0.0;
+        for (v, w) in self.graph.neighbors(node) {
+            if v == node {
+                continue;
+            }
+            let c = self.labels[v];
+            if c == cur {
+                k_i_cur += w;
+            } else if c == target {
+                k_i_target += w;
+            }
+        }
+        let m = two_m / 2.0;
+        let sigma_target = self.sigma_tot[target];
+        let sigma_cur = self.sigma_tot[cur];
+        (k_i_target - k_i_cur) / m - d_i * (sigma_target - (sigma_cur - d_i)) / (2.0 * m * m)
+    }
+
+    /// Moves `node` to `target`, patching `Σtot` and `Σin` in O(deg).
+    fn apply_move(&mut self, node: NodeId, target: usize) {
+        let cur = self.labels[node];
+        if cur == target {
+            return;
+        }
+        let d_i = self.graph.degree(node);
+        let mut k_cur = 0.0;
+        let mut k_target = 0.0;
+        let mut self_loop = 0.0;
+        for (v, w) in self.graph.neighbors(node) {
+            if v == node {
+                self_loop = w;
+                continue;
+            }
+            let c = self.labels[v];
+            if c == cur {
+                k_cur += w;
+            } else if c == target {
+                k_target += w;
+            }
+        }
+        self.sigma_tot[cur] -= d_i;
+        self.sigma_tot[target] += d_i;
+        // Ordered-pair convention: each in-community edge counts from both
+        // endpoints; the self-loop (A_ii = 2w) travels with the node.
+        self.sigma_in[cur] -= 2.0 * k_cur + 2.0 * self_loop;
+        self.sigma_in[target] += 2.0 * k_target + 2.0 * self_loop;
+        self.labels[node] = target;
+    }
+
+    /// Rebuilds `Σtot`/`Σin` from the graph and labels (O(n + m)); used only
+    /// at construction and after full re-detects — never on the per-batch
+    /// incremental path.
+    fn rebuild_aggregates(&mut self) {
+        let k = self.labels.iter().copied().max().unwrap_or(0) + 1;
+        self.sigma_tot = vec![0.0; k];
+        self.sigma_in = vec![0.0; k];
+        for u in 0..self.graph.num_nodes() {
+            let cu = self.labels[u];
+            self.sigma_tot[cu] += self.graph.degree(u);
+            for (v, w) in self.graph.neighbors(u) {
+                if self.labels[v] == cu {
+                    self.sigma_in[cu] += if u == v { 2.0 * w } else { w };
+                }
+            }
+        }
+    }
+}
+
+/// Number of nodes whose community changed between two labelings, invariant
+/// under label renaming: old and new communities are matched one-to-one
+/// greedily by overlap size (largest overlap first, ties to the lowest ids),
+/// and a node counts as moved iff its new label is not its old community's
+/// match. A positional `old != new` comparison would overcount massively,
+/// because a single real move can shift the canonical renumbering of every
+/// later label; a non-injective plurality match would undercount merges.
+fn nodes_moved_between(old: &[usize], new: &[usize]) -> usize {
+    let mut pair_counts: std::collections::BTreeMap<(usize, usize), usize> =
+        std::collections::BTreeMap::new();
+    for (&o, &n) in old.iter().zip(new.iter()) {
+        *pair_counts.entry((o, n)).or_insert(0) += 1;
+    }
+    let mut overlaps: Vec<(usize, usize, usize)> =
+        pair_counts.into_iter().map(|((o, n), count)| (count, o, n)).collect();
+    overlaps.sort_by(|a, b| (b.0, a.1, a.2).cmp(&(a.0, b.1, b.2)));
+    let mut matched: std::collections::BTreeMap<usize, usize> = std::collections::BTreeMap::new();
+    let mut claimed: std::collections::BTreeSet<usize> = std::collections::BTreeSet::new();
+    for (_, o, n) in overlaps {
+        if !matched.contains_key(&o) && claimed.insert(n) {
+            matched.insert(o, n);
+        }
+    }
+    old.iter().zip(new.iter()).filter(|&(o, n)| matched.get(o) != Some(n)).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qhdcd_graph::{generators, modularity};
+
+    fn karate_detector() -> StreamingDetector {
+        let graph = DynamicGraph::from_graph(&generators::karate_club());
+        let partition = generators::karate_club_communities();
+        StreamingDetector::from_partition(graph, partition, StreamConfig::default()).unwrap()
+    }
+
+    /// Maintained modularity must equal a from-scratch recomputation on the
+    /// snapshot.
+    fn assert_q_consistent(detector: &StreamingDetector) {
+        let maintained = detector.modularity();
+        let recomputed =
+            modularity::modularity(&detector.graph().snapshot(), &detector.partition());
+        assert!(
+            (maintained - recomputed).abs() < 1e-9,
+            "maintained={maintained} recomputed={recomputed}"
+        );
+    }
+
+    #[test]
+    fn nodes_moved_is_invariant_under_renumbering() {
+        // One real move (node 0 from A to B) shifts the canonical renumbering
+        // of every label; the matched count must still report exactly 1.
+        assert_eq!(nodes_moved_between(&[0, 0, 1, 1], &[0, 1, 0, 0]), 1);
+        // Identical partitions under different names: nothing moved.
+        assert_eq!(nodes_moved_between(&[2, 2, 5, 5], &[0, 0, 1, 1]), 0);
+        // Everything merged: the smaller community's nodes moved.
+        assert_eq!(nodes_moved_between(&[0, 0, 0, 1], &[0, 0, 0, 0]), 1);
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(StreamConfig::default().validate().is_ok());
+        for bad in [
+            StreamConfig { frontier_fraction: 0.0, ..StreamConfig::default() },
+            StreamConfig { frontier_fraction: 1.5, ..StreamConfig::default() },
+            StreamConfig { drift_threshold: 0.0, ..StreamConfig::default() },
+            StreamConfig { drift_threshold: f64::NAN, ..StreamConfig::default() },
+            StreamConfig {
+                refine: RefineConfig { max_passes: 0, ..RefineConfig::default() },
+                ..StreamConfig::default()
+            },
+        ] {
+            assert!(bad.validate().is_err());
+        }
+        assert!(StreamingDetector::new(DynamicGraph::new(0), StreamConfig::default()).is_err());
+        let mismatched = Partition::singletons(3);
+        assert!(StreamingDetector::from_partition(
+            DynamicGraph::new(5),
+            mismatched,
+            StreamConfig::default()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn aggregates_track_every_event_kind() {
+        let mut detector = karate_detector();
+        assert_q_consistent(&detector);
+        let batches: Vec<Vec<EdgeEvent>> = vec![
+            vec![EdgeEvent::Add { u: 0, v: 33, weight: 2.0 }],
+            vec![EdgeEvent::Update { u: 0, v: 33, weight: 0.25 }],
+            vec![EdgeEvent::Remove { u: 0, v: 33 }],
+            vec![EdgeEvent::Add { u: 5, v: 5, weight: 1.5 }], // self-loop
+            vec![
+                EdgeEvent::Add { u: 2, v: 20, weight: 1.0 },
+                EdgeEvent::Remove { u: 0, v: 1 },
+                EdgeEvent::Update { u: 5, v: 5, weight: 0.5 },
+            ],
+        ];
+        for batch in &batches {
+            detector.apply_events(batch).unwrap();
+            assert_q_consistent(&detector);
+        }
+        assert_eq!(detector.batches_applied(), batches.len() as u64);
+    }
+
+    #[test]
+    fn localized_refinement_repairs_perturbed_structure() {
+        // Cut a clique's node loose and rewire it into another clique: the
+        // frontier refinement must move it to its new home.
+        let pg = generators::ring_of_cliques(4, 5).unwrap();
+        let graph = DynamicGraph::from_graph(&pg.graph);
+        // Thresholds pinned wide open so this exercises the localized path.
+        let config = StreamConfig {
+            frontier_fraction: 1.0,
+            drift_threshold: 1e9,
+            ..StreamConfig::default()
+        };
+        let mut detector =
+            StreamingDetector::from_partition(graph, pg.ground_truth.clone(), config).unwrap();
+        // Node 0's clique is {0..4}; rewire node 0 into node 6's clique.
+        let mut events = Vec::new();
+        for v in 1..5 {
+            events.push(EdgeEvent::Remove { u: 0, v });
+        }
+        for v in 5..10 {
+            events.push(EdgeEvent::Add { u: 0, v, weight: 1.0 });
+        }
+        let stats = detector.apply_events(&events).unwrap();
+        assert!(!stats.full_redetect);
+        assert!(stats.nodes_moved >= 1, "stats={stats:?}");
+        let p = detector.partition();
+        assert_eq!(p.community_of(0), p.community_of(6), "node 0 should join its new clique");
+        assert_ne!(p.community_of(0), p.community_of(1));
+        assert_q_consistent(&detector);
+    }
+
+    #[test]
+    fn drift_accumulates_and_triggers_full_redetect() {
+        let pg = generators::ring_of_cliques(6, 5).unwrap();
+        let graph = DynamicGraph::from_graph(&pg.graph);
+        let config = StreamConfig { drift_threshold: 0.05, ..StreamConfig::default() }.with_seed(3);
+        let mut detector =
+            StreamingDetector::from_partition(graph, pg.ground_truth.clone(), config).unwrap();
+        // A heavy weight change on one edge exceeds 5% of the total weight.
+        let stats = detector.apply_events(&[EdgeEvent::Add { u: 0, v: 1, weight: 10.0 }]).unwrap();
+        assert!(stats.full_redetect);
+        assert_eq!(detector.full_redetects(), 1);
+        assert_eq!(detector.drift(), 0.0);
+        assert_q_consistent(&detector);
+    }
+
+    #[test]
+    fn wide_frontier_triggers_full_redetect() {
+        let pg = generators::ring_of_cliques(4, 5).unwrap();
+        let graph = DynamicGraph::from_graph(&pg.graph);
+        let config =
+            StreamConfig { frontier_fraction: 0.2, drift_threshold: 1e9, ..Default::default() }
+                .with_seed(1);
+        let mut detector =
+            StreamingDetector::from_partition(graph, pg.ground_truth.clone(), config).unwrap();
+        // Touch many nodes at once: frontier spans well over 20% of the graph.
+        let events: Vec<EdgeEvent> =
+            (0..10).map(|i| EdgeEvent::Add { u: i, v: (i + 5) % 20, weight: 0.1 }).collect();
+        let stats = detector.apply_events(&events).unwrap();
+        assert!(stats.full_redetect);
+        assert_q_consistent(&detector);
+    }
+
+    #[test]
+    fn event_errors_keep_bookkeeping_consistent() {
+        let mut detector = karate_detector();
+        let err = detector
+            .apply_events(&[
+                EdgeEvent::Add { u: 0, v: 2, weight: 1.0 },
+                EdgeEvent::Remove { u: 0, v: 9 }, // not an edge
+            ])
+            .unwrap_err();
+        assert!(matches!(err, StreamError::EventFailed { index: 1, .. }));
+        // The applied prefix is reflected and the aggregates still match.
+        assert_q_consistent(&detector);
+    }
+
+    #[test]
+    fn modularity_delta_is_reported() {
+        let mut detector = karate_detector();
+        let q0 = detector.modularity();
+        let stats = detector.apply_events(&[EdgeEvent::Add { u: 0, v: 33, weight: 3.0 }]).unwrap();
+        assert_eq!(stats.modularity_before, q0);
+        assert!((stats.modularity - detector.modularity()).abs() < 1e-15);
+        assert!((stats.modularity_delta - (stats.modularity - q0)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn reruns_are_bit_identical() {
+        let run = || {
+            let pg = generators::planted_partition(&generators::PlantedPartitionConfig {
+                num_nodes: 60,
+                num_communities: 3,
+                p_in: 0.3,
+                p_out: 0.05,
+                seed: 11,
+            })
+            .unwrap();
+            let graph = DynamicGraph::from_graph(&pg.graph);
+            let mut detector = StreamingDetector::from_partition(
+                graph,
+                pg.ground_truth.clone(),
+                StreamConfig { drift_threshold: 0.1, ..StreamConfig::default() }.with_seed(5),
+            )
+            .unwrap();
+            let mut trace = Vec::new();
+            for step in 0..12u64 {
+                let u = (step * 7 % 60) as usize;
+                let v = (step * 13 + 1) as usize % 60;
+                let events = if detector.graph().has_edge(u, v) {
+                    vec![EdgeEvent::Remove { u, v }]
+                } else {
+                    vec![EdgeEvent::Add { u, v, weight: 1.0 + step as f64 / 10.0 }]
+                };
+                let stats = detector.apply_events(&events).unwrap();
+                trace.push((stats.modularity.to_bits(), stats.nodes_moved, stats.full_redetect));
+            }
+            (trace, detector.partition())
+        };
+        let (trace_a, partition_a) = run();
+        let (trace_b, partition_b) = run();
+        assert_eq!(trace_a, trace_b);
+        assert_eq!(partition_a, partition_b);
+    }
+
+    #[test]
+    fn node_growth_is_supported() {
+        let graph = DynamicGraph::from_graph(&generators::karate_club());
+        let config = StreamConfig {
+            frontier_fraction: 1.0,
+            drift_threshold: 1e9,
+            ..StreamConfig::default()
+        };
+        let mut detector =
+            StreamingDetector::from_partition(graph, generators::karate_club_communities(), config)
+                .unwrap();
+        let id = detector.add_node();
+        assert_eq!(id, 34);
+        let stats = detector.apply_events(&[EdgeEvent::Add { u: 34, v: 0, weight: 1.0 }]).unwrap();
+        assert!(!stats.full_redetect);
+        assert_eq!(stats.events_applied, 1);
+        // The new node should be pulled into node 0's community by refinement.
+        let p = detector.partition();
+        assert_eq!(p.community_of(34), p.community_of(0));
+        assert_q_consistent(&detector);
+    }
+
+    #[test]
+    fn initial_detection_seeds_the_partition() {
+        let pg = generators::ring_of_cliques(4, 5).unwrap();
+        let graph = DynamicGraph::from_graph(&pg.graph);
+        let detector = StreamingDetector::new(
+            graph,
+            StreamConfig {
+                detector: CommunityDetector::classical_fallback().with_communities(4),
+                ..Default::default()
+            }
+            .with_seed(2),
+        )
+        .unwrap();
+        assert!(detector.modularity() > 0.5, "q={}", detector.modularity());
+        assert_q_consistent(&detector);
+    }
+}

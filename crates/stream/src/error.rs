@@ -1,0 +1,89 @@
+use qhdcd_core::CdError;
+use qhdcd_graph::GraphError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the streaming subsystem.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StreamError {
+    /// An error bubbled up from the graph substrate (snapshotting, partition
+    /// construction).
+    Graph(GraphError),
+    /// An error bubbled up from a full re-detect.
+    Detect(CdError),
+    /// Applying an event failed. Events before `index` remain applied; the
+    /// detector's bookkeeping stays consistent with its graph.
+    EventFailed {
+        /// Position of the failing event within the batch.
+        index: usize,
+        /// The underlying graph error.
+        source: GraphError,
+    },
+    /// The streaming configuration is inconsistent.
+    InvalidConfig {
+        /// Human readable description of the problem.
+        reason: String,
+    },
+}
+
+impl fmt::Display for StreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StreamError::Graph(e) => write!(f, "graph error: {e}"),
+            StreamError::Detect(e) => write!(f, "re-detect error: {e}"),
+            StreamError::EventFailed { index, source } => {
+                write!(f, "event {index} failed: {source}")
+            }
+            StreamError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+        }
+    }
+}
+
+impl Error for StreamError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            StreamError::Graph(e) | StreamError::EventFailed { source: e, .. } => Some(e),
+            StreamError::Detect(e) => Some(e),
+            StreamError::InvalidConfig { .. } => None,
+        }
+    }
+}
+
+impl From<GraphError> for StreamError {
+    fn from(e: GraphError) -> Self {
+        StreamError::Graph(e)
+    }
+}
+
+impl From<CdError> for StreamError {
+    fn from(e: CdError) -> Self {
+        StreamError::Detect(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source_chain() {
+        let e: StreamError = GraphError::EmptyPartition.into();
+        assert!(e.to_string().contains("graph error"));
+        assert!(e.source().is_some());
+        let e =
+            StreamError::EventFailed { index: 3, source: GraphError::EdgeNotFound { u: 0, v: 1 } };
+        assert!(e.to_string().contains("event 3"));
+        assert!(e.source().is_some());
+        let e: StreamError = CdError::InvalidConfig { reason: "x".into() }.into();
+        assert!(e.to_string().contains("re-detect"));
+        let e = StreamError::InvalidConfig { reason: "bad threshold".into() };
+        assert!(e.to_string().contains("bad threshold"));
+        assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<StreamError>();
+    }
+}

@@ -1,0 +1,67 @@
+//! Streaming community detection: incremental maintenance of a partition
+//! under a live stream of edge events.
+//!
+//! The static pipeline (encode → solve → refine) assumes the graph is fixed;
+//! under continuous traffic, rebuilding and re-solving on every update is
+//! unaffordable. This crate maintains communities *incrementally*:
+//!
+//! * **Event model.** The graph lives in a [`DynamicGraph`] (adjacency-map
+//!   layer from `qhdcd-graph`) and is mutated by batches of [`EdgeEvent`]s —
+//!   edge insertions, removals and absolute weight updates, optionally parsed
+//!   from timestamped logs by `qhdcd_graph::io::parse_event_log`.
+//! * **Incremental bookkeeping.** [`StreamingDetector`] keeps the modularity
+//!   aggregates (per-community degree sums `Σtot` and internal weights `Σin`)
+//!   patched in O(1) per event, so the maintained modularity is always
+//!   available in O(k) without touching the graph.
+//! * **Localized refinement.** Each batch marks a *dirty frontier* — the
+//!   touched endpoints plus their neighbours — and runs modularity-gain
+//!   reassign moves over only that frontier, expanding outward exactly as far
+//!   as moves keep paying off (the same deterministic loop as
+//!   `qhdcd_core::refine::refine_frontier`).
+//! * **Epoch fallback.** When accumulated drift (total absolute weight change
+//!   since the last full solve) or the frontier size crosses a configured
+//!   threshold, the detector performs a full re-detect on a CSR snapshot,
+//!   warm-started from the incumbent partition via
+//!   `CommunityDetector::detect_with_hint` (the portfolio seeds one restart
+//!   from the incumbent, so the re-solve can only improve on local polish).
+//!
+//! # Determinism contract
+//!
+//! For a fixed initial graph, seed and event sequence, the maintained
+//! partition and all reported statistics are **bit-identical across reruns**:
+//! frontier sets are ordered, the refinement loop scans nodes and candidate
+//! communities in ascending order with strict-improvement tie-breaks, and
+//! full re-detects use the deterministic portfolio runtime. The only escape
+//! is an explicit wall-clock time limit on the fallback detector.
+//!
+//! # Example
+//!
+//! ```
+//! use qhdcd_graph::{generators, DynamicGraph, EdgeEvent};
+//! use qhdcd_stream::{StreamConfig, StreamingDetector};
+//!
+//! # fn main() -> Result<(), qhdcd_stream::StreamError> {
+//! let graph = DynamicGraph::from_graph(&generators::karate_club());
+//! let mut detector = StreamingDetector::new(graph, StreamConfig::default())?;
+//! let stats = detector.apply_events(&[
+//!     EdgeEvent::Add { u: 0, v: 33, weight: 1.0 },
+//!     EdgeEvent::Add { u: 1, v: 32, weight: 1.0 },
+//! ])?;
+//! assert_eq!(stats.events_applied, 2);
+//! assert!(detector.modularity() > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod detector;
+mod error;
+
+pub use detector::{StreamConfig, StreamStats, StreamingDetector};
+pub use error::StreamError;
+
+// The dynamic-graph layer is re-exported so that streaming applications only
+// need this crate.
+pub use qhdcd_graph::{DynamicGraph, EdgeEvent};

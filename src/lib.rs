@@ -12,6 +12,7 @@
 //! | [`qhd`] | `qhdcd-qhd` | Quantum Hamiltonian Descent simulator and solver |
 //! | [`solvers`] | `qhdcd-solvers` | branch-and-bound (exact), simulated annealing, tabu, greedy |
 //! | [`core`] | `qhdcd-core` | QUBO formulation, direct and multilevel pipelines, baselines |
+//! | [`stream`] | `qhdcd-stream` | dynamic graphs, edge events, incremental community maintenance |
 //!
 //! # Quickstart
 //!
@@ -50,13 +51,17 @@ pub use qhdcd_solvers as solvers;
 /// Community-detection pipelines: formulation, direct, multilevel, baselines.
 pub use qhdcd_core as core;
 
+/// Streaming subsystem: dynamic graphs, edge events, incremental maintenance.
+pub use qhdcd_stream as stream;
+
 /// The most commonly used types, for glob import.
 pub mod prelude {
     pub use crate::core::{CdError, CommunityDetector, DetectionResult, Method};
-    pub use crate::graph::{Graph, GraphBuilder, Partition};
+    pub use crate::graph::{DynamicGraph, EdgeEvent, Graph, GraphBuilder, Partition};
     pub use crate::qhd::QhdSolver;
     pub use crate::qubo::{QuboBuilder, QuboModel, QuboSolver, SolveStatus};
     pub use crate::solvers::{BranchAndBound, SimulatedAnnealing};
+    pub use crate::stream::{StreamConfig, StreamingDetector};
 }
 
 #[cfg(test)]
