@@ -34,7 +34,10 @@
 //! bookkeeping.
 
 use crate::CdError;
-use qhdcd_graph::{modularity::ModularityState, Graph, Partition};
+use qhdcd_graph::{
+    modularity::{ModularityState, NeighborScan},
+    Graph, Partition,
+};
 use qhdcd_qubo::{LocalFieldState, QuboBuilder};
 
 /// Upper bound on `n·k` (one-hot indicator variables) for the engine-backed
@@ -259,6 +262,10 @@ pub fn refine_frontier(
         graph.check_node(node).map_err(CdError::Graph)?;
     }
     let mut state = ModularityState::new(graph, &partition.renumbered());
+    // The deterministic one-pass best-move scan (first-seen candidate order,
+    // O(deg) per node) shared — implementation and all — with the streaming
+    // detector's incremental twin, so the two cannot drift apart.
+    let mut scan = NeighborScan::new();
     let mut worklist: std::collections::BTreeSet<usize> = frontier.iter().copied().collect();
     let mut total_gain = 0.0;
     let mut moves = 0usize;
@@ -271,7 +278,14 @@ pub fn refine_frontier(
         let mut pass_gain = 0.0;
         let mut next = std::collections::BTreeSet::new();
         for &node in &worklist {
-            if let Some((target, gain)) = deterministic_best_move(graph, &state, node) {
+            if let Some((target, gain)) = scan.best_move(
+                node,
+                graph.neighbors(node),
+                state.labels(),
+                graph.degree(node),
+                state.two_m(),
+                state.sigma_tot(),
+            ) {
                 state.apply_move(graph, node, target);
                 pass_gain += gain;
                 moves += 1;
@@ -288,37 +302,6 @@ pub fn refine_frontier(
         }
     }
     Ok(RefineOutcome { partition: state.to_partition().renumbered(), total_gain, moves, passes })
-}
-
-/// Deterministic single-node best-move scan: candidate communities are taken
-/// in ascending neighbour order (CSR order), the strictly best positive gain
-/// wins and ties keep the first candidate seen. Unlike
-/// `ModularityState::best_move`, whose candidate order comes from a hash map,
-/// this scan is reproducible bit-for-bit — required by the streaming
-/// determinism contract (the streaming detector mirrors this exact loop).
-fn deterministic_best_move(
-    graph: &Graph,
-    state: &ModularityState,
-    node: usize,
-) -> Option<(usize, f64)> {
-    let cur = state.community_of(node);
-    let mut seen: Vec<usize> = Vec::new();
-    let mut best: Option<(usize, f64)> = None;
-    for (v, _) in graph.neighbors(node) {
-        if v == node {
-            continue;
-        }
-        let c = state.community_of(v);
-        if c == cur || seen.contains(&c) {
-            continue;
-        }
-        seen.push(c);
-        let g = state.gain(graph, node, c);
-        if g > best.map_or(0.0, |(_, bg)| bg) && g > 1e-12 {
-            best = Some((c, g));
-        }
-    }
-    best
 }
 
 /// The aggregate-only fallback for instances too large to materialise the
@@ -510,6 +493,64 @@ mod tests {
                     (engine_gain - exact).abs() < 1e-9,
                     "node {node} -> {target}: engine {engine_gain} exact {exact}"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn one_pass_best_move_matches_the_per_candidate_scan() {
+        // The one-pass NeighborScan must reproduce the decisions of the
+        // original per-candidate formulation (first-seen candidate order,
+        // ModularityState::gain per candidate) bit for bit.
+        let naive = |graph: &Graph, state: &ModularityState, node: usize| {
+            let cur = state.community_of(node);
+            let mut seen: Vec<usize> = Vec::new();
+            let mut best: Option<(usize, f64)> = None;
+            for (v, _) in graph.neighbors(node) {
+                if v == node {
+                    continue;
+                }
+                let c = state.community_of(v);
+                if c == cur || seen.contains(&c) {
+                    continue;
+                }
+                seen.push(c);
+                let g = state.gain(graph, node, c);
+                if g > best.map_or(0.0, |(_, bg)| bg) && g > 1e-12 {
+                    best = Some((c, g));
+                }
+            }
+            best
+        };
+        let pg = generators::planted_partition(&generators::PlantedPartitionConfig {
+            num_nodes: 70,
+            num_communities: 4,
+            p_in: 0.3,
+            p_out: 0.05,
+            seed: 23,
+        })
+        .unwrap();
+        let mut scan = NeighborScan::new();
+        for start in [pg.ground_truth.clone(), Partition::singletons(70)] {
+            let state = ModularityState::new(&pg.graph, &start.renumbered());
+            for node in 0..70 {
+                let fast = scan.best_move(
+                    node,
+                    pg.graph.neighbors(node),
+                    state.labels(),
+                    pg.graph.degree(node),
+                    state.two_m(),
+                    state.sigma_tot(),
+                );
+                let slow = naive(&pg.graph, &state, node);
+                match (fast, slow) {
+                    (None, None) => {}
+                    (Some((cf, gf)), Some((cs, gs))) => {
+                        assert_eq!(cf, cs, "node {node}");
+                        assert_eq!(gf.to_bits(), gs.to_bits(), "node {node}");
+                    }
+                    other => panic!("node {node}: {other:?}"),
+                }
             }
         }
     }

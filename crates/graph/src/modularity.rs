@@ -91,6 +91,122 @@ pub fn modularity_dense(graph: &Graph, partition: &Partition) -> f64 {
     q / two_m
 }
 
+/// The standard Louvain modularity gain of moving a node between communities,
+/// expressed purely in scalars:
+///
+/// ```text
+/// ΔQ = (k_{i,target} − k_{i,cur\{i\}}) / m  −  d_i (Σtot_target − (Σtot_cur − d_i)) / (2 m²)
+/// ```
+///
+/// with `two_m = 2m` the doubled total edge weight, `d_i` the node's weighted
+/// degree, `k_i_cur` / `k_i_target` its edge weight into the current and
+/// target community (self-loops excluded), and `Σtot` the community degree
+/// sums.
+///
+/// This is the **single source of truth** for the gain arithmetic: both
+/// [`ModularityState::gain_from_weights`] (and through it every static
+/// refinement path) and the streaming detector's incremental twin evaluate
+/// candidates through this function, so their decisions stay bit-identical by
+/// construction — the invariant the stream ↔ `refine_frontier` conformance
+/// tests pin.
+#[inline]
+pub fn louvain_gain(
+    two_m: f64,
+    d_i: f64,
+    k_i_cur: f64,
+    k_i_target: f64,
+    sigma_cur: f64,
+    sigma_target: f64,
+) -> f64 {
+    let m = two_m / 2.0;
+    (k_i_target - k_i_cur) / m - d_i * (sigma_target - (sigma_cur - d_i)) / (2.0 * m * m)
+}
+
+/// Reusable scratch for the deterministic one-pass best-move scan shared by
+/// the static frontier refinement (`qhdcd-core`) and the streaming detector's
+/// incremental twin (`qhdcd-stream`).
+///
+/// One pass over a node's adjacency accumulates its edge weight into every
+/// neighbouring community (`weight`, valid where `stamp` matches the current
+/// visit) and records candidate communities in **first-seen neighbour order**;
+/// the gains are then evaluated in that same order from the accumulated
+/// weights via [`louvain_gain`]. This replaces per-candidate neighbourhood
+/// re-scans — O(deg²) on hubs — with O(deg + candidates). The strictly best
+/// positive gain wins and exact ties keep the first candidate seen, so for a
+/// deterministic neighbour order the decision is reproducible bit for bit —
+/// the invariant the stream ↔ `refine_frontier` conformance tests pin. Both
+/// twins call this one implementation, so they cannot drift apart.
+#[derive(Debug, Clone, Default)]
+pub struct NeighborScan {
+    /// Visit stamp per community slot; `weight[c]` is valid iff
+    /// `stamp[c] == visit`.
+    stamp: Vec<u64>,
+    /// Accumulated node→community edge weight for the current node.
+    weight: Vec<f64>,
+    /// Candidate communities of the current node, in first-seen order.
+    candidates: Vec<usize>,
+    visit: u64,
+}
+
+impl NeighborScan {
+    /// Creates an empty scan; scratch grows on demand.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Deterministic single-node best-move scan over `neighbors` (the node's
+    /// `(neighbour, weight)` adjacency in a deterministic order; self-loops
+    /// are skipped). `labels` maps nodes to communities, `sigma_tot` holds the
+    /// per-community degree sums (every label must index into it), `d_i` is
+    /// the node's weighted degree and `two_m` the doubled total edge weight.
+    /// Returns the best strictly-positive-gain move as `(community, gain)`.
+    pub fn best_move(
+        &mut self,
+        node: usize,
+        neighbors: impl Iterator<Item = (usize, f64)>,
+        labels: &[usize],
+        d_i: f64,
+        two_m: f64,
+        sigma_tot: &[f64],
+    ) -> Option<(usize, f64)> {
+        if two_m <= 0.0 {
+            return None;
+        }
+        let cur = labels[node];
+        if self.stamp.len() < sigma_tot.len() {
+            self.stamp.resize(sigma_tot.len(), 0);
+            self.weight.resize(sigma_tot.len(), 0.0);
+        }
+        self.visit += 1;
+        let visit = self.visit;
+        self.candidates.clear();
+        for (v, w) in neighbors {
+            if v == node {
+                continue;
+            }
+            let c = labels[v];
+            if self.stamp[c] != visit {
+                self.stamp[c] = visit;
+                self.weight[c] = 0.0;
+                if c != cur {
+                    self.candidates.push(c);
+                }
+            }
+            self.weight[c] += w;
+        }
+        let k_i_cur = if self.stamp[cur] == visit { self.weight[cur] } else { 0.0 };
+        let sigma_cur = sigma_tot[cur];
+        let mut best: Option<(usize, f64)> = None;
+        for &c in &self.candidates {
+            let g = louvain_gain(two_m, d_i, k_i_cur, self.weight[c], sigma_cur, sigma_tot[c]);
+            if g > best.map_or(0.0, |(_, bg)| bg) && g > 1e-12 {
+                best = Some((c, g));
+            }
+        }
+        best
+    }
+}
+
 /// Entry `A_ij` of the (symmetric) adjacency matrix, with the convention that a
 /// self-loop of weight `w` contributes `A_ii = 2w` so that `d_i = Σ_j A_ij`.
 pub fn adjacency_entry(graph: &Graph, i: usize, j: usize) -> f64 {
@@ -173,6 +289,16 @@ impl ModularityState {
         self.sigma_tot.len()
     }
 
+    /// The per-community degree sums `Σtot_c` (indexed by community slot).
+    pub fn sigma_tot(&self) -> &[f64] {
+        &self.sigma_tot
+    }
+
+    /// The doubled total edge weight `2m` captured at construction.
+    pub fn two_m(&self) -> f64 {
+        self.two_m
+    }
+
     /// Weight from `node` to each community in its neighbourhood, returned as
     /// `(community, weight)` pairs in ascending community order (a
     /// deterministic order, so gain ties in [`ModularityState::best_move`]
@@ -215,10 +341,34 @@ impl ModularityState {
                 k_i_target += w;
             }
         }
-        let m = self.two_m / 2.0;
+        self.gain_from_weights(cur, target, d_i, k_i_cur, k_i_target)
+    }
+
+    /// The same Louvain gain as [`ModularityState::gain`], but with the
+    /// node-to-community weights already in hand: `d_i` is the node's degree,
+    /// `k_i_cur` / `k_i_target` its edge weight into the current and target
+    /// community (self-loops excluded).
+    ///
+    /// This is the O(1) half of the gain; callers that accumulate the
+    /// neighbour-community weights for *all* candidate communities in one pass
+    /// over the adjacency (the frontier refinement, the streaming detector)
+    /// evaluate every candidate through this instead of re-scanning the
+    /// neighbourhood per candidate. As long as the weights are accumulated in
+    /// neighbour order, the result is bit-identical to
+    /// [`ModularityState::gain`].
+    pub fn gain_from_weights(
+        &self,
+        cur: usize,
+        target: usize,
+        d_i: f64,
+        k_i_cur: f64,
+        k_i_target: f64,
+    ) -> f64 {
+        if cur == target || self.two_m <= 0.0 {
+            return 0.0;
+        }
         let sigma_target = self.sigma_tot.get(target).copied().unwrap_or(0.0);
-        let sigma_cur = self.sigma_tot[cur];
-        (k_i_target - k_i_cur) / m - d_i * (sigma_target - (sigma_cur - d_i)) / (2.0 * m * m)
+        louvain_gain(self.two_m, d_i, k_i_cur, k_i_target, self.sigma_tot[cur], sigma_target)
     }
 
     /// Finds the neighbouring community with the best positive gain for `node`,

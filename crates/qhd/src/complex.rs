@@ -35,7 +35,19 @@ impl Complex {
 
     /// `e^{iθ} = cos θ + i sin θ`.
     pub fn from_polar_unit(theta: f64) -> Self {
-        Complex { re: theta.cos(), im: theta.sin() }
+        let (sin, cos) = theta.sin_cos();
+        Complex { re: cos, im: sin }
+    }
+
+    /// Multiplicative inverse `1/z = conj(z) / |z|²`.
+    ///
+    /// Used by the per-step Crank–Nicolson factorization to turn the Thomas
+    /// forward sweep's per-row division into a multiplication by a precomputed
+    /// reciprocal (one division per grid row per step instead of one per grid
+    /// row per variable).
+    pub fn recip(self) -> Self {
+        let d = self.norm_sqr();
+        Complex { re: self.re / d, im: -self.im / d }
     }
 
     /// Complex conjugate.
@@ -153,6 +165,14 @@ mod tests {
         assert_eq!(a.norm_sqr(), 25.0);
         assert_eq!(a.abs(), 5.0);
         assert_eq!(a.scale(2.0), Complex::new(6.0, -8.0));
+    }
+
+    #[test]
+    fn reciprocal_inverts_multiplication() {
+        for z in [Complex::new(3.0, -4.0), Complex::new(-0.25, 1e3), Complex::ONE, Complex::I] {
+            let p = z * z.recip();
+            assert!((p.re - 1.0).abs() < 1e-12 && p.im.abs() < 1e-12, "z={z:?}");
+        }
     }
 
     #[test]

@@ -50,6 +50,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod complex;
 pub mod grid;
 pub mod meanfield;
@@ -58,5 +59,7 @@ pub mod schedule;
 pub mod solver;
 pub mod statevector;
 
+pub use batch::{MeanFieldWorkspace, WaveBatch};
+pub use grid::ThomasFactors;
 pub use schedule::{Phase, Schedule};
 pub use solver::{Backend, QhdConfig, QhdConfigBuilder, QhdSolver};

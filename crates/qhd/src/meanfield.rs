@@ -19,13 +19,34 @@
 //! solves, exactly the "matrix multiplications only" structure the paper
 //! exploits for GPU acceleration. Measurement draws each `x_i` from the mass of
 //! `|ψ_i|²` on the upper half of the interval.
+//!
+//! # Engine
+//!
+//! [`evolve`] runs on the batched structure-of-arrays engine
+//! ([`crate::batch::WaveBatch`]): all wavefunctions live in two split re/im
+//! `f64` planes in grid-point-major layout, the Crank–Nicolson system is
+//! factored **once per step** ([`crate::grid::ThomasFactors`]) and shared by
+//! every variable, and all per-step scratch lives in reusable
+//! [`crate::batch::MeanFieldWorkspace`]s — the per-step loop performs zero
+//! heap allocations. The per-step variable sweep can be sharded over worker
+//! threads ([`MeanFieldConfig::threads`]) with bit-identical results for every
+//! thread count (see the determinism contract in [`crate::batch`]).
+//!
+//! [`evolve_reference`] retains the original per-variable AoS formulation
+//! (one [`Grid::kinetic_step`] call per variable per step). It exists as the
+//! equivalence and benchmark reference for the batch engine — see
+//! `tests/solver_equivalence.rs` and the `meanfield_throughput` bench — and is
+//! not otherwise used by the solver.
 
+use crate::batch::{MeanFieldWorkspace, WaveBatch};
 use crate::complex::Complex;
-use crate::grid::Grid;
+use crate::grid::{Grid, ThomasFactors};
 use crate::schedule::Schedule;
-use qhdcd_qubo::{QuboError, QuboModel};
+use qhdcd_qubo::{LocalFieldState, QuboError, QuboModel};
+use qhdcd_solvers::runtime::{resolve_threads, shard_ranges};
 use rand::prelude::*;
 use rand_chacha::ChaCha8Rng;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Configuration of a mean-field QHD trajectory.
 #[derive(Debug, Clone, PartialEq)]
@@ -43,6 +64,10 @@ pub struct MeanFieldConfig {
     /// Whether to start from randomised Gaussian packets (`true`) or the
     /// uniform superposition (`false`). Random packets give sample diversity.
     pub randomize_initial_state: bool,
+    /// Worker threads sharding the per-step variable sweep (`0` = all
+    /// available parallelism, `1` = serial). Results are bit-identical for
+    /// every value — see the determinism contract in [`crate::batch`].
+    pub threads: usize,
 }
 
 impl Default for MeanFieldConfig {
@@ -54,6 +79,7 @@ impl Default for MeanFieldConfig {
             shots: 16,
             seed: 0,
             randomize_initial_state: true,
+            threads: 1,
         }
     }
 }
@@ -72,7 +98,7 @@ pub struct MeanFieldOutcome {
     pub probabilities: Vec<f64>,
 }
 
-/// Runs one mean-field QHD trajectory for `model`.
+/// Runs one mean-field QHD trajectory for `model` on the batched SoA engine.
 ///
 /// # Errors
 ///
@@ -98,12 +124,7 @@ pub struct MeanFieldOutcome {
 /// ```
 pub fn evolve(model: &QuboModel, config: &MeanFieldConfig) -> Result<MeanFieldOutcome, QuboError> {
     let n = model.num_variables();
-    if n == 0 {
-        return Err(QuboError::InvalidConfig { reason: "model has no variables".into() });
-    }
-    if config.steps == 0 {
-        return Err(QuboError::InvalidConfig { reason: "steps must be positive".into() });
-    }
+    validate(model, config)?;
     let grid = Grid::new(config.grid_resolution)?;
     let resolution = grid.resolution();
     let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
@@ -112,10 +133,186 @@ pub fn evolve(model: &QuboModel, config: &MeanFieldConfig) -> Result<MeanFieldOu
     // use the maximum absolute local field as a proxy for the energy span.
     let scale = energy_scale(model).max(1e-12);
 
-    // Initial product state, flattened into one contiguous `n × resolution`
-    // buffer (wavefunction `i` occupies `states[i*resolution..(i+1)*resolution]`)
-    // so the per-step sweep streams memory linearly instead of chasing `n`
-    // separate heap allocations.
+    // One contiguous column block (WaveBatch + workspace) per sweep worker.
+    // The partition is by contiguous variable ranges, so expectation slices
+    // split cleanly and results are bit-identical for every worker count.
+    let workers = resolve_threads(config.threads, n);
+    let ranges = shard_ranges(n, workers);
+    let mut blocks: Vec<WaveBatch> =
+        ranges.iter().map(|r| WaveBatch::zeros(r.len(), resolution)).collect();
+    let mut workspaces: Vec<MeanFieldWorkspace> =
+        blocks.iter().map(MeanFieldWorkspace::for_batch).collect();
+
+    // Initial product state, drawn per variable in ascending order (the RNG
+    // consumption is independent of the block partition).
+    for (range, block) in ranges.iter().zip(blocks.iter_mut()) {
+        for local in 0..range.len() {
+            if config.randomize_initial_state {
+                let center = rng.gen_range(0.25..0.75);
+                let width = rng.gen_range(0.15..0.35);
+                block.set_variable(local, &grid.gaussian_state(center, width));
+            } else {
+                block.set_variable(local, &grid.uniform_state());
+            }
+        }
+    }
+    let mut expectations = vec![0.0f64; n];
+    for ((range, block), ws) in ranges.iter().zip(&blocks).zip(workspaces.iter_mut()) {
+        grid.expectation_position_batch(block, &mut expectations[range.clone()], ws);
+    }
+
+    let dt = config.schedule.total_time() / config.steps as f64;
+    if workers == 1 {
+        let mut fields = vec![0.0f64; n];
+        let mut factors = ThomasFactors::new();
+        for step in 0..config.steps {
+            let t = step as f64 * dt;
+            let kinetic_coeff = config.schedule.kinetic(t);
+            let potential_coeff = config.schedule.potential(t);
+            // All wavefunctions in a step see the same expectation vector, so
+            // the mean fields h_i = b_i + Σ_j W_ij ⟨x_j⟩ can be computed for
+            // every variable at once with a single flat sweep over the
+            // coupling list — O(n + nnz) per step instead of n separate
+            // adjacency-row walks. The result is reduced to the per-variable
+            // potential slope.
+            fields.copy_from_slice(model.linear());
+            for (i, j, w) in model.quadratic_terms() {
+                fields[i] += w * expectations[j];
+                fields[j] += w * expectations[i];
+            }
+            for f in fields.iter_mut() {
+                *f = potential_coeff * (*f / scale);
+            }
+            // The Crank–Nicolson system depends only on (kinetic_coeff, dt,
+            // h): factor it once and share it across every variable.
+            factors.factor(&grid, kinetic_coeff, dt);
+            sweep_block(
+                &grid,
+                &mut blocks[0],
+                &fields,
+                dt,
+                &factors,
+                &mut workspaces[0],
+                &mut expectations,
+            );
+        }
+    } else {
+        // Sharded sweep with persistent workers: one scoped thread per
+        // contiguous column block for the *whole* trajectory (spawning per
+        // step would pay thread-creation costs comparable to a worker's
+        // per-step share). Two barriers per step separate the read phase
+        // (every worker derives its own variables' mean fields from the
+        // published expectations) from the publish phase (every worker stores
+        // its own variables' refreshed expectations into disjoint atomic
+        // cells), so no worker ever reads a half-updated vector. Each worker
+        // walks its variables' adjacency rows in ascending-neighbour order —
+        // the same per-field addition order as the serial flat pair sweep
+        // (the pair list is sorted) — and the per-step Thomas factorization
+        // is O(resolution), so recomputing it per worker is free; results are
+        // therefore bit-identical to the serial path. See crate::batch for
+        // the full determinism contract.
+        let shared: Vec<AtomicU64> =
+            expectations.iter().map(|e| AtomicU64::new(e.to_bits())).collect();
+        let barrier = std::sync::Barrier::new(blocks.len());
+        crossbeam::thread::scope(|scope| {
+            for ((range, block), ws) in
+                ranges.iter().zip(blocks.iter_mut()).zip(workspaces.iter_mut())
+            {
+                let (shared, barrier, grid, schedule) =
+                    (&shared, &barrier, &grid, &config.schedule);
+                let range = range.clone();
+                scope.spawn(move |_| {
+                    let nb = block.num_variables();
+                    let mut slopes = vec![0.0f64; nb];
+                    let mut local_exp = vec![0.0f64; nb];
+                    let mut factors = ThomasFactors::new();
+                    for step in 0..config.steps {
+                        let t = step as f64 * dt;
+                        let kinetic_coeff = schedule.kinetic(t);
+                        let potential_coeff = schedule.potential(t);
+                        for (local, i) in range.clone().enumerate() {
+                            let mut field = model.linear()[i];
+                            for (j, w) in model.couplings(i) {
+                                field += w * f64::from_bits(shared[j].load(Ordering::Relaxed));
+                            }
+                            slopes[local] = potential_coeff * (field / scale);
+                        }
+                        // Everyone has read this step's expectations.
+                        barrier.wait();
+                        factors.factor(grid, kinetic_coeff, dt);
+                        sweep_block(grid, block, &slopes, dt, &factors, ws, &mut local_exp);
+                        for (local, i) in range.clone().enumerate() {
+                            shared[i].store(local_exp[local].to_bits(), Ordering::Relaxed);
+                        }
+                        // Everyone has published before the next read phase.
+                        barrier.wait();
+                    }
+                });
+            }
+        })
+        .expect("mean-field sweep workers do not panic");
+        for (e, cell) in expectations.iter_mut().zip(&shared) {
+            *e = f64::from_bits(cell.load(Ordering::Relaxed));
+        }
+    }
+
+    // Measurement distribution from the final product state.
+    let mut probabilities = vec![0.0f64; n];
+    for ((range, block), ws) in ranges.iter().zip(&blocks).zip(workspaces.iter_mut()) {
+        grid.probability_upper_half_batch(block, &mut probabilities[range.clone()], ws);
+    }
+    let (best_solution, best_energy) =
+        measure_shots(model, &probabilities, config.shots, &mut rng)?;
+    Ok(MeanFieldOutcome { best_solution, best_energy, expectations, probabilities })
+}
+
+/// One Strang-split step plus expectation refresh for one column block.
+fn sweep_block(
+    grid: &Grid,
+    block: &mut WaveBatch,
+    slopes: &[f64],
+    dt: f64,
+    factors: &ThomasFactors,
+    ws: &mut MeanFieldWorkspace,
+    expectations: &mut [f64],
+) {
+    // Both half phases share the same slopes and dt, so the sin/cos rotations
+    // are computed once and applied twice.
+    grid.prepare_potential_phase_batch(block, slopes, dt / 2.0, ws);
+    grid.apply_prepared_potential_phase_batch(block, ws);
+    grid.kinetic_step_batch(block, factors, ws);
+    grid.apply_prepared_potential_phase_batch(block, ws);
+    grid.expectation_position_batch(block, expectations, ws);
+}
+
+/// Runs one mean-field QHD trajectory on the original **per-variable AoS
+/// path**: one `Vec<Complex>` wavefunction per variable, one
+/// [`Grid::kinetic_step`] call (with its own Thomas elimination and scratch
+/// allocations) per variable per step.
+///
+/// Retained as the equivalence and benchmark reference for the batched engine
+/// — the `meanfield_throughput` bench gates [`evolve`]'s speedup against this
+/// implementation, and `tests/solver_equivalence.rs` pins the two paths to
+/// bit-identical outcomes. Both paths share [`measure_shots`], so any
+/// divergence isolates to the propagation kernels.
+///
+/// # Errors
+///
+/// Returns [`QuboError::InvalidConfig`] for the same degenerate configurations
+/// as [`evolve`].
+pub fn evolve_reference(
+    model: &QuboModel,
+    config: &MeanFieldConfig,
+) -> Result<MeanFieldOutcome, QuboError> {
+    let n = model.num_variables();
+    validate(model, config)?;
+    let grid = Grid::new(config.grid_resolution)?;
+    let resolution = grid.resolution();
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    let scale = energy_scale(model).max(1e-12);
+
+    // Flattened AoS product state (wavefunction `i` occupies
+    // `states[i*resolution..(i+1)*resolution]`).
     let mut states: Vec<Complex> = Vec::with_capacity(n * resolution);
     for _ in 0..n {
         if config.randomize_initial_state {
@@ -136,10 +333,6 @@ pub fn evolve(model: &QuboModel, config: &MeanFieldConfig) -> Result<MeanFieldOu
         let t = step as f64 * dt;
         let kinetic_coeff = config.schedule.kinetic(t);
         let potential_coeff = config.schedule.potential(t);
-        // All wavefunctions in a step see the same expectation vector, so the
-        // mean fields h_i = b_i + Σ_j W_ij ⟨x_j⟩ can be computed for every
-        // variable at once with a single flat sweep over the coupling list —
-        // O(n + nnz) per step instead of n separate adjacency-row walks.
         fields.copy_from_slice(model.linear());
         for (i, j, w) in model.quadratic_terms() {
             fields[i] += w * expectations[j];
@@ -162,21 +355,63 @@ pub fn evolve(model: &QuboModel, config: &MeanFieldConfig) -> Result<MeanFieldOu
         }
     }
 
-    // Measurement: the deterministic rounding of the expectations plus `shots`
-    // random draws from the product distribution; keep the best energy.
     let probabilities: Vec<f64> =
         states.chunks_exact(resolution).map(|psi| grid.probability_upper_half(psi)).collect();
-    let mut best: Vec<bool> = probabilities.iter().map(|&p| p > 0.5).collect();
-    let mut best_energy = model.evaluate(&best)?;
-    for _ in 0..config.shots {
-        let candidate: Vec<bool> = probabilities.iter().map(|&p| rng.gen::<f64>() < p).collect();
-        let e = model.evaluate(&candidate)?;
-        if e < best_energy {
-            best_energy = e;
-            best = candidate;
+    let (best_solution, best_energy) =
+        measure_shots(model, &probabilities, config.shots, &mut rng)?;
+    Ok(MeanFieldOutcome { best_solution, best_energy, expectations, probabilities })
+}
+
+/// Shared validation of [`evolve`] / [`evolve_reference`] configurations.
+fn validate(model: &QuboModel, config: &MeanFieldConfig) -> Result<(), QuboError> {
+    if model.num_variables() == 0 {
+        return Err(QuboError::InvalidConfig { reason: "model has no variables".into() });
+    }
+    if config.steps == 0 {
+        return Err(QuboError::InvalidConfig { reason: "steps must be positive".into() });
+    }
+    Ok(())
+}
+
+/// Measurement: the deterministic rounding of the probabilities plus `shots`
+/// random draws from the product distribution; keeps the best energy.
+///
+/// Shots are priced through [`LocalFieldState`] deltas: the engine starts at
+/// the rounded incumbent and walks flip-by-flip to each drawn candidate, so a
+/// shot costs O(Σ deg of the flipped variables) instead of a full O(n + nnz)
+/// re-evaluation, and one candidate buffer is reused across all shots (no
+/// per-shot `Vec<bool>` allocation). The selected assignment's energy is
+/// re-evaluated exactly once at the end, so the reported energy carries no
+/// incremental rounding drift.
+fn measure_shots(
+    model: &QuboModel,
+    probabilities: &[f64],
+    shots: usize,
+    rng: &mut ChaCha8Rng,
+) -> Result<(Vec<bool>, f64), QuboError> {
+    let rounded: Vec<bool> = probabilities.iter().map(|&p| p > 0.5).collect();
+    let mut state = LocalFieldState::try_new(model, rounded.clone())?;
+    let mut best = rounded.clone();
+    let mut best_energy = state.energy();
+    let mut candidate = rounded;
+    for _ in 0..shots {
+        for (slot, &p) in candidate.iter_mut().zip(probabilities) {
+            *slot = rng.gen::<f64>() < p;
+        }
+        // Walk the engine from the previous candidate to this one.
+        for (i, &bit) in candidate.iter().enumerate() {
+            if state.solution()[i] != bit {
+                state.apply_flip(i);
+            }
+        }
+        if state.energy() < best_energy {
+            best_energy = state.energy();
+            best.copy_from_slice(state.solution());
         }
     }
-    Ok(MeanFieldOutcome { best_solution: best, best_energy, expectations, probabilities })
+    // Exact energy of the winner (the incremental energy only ranked shots).
+    let best_energy = model.evaluate(&best)?;
+    Ok((best, best_energy))
 }
 
 /// A rough O(nnz) estimate of the instance's energy scale, used to normalise
@@ -212,6 +447,9 @@ mod tests {
             &MeanFieldConfig { grid_resolution: 2, ..MeanFieldConfig::default() }
         )
         .is_err());
+        assert!(
+            evolve_reference(&model, &MeanFieldConfig { steps: 0, ..Default::default() }).is_err()
+        );
     }
 
     #[test]
@@ -298,6 +536,86 @@ mod tests {
         let b = evolve(&model, &cfg).unwrap();
         assert_eq!(a.best_solution, b.best_solution);
         assert_eq!(a.best_energy, b.best_energy);
+    }
+
+    #[test]
+    fn sharded_sweep_is_bit_identical_across_thread_counts() {
+        let model = random_qubo(&RandomQuboConfig {
+            num_variables: 25,
+            density: 0.25,
+            coefficient_range: 1.0,
+            seed: 8,
+        })
+        .unwrap();
+        let base = MeanFieldConfig { seed: 3, steps: 40, ..MeanFieldConfig::default() };
+        let serial = evolve(&model, &base).unwrap();
+        for threads in [2usize, 3, 8] {
+            let sharded = evolve(&model, &MeanFieldConfig { threads, ..base.clone() }).unwrap();
+            assert_eq!(sharded.best_solution, serial.best_solution, "threads={threads}");
+            assert_eq!(
+                sharded.best_energy.to_bits(),
+                serial.best_energy.to_bits(),
+                "threads={threads}"
+            );
+            for i in 0..25 {
+                assert_eq!(
+                    sharded.expectations[i].to_bits(),
+                    serial.expectations[i].to_bits(),
+                    "threads={threads} expectation {i}"
+                );
+                assert_eq!(
+                    sharded.probabilities[i].to_bits(),
+                    serial.probabilities[i].to_bits(),
+                    "threads={threads} probability {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batch_engine_matches_the_reference_path() {
+        for seed in [0u64, 5, 11] {
+            let model = random_qubo(&RandomQuboConfig {
+                num_variables: 30,
+                density: 0.2,
+                coefficient_range: 1.0,
+                seed,
+            })
+            .unwrap();
+            let cfg = MeanFieldConfig { seed, steps: 60, shots: 8, ..MeanFieldConfig::default() };
+            let batch = evolve(&model, &cfg).unwrap();
+            let reference = evolve_reference(&model, &cfg).unwrap();
+            assert_eq!(batch.best_solution, reference.best_solution, "seed={seed}");
+            assert_eq!(batch.best_energy.to_bits(), reference.best_energy.to_bits());
+            for i in 0..30 {
+                assert!(
+                    (batch.expectations[i] - reference.expectations[i]).abs() < 1e-12,
+                    "seed={seed} expectation {i}"
+                );
+                assert!(
+                    (batch.probabilities[i] - reference.probabilities[i]).abs() < 1e-12,
+                    "seed={seed} probability {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn measurement_energies_match_exact_reevaluation() {
+        // measure_shots ranks candidates incrementally but must report the
+        // exactly re-evaluated energy of the winner.
+        let model = random_qubo(&RandomQuboConfig {
+            num_variables: 30,
+            density: 0.3,
+            coefficient_range: 1.0,
+            seed: 21,
+        })
+        .unwrap();
+        let out = evolve(&model, &MeanFieldConfig { seed: 2, ..Default::default() }).unwrap();
+        assert_eq!(
+            out.best_energy.to_bits(),
+            model.evaluate(&out.best_solution).unwrap().to_bits()
+        );
     }
 
     #[test]

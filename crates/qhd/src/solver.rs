@@ -243,6 +243,10 @@ impl QhdSolver {
                         shots: self.config.shots,
                         seed,
                         randomize_initial_state: true,
+                        // Samples are already distributed over worker threads;
+                        // keep each trajectory's variable sweep serial rather
+                        // than oversubscribing with nested parallelism.
+                        threads: 1,
                     },
                 )?;
                 let (mut best, mut best_energy) = refine_one(out.best_solution, out.best_energy);
@@ -305,17 +309,12 @@ impl QuboSolver for QhdSolver {
             run_range(0..samples);
         } else {
             // Static partition of the sample indices over the worker threads —
-            // the CPU analogue of batching trajectories across GPUs.
+            // the CPU analogue of batching trajectories across GPUs, using the
+            // same contiguous sharding as the restart runtime.
             crossbeam::thread::scope(|scope| {
-                let chunk = samples.div_ceil(threads);
-                for w in 0..threads {
-                    let lo = w * chunk;
-                    let hi = ((w + 1) * chunk).min(samples);
-                    if lo >= hi {
-                        break;
-                    }
+                for range in qhdcd_solvers::runtime::shard_ranges(samples, threads) {
                     let run_range = &run_range;
-                    scope.spawn(move |_| run_range(lo..hi));
+                    scope.spawn(move |_| run_range(range));
                 }
             })
             .expect("QHD worker threads do not panic");

@@ -79,6 +79,24 @@ pub fn resolve_threads(threads: usize, restarts: usize) -> usize {
     resolved.clamp(1, restarts.max(1))
 }
 
+/// Splits `0..items` into at most `workers` contiguous, non-empty ranges of
+/// (near-)equal size — the deterministic work partition shared by every
+/// data-parallel loop in the workspace (restart batches here, the mean-field
+/// variable sweep in `qhdcd-qhd`). Contiguity is what makes per-worker slices
+/// of per-item arrays splittable with `split_at_mut`, and the partition is a
+/// pure function of `(items, workers)`, so it never depends on scheduling.
+pub fn shard_ranges(items: usize, workers: usize) -> Vec<std::ops::Range<usize>> {
+    let workers = workers.clamp(1, items.max(1));
+    let chunk = items.div_ceil(workers);
+    (0..workers)
+        .filter_map(|w| {
+            let lo = w * chunk;
+            let hi = ((w + 1) * chunk).min(items);
+            (lo < hi).then_some(lo..hi)
+        })
+        .collect()
+}
+
 /// Per-worker accumulator: local best by `(energy, restart index)` plus work
 /// counters, merged across workers in worker order.
 struct WorkerResult {
@@ -141,14 +159,10 @@ where
     let worker_results: Vec<WorkerResult> = if threads == 1 {
         vec![run_worker(0..restarts)]
     } else {
-        let chunk = restarts.div_ceil(threads);
         crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = (0..threads)
-                .filter_map(|w| {
-                    let lo = w * chunk;
-                    let hi = ((w + 1) * chunk).min(restarts);
-                    (lo < hi).then(|| scope.spawn(move |_| run_worker(lo..hi)))
-                })
+            let handles: Vec<_> = shard_ranges(restarts, threads)
+                .into_iter()
+                .map(|range| scope.spawn(move |_| run_worker(range)))
                 .collect();
             handles.into_iter().map(|h| h.join().expect("restart workers do not panic")).collect()
         })
@@ -236,6 +250,24 @@ mod tests {
         assert_eq!(resolve_threads(1, 100), 1);
         assert!(resolve_threads(0, 100) >= 1);
         assert_eq!(resolve_threads(3, 0), 1);
+    }
+
+    #[test]
+    fn shard_ranges_cover_exactly_once_and_are_contiguous() {
+        for (items, workers) in [(0usize, 3usize), (1, 1), (5, 2), (7, 3), (8, 8), (3, 10)] {
+            let ranges = shard_ranges(items, workers);
+            assert!(ranges.len() <= workers.max(1));
+            let mut cursor = 0;
+            for r in &ranges {
+                assert_eq!(r.start, cursor, "items={items} workers={workers}");
+                assert!(r.end > r.start);
+                cursor = r.end;
+            }
+            assert_eq!(cursor, items, "items={items} workers={workers}");
+        }
+        assert!(shard_ranges(0, 4).is_empty());
+        // The partition is a pure function of its inputs.
+        assert_eq!(shard_ranges(100, 7), shard_ranges(100, 7));
     }
 
     #[test]

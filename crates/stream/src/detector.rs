@@ -19,7 +19,7 @@
 use crate::StreamError;
 use qhdcd_core::refine::RefineConfig;
 use qhdcd_core::CommunityDetector;
-use qhdcd_graph::{DynamicGraph, EdgeEvent, NodeId, Partition};
+use qhdcd_graph::{modularity, DynamicGraph, EdgeEvent, NodeId, Partition};
 use std::collections::BTreeSet;
 use std::time::{Duration, Instant};
 
@@ -152,6 +152,9 @@ pub struct StreamingDetector {
     batches: u64,
     /// Number of full re-detect fallbacks triggered.
     full_redetects: u64,
+    /// Scratch of the shared one-pass best-move scan (the same implementation
+    /// `refine_frontier` uses — see [`StreamingDetector::best_move`]).
+    scan: modularity::NeighborScan,
 }
 
 impl StreamingDetector {
@@ -202,6 +205,7 @@ impl StreamingDetector {
             drift: 0.0,
             batches: 0,
             full_redetects: 0,
+            scan: modularity::NeighborScan::new(),
         };
         detector.rebuild_aggregates();
         Ok(detector)
@@ -390,57 +394,25 @@ impl StreamingDetector {
         (moves, passes)
     }
 
-    /// Deterministic best-move scan (the streaming twin of
-    /// `refine_frontier`'s): candidates in ascending neighbour order, strictly
-    /// best positive gain wins, first seen wins ties.
-    fn best_move(&self, node: NodeId) -> Option<(usize, f64)> {
-        let cur = self.labels[node];
-        let mut seen: Vec<usize> = Vec::new();
-        let mut best: Option<(usize, f64)> = None;
-        for (v, _) in self.graph.neighbors(node) {
-            if v == node {
-                continue;
-            }
-            let c = self.labels[v];
-            if c == cur || seen.contains(&c) {
-                continue;
-            }
-            seen.push(c);
-            let g = self.gain(node, c);
-            if g > best.map_or(0.0, |(_, bg)| bg) && g > 1e-12 {
-                best = Some((c, g));
-            }
-        }
-        best
-    }
-
-    /// Modularity gain of moving `node` to `target` — the standard Louvain
-    /// gain, numerically identical to `ModularityState::gain` (pinned by
-    /// conformance tests against `refine_frontier`).
-    fn gain(&self, node: NodeId, target: usize) -> f64 {
-        let cur = self.labels[node];
+    /// Deterministic one-pass best-move scan — the *same*
+    /// [`modularity::NeighborScan`] implementation `refine_frontier` runs
+    /// (first-seen candidate order, per-community accumulation in neighbour
+    /// order, `louvain_gain` arithmetic, strict-improvement tie-break), fed
+    /// the detector's incrementally maintained `Σtot` aggregates instead of a
+    /// `ModularityState`. Sharing the implementation is what keeps the
+    /// streaming decisions bit-identical to the static twin (the invariant
+    /// the stream ↔ `refine_frontier` conformance tests pin) — O(deg) per
+    /// node instead of the previous O(deg²) per-candidate re-scans.
+    fn best_move(&mut self, node: NodeId) -> Option<(usize, f64)> {
         let two_m = 2.0 * self.graph.total_edge_weight();
-        if cur == target || two_m <= 0.0 {
-            return 0.0;
-        }
-        let d_i = self.graph.degree(node);
-        let mut k_i_cur = 0.0;
-        let mut k_i_target = 0.0;
-        for (v, w) in self.graph.neighbors(node) {
-            if v == node {
-                continue;
-            }
-            let c = self.labels[v];
-            if c == cur {
-                k_i_cur += w;
-            } else if c == target {
-                k_i_target += w;
-            }
-        }
-        let m = two_m / 2.0;
-        let sigma_target = self.sigma_tot[target];
-        let sigma_cur = self.sigma_tot[cur];
-        (k_i_target - k_i_cur) / m - d_i * (sigma_target - (sigma_cur - d_i)) / (2.0 * m * m)
+        self.scan.best_move(
+            node,
+            self.graph.neighbors(node),
+            &self.labels,
+            self.graph.degree(node),
+            two_m,
+            &self.sigma_tot,
+        )
     }
 
     /// Moves `node` to `target`, patching `Σtot` and `Σin` in O(deg).

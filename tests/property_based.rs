@@ -322,3 +322,133 @@ proptest! {
         prop_assert!((new_e - naive_e).abs() < 1e-9);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Crank–Nicolson Thomas factorization vs dense Gaussian elimination.
+// ---------------------------------------------------------------------------
+
+mod thomas {
+    use proptest::prelude::*;
+    use qhdcd::qhd::batch::{MeanFieldWorkspace, WaveBatch};
+    use qhdcd::qhd::complex::Complex;
+    use qhdcd::qhd::grid::{Grid, ThomasFactors};
+    use rand::prelude::*;
+    use rand_chacha::ChaCha8Rng;
+
+    /// Solves the dense complex system `A x = rhs` by Gaussian elimination
+    /// with partial pivoting (magnitude pivot).
+    #[allow(clippy::needless_range_loop)] // textbook index form, two rows of `a` per step
+    fn solve_dense(mut a: Vec<Vec<Complex>>, mut rhs: Vec<Complex>) -> Vec<Complex> {
+        let n = rhs.len();
+        for col in 0..n {
+            let pivot = (col..n)
+                .max_by(|&p, &q| a[p][col].abs().partial_cmp(&a[q][col].abs()).unwrap())
+                .unwrap();
+            a.swap(col, pivot);
+            rhs.swap(col, pivot);
+            for row in (col + 1)..n {
+                let factor = a[row][col] / a[col][col];
+                for k in col..n {
+                    let delta = factor * a[col][k];
+                    a[row][k] = a[row][k] - delta;
+                }
+                let delta = factor * rhs[col];
+                rhs[row] = rhs[row] - delta;
+            }
+        }
+        let mut x = vec![Complex::ZERO; n];
+        for row in (0..n).rev() {
+            let mut acc = rhs[row];
+            for col in (row + 1)..n {
+                let delta = a[row][col] * x[col];
+                acc = acc - delta;
+            }
+            x[row] = acc / a[row][row];
+        }
+        x
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// The batched Crank–Nicolson step (shared ThomasFactors + one
+        /// forward/backward sweep) must agree with a dense Gaussian
+        /// elimination solve of `A ψ⁺ = B ψ` on random tridiagonal systems
+        /// (random kinetic coefficient, time step, resolution and state).
+        #[test]
+        fn kinetic_step_batch_solves_the_tridiagonal_system(
+            resolution in 4usize..40,
+            coefficient in 0.05f64..3.0,
+            dt in 0.001f64..0.12,
+            seed in 0u64..1_000,
+        ) {
+            let grid = Grid::new(resolution).unwrap();
+            let h2 = grid.spacing() * grid.spacing();
+            let diag = coefficient / h2;
+            let off = -coefficient / (2.0 * h2);
+            let half = Complex::new(0.0, dt / 2.0);
+            let a_diag = Complex::ONE + half.scale(diag);
+            let a_off = half.scale(off);
+            let b_diag = Complex::ONE - half.scale(diag);
+            let b_off = -half.scale(off);
+
+            // A small batch of random (not necessarily normalised) states.
+            let num_vars = 3usize;
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let states: Vec<Vec<Complex>> = (0..num_vars)
+                .map(|_| {
+                    (0..resolution)
+                        .map(|_| Complex::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+                        .collect()
+                })
+                .collect();
+            let mut batch = WaveBatch::zeros(num_vars, resolution);
+            for (i, psi) in states.iter().enumerate() {
+                batch.set_variable(i, psi);
+            }
+            let mut ws = MeanFieldWorkspace::for_batch(&batch);
+            let mut factors = ThomasFactors::new();
+            factors.factor(&grid, coefficient, dt);
+            grid.kinetic_step_batch(&mut batch, &factors, &mut ws);
+
+            // Dense reference: x = A⁻¹ (B ψ).
+            let tridiagonal = |d: Complex, o: Complex| -> Vec<Vec<Complex>> {
+                let mut m = vec![vec![Complex::ZERO; resolution]; resolution];
+                for k in 0..resolution {
+                    m[k][k] = d;
+                    if k + 1 < resolution {
+                        m[k][k + 1] = o;
+                        m[k + 1][k] = o;
+                    }
+                }
+                m
+            };
+            let a = tridiagonal(a_diag, a_off);
+            for (i, psi) in states.iter().enumerate() {
+                let rhs: Vec<Complex> = (0..resolution)
+                    .map(|k| {
+                        let mut v = b_diag * psi[k];
+                        if k > 0 {
+                            v += b_off * psi[k - 1];
+                        }
+                        if k + 1 < resolution {
+                            v += b_off * psi[k + 1];
+                        }
+                        v
+                    })
+                    .collect();
+                let exact = solve_dense(a.clone(), rhs);
+                for (z_thomas, z_dense) in batch.variable(i).iter().zip(&exact) {
+                    prop_assert!(
+                        (z_thomas.re - z_dense.re).abs() < 1e-9
+                            && (z_thomas.im - z_dense.im).abs() < 1e-9,
+                        "variable {}: thomas {:?} dense {:?}",
+                        i,
+                        z_thomas,
+                        z_dense
+                    );
+                }
+            }
+        }
+    }
+}

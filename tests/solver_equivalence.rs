@@ -315,3 +315,117 @@ fn multi_start_greedy_is_deterministic_and_exactly_reevaluable() {
         assert!((model.evaluate(&a.solution).unwrap() - a.objective).abs() < 1e-9);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Mean-field batch engine vs the retained per-variable AoS reference.
+//
+// PR 5 rebuilt `qhdcd::qhd::meanfield::evolve` on the batched SoA engine
+// (split re/im planes, shared per-step Thomas factorization, allocation-free
+// workspaces, optional sharded sweep). `evolve_reference` retains the original
+// per-variable formulation; these tests pin the two paths together: outcomes
+// bit-identical, states within 1e-12, and the sharded sweep bit-identical for
+// every worker count.
+// ---------------------------------------------------------------------------
+
+mod meanfield_batch {
+    use super::instance;
+    use qhdcd::qhd::batch::{MeanFieldWorkspace, WaveBatch};
+    use qhdcd::qhd::complex::Complex;
+    use qhdcd::qhd::grid::{Grid, ThomasFactors};
+    use qhdcd::qhd::meanfield::{evolve, evolve_reference, MeanFieldConfig};
+
+    #[test]
+    fn batch_outcomes_are_bit_identical_to_the_reference() {
+        for (n, density, seed) in [(40usize, 0.2f64, 1u64), (80, 0.1, 7), (120, 0.05, 42)] {
+            let model = instance(n, density, seed);
+            let config = MeanFieldConfig {
+                seed: seed ^ 0x5a5a,
+                steps: 80,
+                shots: 12,
+                ..MeanFieldConfig::default()
+            };
+            let batch = evolve(&model, &config).unwrap();
+            let reference = evolve_reference(&model, &config).unwrap();
+            assert_eq!(batch.best_solution, reference.best_solution, "n={n} seed={seed}");
+            assert_eq!(
+                batch.best_energy.to_bits(),
+                reference.best_energy.to_bits(),
+                "n={n} seed={seed}"
+            );
+            for i in 0..n {
+                assert!(
+                    (batch.expectations[i] - reference.expectations[i]).abs() <= 1e-12,
+                    "n={n} seed={seed}: expectation {i} diverged"
+                );
+                assert!(
+                    (batch.probabilities[i] - reference.probabilities[i]).abs() <= 1e-12,
+                    "n={n} seed={seed}: probability {i} diverged"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn propagated_states_stay_within_1e12_of_the_reference() {
+        // Kernel-level state pin: drive a batch and its AoS twin through many
+        // Strang-split steps with per-step varying coefficients and slopes
+        // (mimicking a trajectory) and bound the amplitude divergence.
+        let grid = Grid::new(32).unwrap();
+        let n = 24;
+        let mut batch = WaveBatch::zeros(n, 32);
+        let mut aos: Vec<Vec<Complex>> = Vec::new();
+        for i in 0..n {
+            let psi = grid.gaussian_state(0.25 + 0.5 * i as f64 / n as f64, 0.1);
+            batch.set_variable(i, &psi);
+            aos.push(psi);
+        }
+        let mut ws = MeanFieldWorkspace::for_batch(&batch);
+        let mut factors = ThomasFactors::new();
+        let dt = 0.05;
+        let mut slopes = vec![0.0f64; n];
+        let mut potential = vec![0.0f64; 32];
+        for step in 0..60 {
+            let coeff = 1.5 / (1.0 + step as f64 * dt);
+            for (i, s) in slopes.iter_mut().enumerate() {
+                *s = (step as f64 * 0.1).sin() * (1.0 + i as f64 / n as f64);
+            }
+            factors.factor(&grid, coeff, dt);
+            grid.apply_potential_phase_batch(&mut batch, &slopes, dt / 2.0, &mut ws);
+            grid.kinetic_step_batch(&mut batch, &factors, &mut ws);
+            grid.apply_potential_phase_batch(&mut batch, &slopes, dt / 2.0, &mut ws);
+            for (psi, &slope) in aos.iter_mut().zip(&slopes) {
+                for (slot, &x) in potential.iter_mut().zip(grid.points()) {
+                    *slot = slope * x;
+                }
+                grid.apply_potential_phase(psi, &potential, dt / 2.0);
+                grid.kinetic_step(psi, coeff, dt);
+                grid.apply_potential_phase(psi, &potential, dt / 2.0);
+            }
+        }
+        let mut worst = 0.0f64;
+        for (i, psi) in aos.iter().enumerate() {
+            for (zb, zr) in batch.variable(i).iter().zip(psi) {
+                worst = worst.max((zb.re - zr.re).abs()).max((zb.im - zr.im).abs());
+            }
+        }
+        assert!(worst <= 1e-12, "state divergence {worst:e} exceeds 1e-12");
+    }
+
+    #[test]
+    fn sharded_sweep_is_bit_identical_for_1_2_and_8_workers() {
+        let model = instance(150, 0.05, 9);
+        let base = MeanFieldConfig { seed: 13, steps: 60, shots: 8, ..MeanFieldConfig::default() };
+        let runs: Vec<_> = [1usize, 2, 8]
+            .iter()
+            .map(|&threads| evolve(&model, &MeanFieldConfig { threads, ..base.clone() }).unwrap())
+            .collect();
+        for run in &runs[1..] {
+            assert_eq!(run.best_solution, runs[0].best_solution);
+            assert_eq!(run.best_energy.to_bits(), runs[0].best_energy.to_bits());
+            for i in 0..150 {
+                assert_eq!(run.expectations[i].to_bits(), runs[0].expectations[i].to_bits());
+                assert_eq!(run.probabilities[i].to_bits(), runs[0].probabilities[i].to_bits());
+            }
+        }
+    }
+}
