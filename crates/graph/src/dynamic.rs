@@ -67,15 +67,25 @@ pub enum EdgeEvent {
         /// New absolute weight; must be finite and non-negative.
         weight: f64,
     },
+    /// Delete a node from the graph: every incident edge (including a
+    /// self-loop) is removed in one event. The node id itself stays valid as
+    /// an isolated tombstone — ids are dense and never renumbered, so
+    /// partitions and per-node arrays keep their indexing.
+    RemoveNode {
+        /// The node whose incident edges are removed.
+        u: NodeId,
+    },
 }
 
 impl EdgeEvent {
-    /// The endpoints of the event, in the order given.
+    /// The endpoints of the event, in the order given (a node deletion
+    /// reports `(u, u)`).
     pub fn endpoints(&self) -> (NodeId, NodeId) {
         match *self {
             EdgeEvent::Add { u, v, .. }
             | EdgeEvent::Remove { u, v }
             | EdgeEvent::Update { u, v, .. } => (u, v),
+            EdgeEvent::RemoveNode { u } => (u, u),
         }
     }
 }
@@ -305,19 +315,49 @@ impl DynamicGraph {
         Ok(delta)
     }
 
+    /// Removes every edge incident to `node` (a batched node deletion). The
+    /// node id stays valid as an isolated tombstone so that dense indexing —
+    /// partitions, per-node arrays — is never disturbed. Returns the removed
+    /// `(neighbor, weight)` pairs in ascending neighbour order (a self-loop
+    /// appears as `(node, w)`), which is exactly what a streaming consumer
+    /// needs to patch per-community aggregates edge by edge.
+    ///
+    /// # Errors
+    ///
+    /// * [`GraphError::NodeOutOfBounds`] if `node` is out of range.
+    pub fn remove_node(&mut self, node: NodeId) -> Result<Vec<(NodeId, f64)>, GraphError> {
+        self.check_endpoints(node, node)?;
+        let removed: Vec<(NodeId, f64)> =
+            self.adjacency[node].iter().map(|(&v, &w)| (v, w)).collect();
+        for &(v, w) in &removed {
+            if v != node {
+                self.adjacency[v].remove(&node);
+            }
+            self.num_edges -= 1;
+            self.patch_aggregates(node, v, -w);
+        }
+        self.adjacency[node].clear();
+        Ok(removed)
+    }
+
     /// Applies one [`EdgeEvent`], returning the signed change of the touched
-    /// edge's weight (what the modularity bookkeeping of a streaming consumer
-    /// needs to patch its aggregates).
+    /// edge weights (what the modularity bookkeeping of a streaming consumer
+    /// needs to patch its aggregates; a node deletion reports minus the sum of
+    /// the removed edge weights).
     ///
     /// # Errors
     ///
     /// Same as the corresponding [`DynamicGraph::insert_edge`] /
-    /// [`DynamicGraph::remove_edge`] / [`DynamicGraph::update_weight`] call.
+    /// [`DynamicGraph::remove_edge`] / [`DynamicGraph::update_weight`] /
+    /// [`DynamicGraph::remove_node`] call.
     pub fn apply(&mut self, event: &EdgeEvent) -> Result<f64, GraphError> {
         match *event {
             EdgeEvent::Add { u, v, weight } => self.insert_edge(u, v, weight),
             EdgeEvent::Remove { u, v } => self.remove_edge(u, v),
             EdgeEvent::Update { u, v, weight } => self.update_weight(u, v, weight),
+            EdgeEvent::RemoveNode { u } => {
+                self.remove_node(u).map(|edges| -edges.iter().map(|&(_, w)| w).sum::<f64>())
+            }
         }
     }
 
@@ -365,6 +405,126 @@ impl DynamicGraph {
             self.num_edges,
             self.total_edge_weight,
         )
+    }
+
+    /// Serializes the graph into a *bit-exact* textual checkpoint.
+    ///
+    /// The cached aggregates (degrees, total edge weight) are patched
+    /// incrementally as events arrive, so their low bits depend on the
+    /// mutation history; a restore that recomputed them from the edge list
+    /// could diverge from the live process by a few ulps and break the
+    /// deterministic-replay contract of the streaming service. Every `f64` is
+    /// therefore stored as its raw bit pattern (16 hex digits) and the cached
+    /// aggregates are stored verbatim instead of being rebuilt.
+    pub fn to_checkpoint_text(&self) -> String {
+        let bits = |x: f64| format!("{:016x}", x.to_bits());
+        let join = |xs: &[f64]| xs.iter().map(|&x| bits(x)).collect::<Vec<_>>().join(" ");
+        let mut out = String::new();
+        out.push_str("dyngraph v1\n");
+        out.push_str(&format!("nodes {}\n", self.num_nodes()));
+        out.push_str(&format!("edges {}\n", self.num_edges));
+        out.push_str(&format!("total_weight {}\n", bits(self.total_edge_weight)));
+        out.push_str(&format!("degrees {}\n", join(&self.degrees)));
+        out.push_str(&format!("node_weights {}\n", join(&self.node_weights)));
+        for u in 0..self.num_nodes() {
+            for (v, w) in self.neighbors(u) {
+                if u <= v {
+                    out.push_str(&format!("edge {u} {v} {}\n", bits(w)));
+                }
+            }
+        }
+        out.push_str("end\n");
+        out
+    }
+
+    /// Restores a graph from [`DynamicGraph::to_checkpoint_text`] output,
+    /// bit-identical to the serialized instance (including the low bits of
+    /// the incrementally patched aggregate caches).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::ParseCheckpoint`] with the offending 1-based
+    /// line number for any structural or numeric problem.
+    pub fn from_checkpoint_text(text: &str) -> Result<Self, GraphError> {
+        let err = |line: usize, reason: String| GraphError::ParseCheckpoint { line, reason };
+        let mut lines = text.lines().enumerate();
+        let mut expect = |keyword: &str| -> Result<(usize, String), GraphError> {
+            let (lineno, raw) = lines
+                .next()
+                .ok_or_else(|| err(0, format!("unexpected end of input, expected `{keyword}`")))?;
+            let rest = raw
+                .strip_prefix(keyword)
+                .ok_or_else(|| err(lineno + 1, format!("expected `{keyword}`, got `{raw}`")))?;
+            Ok((lineno, rest.trim().to_string()))
+        };
+        let (lineno, version) = expect("dyngraph")?;
+        if version != "v1" {
+            return Err(err(lineno + 1, format!("unsupported checkpoint version `{version}`")));
+        }
+        let parse_usize = |lineno: usize, tok: &str| -> Result<usize, GraphError> {
+            tok.parse::<usize>().map_err(|e| err(lineno + 1, format!("invalid count `{tok}`: {e}")))
+        };
+        let parse_bits = |lineno: usize, tok: &str| -> Result<f64, GraphError> {
+            u64::from_str_radix(tok, 16)
+                .map(f64::from_bits)
+                .map_err(|e| err(lineno + 1, format!("invalid f64 bit pattern `{tok}`: {e}")))
+        };
+        let parse_vec = |lineno: usize, body: &str, n: usize| -> Result<Vec<f64>, GraphError> {
+            let xs = body
+                .split_whitespace()
+                .map(|tok| parse_bits(lineno, tok))
+                .collect::<Result<Vec<f64>, GraphError>>()?;
+            if xs.len() != n {
+                return Err(err(lineno + 1, format!("expected {n} values, got {}", xs.len())));
+            }
+            Ok(xs)
+        };
+        let (lineno, body) = expect("nodes")?;
+        let n = parse_usize(lineno, &body)?;
+        let (lineno, body) = expect("edges")?;
+        let num_edges = parse_usize(lineno, &body)?;
+        let (lineno, body) = expect("total_weight")?;
+        let total_edge_weight = parse_bits(lineno, &body)?;
+        let (lineno, body) = expect("degrees")?;
+        let degrees = parse_vec(lineno, &body, n)?;
+        let (lineno, body) = expect("node_weights")?;
+        let node_weights = parse_vec(lineno, &body, n)?;
+        let mut adjacency: Vec<BTreeMap<NodeId, f64>> = vec![BTreeMap::new(); n];
+        let mut parsed_edges = 0usize;
+        loop {
+            let (lineno, raw) = lines
+                .next()
+                .ok_or_else(|| err(0, "unexpected end of input, expected `end`".into()))?;
+            if raw == "end" {
+                break;
+            }
+            let toks: Vec<&str> = raw.split_whitespace().collect();
+            let [kw, u, v, w] = toks.as_slice() else {
+                return Err(err(lineno + 1, format!("expected `edge u v bits`, got `{raw}`")));
+            };
+            if *kw != "edge" {
+                return Err(err(lineno + 1, format!("expected `edge`, got `{kw}`")));
+            }
+            let (u, v) = (parse_usize(lineno, u)?, parse_usize(lineno, v)?);
+            let w = parse_bits(lineno, w)?;
+            if u >= n || v >= n {
+                return Err(err(
+                    lineno + 1,
+                    format!("edge ({u}, {v}) out of bounds for {n} nodes"),
+                ));
+            }
+            if adjacency[u].insert(v, w).is_some() {
+                return Err(err(lineno + 1, format!("duplicate edge ({u}, {v})")));
+            }
+            if u != v {
+                adjacency[v].insert(u, w);
+            }
+            parsed_edges += 1;
+        }
+        if parsed_edges != num_edges {
+            return Err(err(0, format!("header says {num_edges} edges, found {parsed_edges}")));
+        }
+        Ok(DynamicGraph { adjacency, degrees, node_weights, num_edges, total_edge_weight })
     }
 }
 
@@ -505,5 +665,89 @@ mod tests {
         let snap = g.snapshot();
         assert_eq!(snap.num_nodes(), 0);
         assert_eq!(snap.num_edges(), 0);
+    }
+
+    #[test]
+    fn remove_node_clears_incident_edges_and_keeps_the_id() {
+        let mut g = DynamicGraph::new(4);
+        g.insert_edge(0, 1, 1.0).unwrap();
+        g.insert_edge(0, 2, 2.0).unwrap();
+        g.insert_edge(0, 0, 0.5).unwrap(); // self-loop
+        g.insert_edge(1, 2, 4.0).unwrap();
+        let removed = g.remove_node(0).unwrap();
+        assert_eq!(removed, vec![(0, 0.5), (1, 1.0), (2, 2.0)]);
+        assert_eq!(g.num_nodes(), 4, "deleted node stays as a tombstone");
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.degree(0), 0.0);
+        assert_eq!(g.total_edge_weight(), 4.0);
+        assert!(!g.has_edge(1, 0));
+        assert!(g.has_edge(1, 2));
+        // The id remains usable afterwards.
+        g.insert_edge(0, 3, 1.0).unwrap();
+        assert_eq!(g.degree(0), 1.0);
+    }
+
+    #[test]
+    fn remove_node_event_reports_the_summed_delta() {
+        let mut g = DynamicGraph::new(3);
+        g.insert_edge(0, 1, 1.5).unwrap();
+        g.insert_edge(0, 2, 2.0).unwrap();
+        let delta = g.apply(&EdgeEvent::RemoveNode { u: 0 }).unwrap();
+        assert_eq!(delta, -3.5);
+        assert_eq!(g.num_edges(), 0);
+        // Deleting an isolated node is a no-op with delta 0.
+        assert_eq!(g.apply(&EdgeEvent::RemoveNode { u: 0 }).unwrap(), 0.0);
+        assert!(matches!(g.remove_node(7), Err(GraphError::NodeOutOfBounds { .. })));
+        assert_eq!(EdgeEvent::RemoveNode { u: 2 }.endpoints(), (2, 2));
+    }
+
+    #[test]
+    fn checkpoint_text_round_trips_bit_exactly() {
+        let mut g = DynamicGraph::new(4);
+        g.apply_events(&events()).unwrap();
+        g.insert_edge(0, 3, 0.1).unwrap();
+        // Churn that leaves low-bit residue in the patched aggregates: the
+        // caches are *not* equal to a fresh summation, and the checkpoint must
+        // preserve them verbatim.
+        for _ in 0..7 {
+            g.insert_edge(0, 3, 0.1).unwrap();
+        }
+        g.update_weight(0, 3, 0.3).unwrap();
+        let text = g.to_checkpoint_text();
+        let back = DynamicGraph::from_checkpoint_text(&text).unwrap();
+        assert_eq!(back, g);
+        assert_eq!(back.total_edge_weight().to_bits(), g.total_edge_weight().to_bits());
+        for u in 0..g.num_nodes() {
+            assert_eq!(back.degree(u).to_bits(), g.degree(u).to_bits());
+        }
+        // Stability: serialization is a pure function of the state.
+        assert_eq!(back.to_checkpoint_text(), text);
+        // Empty graphs round-trip too.
+        let empty = DynamicGraph::new(0);
+        assert_eq!(DynamicGraph::from_checkpoint_text(&empty.to_checkpoint_text()).unwrap(), empty);
+    }
+
+    #[test]
+    fn checkpoint_parse_rejects_malformed_input() {
+        let line_of = |text: &str| match DynamicGraph::from_checkpoint_text(text).unwrap_err() {
+            GraphError::ParseCheckpoint { line, .. } => line,
+            other => panic!("unexpected error {other:?}"),
+        };
+        assert_eq!(line_of("not-a-checkpoint\n"), 1);
+        assert_eq!(line_of("dyngraph v9\n"), 1);
+        assert_eq!(line_of("dyngraph v1\nnodes x\n"), 2);
+        let header = "dyngraph v1\nnodes 2\nedges 0\ntotal_weight 0000000000000000\n";
+        assert_eq!(line_of(&format!("{header}degrees 0000000000000000\n")), 5); // wrong arity
+        let full = format!(
+            "{header}degrees 0000000000000000 0000000000000000\n\
+             node_weights 3ff0000000000000 3ff0000000000000\n"
+        );
+        assert_eq!(line_of(&full), 0); // truncated before `end`
+        assert_eq!(line_of(&format!("{full}edge 0 5 3ff0000000000000\nend\n")), 7); // out of bounds
+        assert_eq!(line_of(&format!("{full}garbage\nend\n")), 7);
+        // Edge-count mismatch between header and body.
+        assert_eq!(line_of(&format!("{full}edge 0 1 3ff0000000000000\nend\n")), 0);
+        let dup = format!("{full}edge 0 1 3ff0000000000000\nedge 0 1 3ff0000000000000\nend\n");
+        assert_eq!(line_of(&dup), 8);
     }
 }

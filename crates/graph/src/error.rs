@@ -51,6 +51,13 @@ pub enum GraphError {
         /// Human readable description of the problem.
         reason: String,
     },
+    /// A serialized dynamic-graph checkpoint could not be parsed.
+    ParseCheckpoint {
+        /// 1-based line number of the offending entry.
+        line: usize,
+        /// Human readable description of the problem.
+        reason: String,
+    },
 }
 
 impl fmt::Display for GraphError {
@@ -77,6 +84,9 @@ impl fmt::Display for GraphError {
             }
             GraphError::ParseEventLog { line, reason } => {
                 write!(f, "failed to parse event log at line {line}: {reason}")
+            }
+            GraphError::ParseCheckpoint { line, reason } => {
+                write!(f, "failed to parse checkpoint at line {line}: {reason}")
             }
         }
     }

@@ -128,10 +128,11 @@ pub fn write_edge_list<P: AsRef<Path>>(graph: &Graph, path: P) -> Result<(), Gra
 /// Parses a timestamped edge-event log into replayable [`EdgeEvent`]s.
 ///
 /// Each non-comment line is `[timestamp] op args` where `op` is `add u v [w]`
-/// (weight defaults to 1.0), `del u v` or `upd u v w`. The optional leading
-/// timestamp is a non-negative integer; when present, timestamps must be
-/// non-decreasing down the file (events are a replay log, not a set). Lines
-/// starting with `#` or `%` and blank lines are ignored.
+/// (weight defaults to 1.0), `del u v`, `upd u v w` or `del_node u` (a batched
+/// node deletion). The optional leading timestamp is a non-negative integer;
+/// when present, timestamps must be non-decreasing down the file (events are a
+/// replay log, not a set). Lines starting with `#` or `%` and blank lines are
+/// ignored.
 ///
 /// # Errors
 ///
@@ -152,43 +153,55 @@ pub fn write_edge_list<P: AsRef<Path>>(graph: &Graph, path: P) -> Result<(), Gra
 /// # }
 /// ```
 pub fn parse_event_log(text: &str) -> Result<Vec<EdgeEvent>, GraphError> {
+    Ok(parse_timed_event_log(text)?.into_iter().map(|(_, event)| event).collect())
+}
+
+/// Parses a timestamped edge-event log, keeping the timestamps.
+///
+/// Same grammar and errors as [`parse_event_log`]; lines without a timestamp
+/// inherit the previous line's timestamp (0 at the start of the log). The
+/// streaming service journal uses timestamps as *batch offsets*: consecutive
+/// events with the same timestamp were applied as one batch, so checkpoint
+/// recovery can replay the log with the exact batch boundaries of the
+/// original run.
+///
+/// # Errors
+///
+/// See [`parse_event_log`].
+pub fn parse_timed_event_log(text: &str) -> Result<Vec<(u64, EdgeEvent)>, GraphError> {
     let err = |line: usize, reason: String| GraphError::ParseEventLog { line: line + 1, reason };
     let mut events = Vec::new();
-    let mut last_timestamp: Option<u64> = None;
+    let mut last_timestamp: u64 = 0;
     for (lineno, raw) in text.lines().enumerate() {
         let line = raw.trim();
         if line.is_empty() || line.starts_with('#') || line.starts_with('%') {
             continue;
         }
-        let mut parts = line.split_whitespace().peekable();
+        let mut toks: Vec<&str> = line.split_whitespace().collect();
         // Optional leading timestamp: a token that parses as u64.
-        let first = *parts.peek().expect("non-blank line has a first token");
-        if let Ok(t) = first.parse::<u64>() {
-            parts.next();
-            if last_timestamp.is_some_and(|prev| t < prev) {
+        if let Ok(t) = toks[0].parse::<u64>() {
+            toks.remove(0);
+            if t < last_timestamp {
                 return Err(err(
                     lineno,
                     format!(
-                        "timestamp {t} is smaller than the previous timestamp {}",
-                        last_timestamp.expect("checked above")
+                        "timestamp {t} is smaller than the previous timestamp {last_timestamp}"
                     ),
                 ));
             }
-            last_timestamp = Some(t);
+            last_timestamp = t;
         }
-        let op = parts
-            .next()
-            .ok_or_else(|| err(lineno, "expected an operation after the timestamp".into()))?;
-        let mut node = |name: &str| -> Result<usize, GraphError> {
-            parts
-                .next()
+        let Some((&op, args)) = toks.split_first() else {
+            return Err(err(lineno, "expected an operation after the timestamp".into()));
+        };
+        let node = |idx: usize, name: &str| -> Result<usize, GraphError> {
+            args.get(idx)
                 .ok_or_else(|| err(lineno, format!("missing node id `{name}`")))?
                 .parse::<usize>()
                 .map_err(|e| err(lineno, format!("invalid node id `{name}`: {e}")))
         };
-        let (u, v) = (node("u")?, node("v")?);
-        let mut weight = |required: bool| -> Result<Option<f64>, GraphError> {
-            match parts.next() {
+        let weight = |idx: usize, required: bool| -> Result<Option<f64>, GraphError> {
+            match args.get(idx) {
                 Some(tok) => {
                     let w = tok
                         .parse::<f64>()
@@ -205,18 +218,53 @@ pub fn parse_event_log(text: &str) -> Result<Vec<EdgeEvent>, GraphError> {
                 None => Ok(None),
             }
         };
-        let event = match op {
-            "add" => EdgeEvent::Add { u, v, weight: weight(false)?.unwrap_or(1.0) },
-            "del" => EdgeEvent::Remove { u, v },
-            "upd" => EdgeEvent::Update { u, v, weight: weight(true)?.expect("required") },
+        let (event, arity) = match op {
+            "add" => {
+                let e = EdgeEvent::Add {
+                    u: node(0, "u")?,
+                    v: node(1, "v")?,
+                    weight: weight(2, false)?.unwrap_or(1.0),
+                };
+                (e, if args.len() > 2 { 3 } else { 2 })
+            }
+            "del" => (EdgeEvent::Remove { u: node(0, "u")?, v: node(1, "v")? }, 2),
+            "upd" => (
+                EdgeEvent::Update {
+                    u: node(0, "u")?,
+                    v: node(1, "v")?,
+                    weight: weight(2, true)?.expect("required"),
+                },
+                3,
+            ),
+            "del_node" => (EdgeEvent::RemoveNode { u: node(0, "u")? }, 1),
             other => return Err(err(lineno, format!("unknown operation `{other}`"))),
         };
-        if parts.next().is_some() {
+        if args.len() > arity {
             return Err(err(lineno, "too many fields".into()));
         }
-        events.push(event);
+        events.push((last_timestamp, event));
     }
     Ok(events)
+}
+
+/// Serializes timestamped events into the [`parse_timed_event_log`] format.
+///
+/// Weights are printed with Rust's shortest round-trip `f64` formatting, so a
+/// parse of the output reproduces every event bit-exactly — the property the
+/// streaming service's journal relies on for deterministic crash replay.
+pub fn to_event_log(events: &[(u64, EdgeEvent)]) -> String {
+    let mut out = String::new();
+    for &(t, event) in events {
+        match event {
+            EdgeEvent::Add { u, v, weight } => out.push_str(&format!("{t} add {u} {v} {weight}\n")),
+            EdgeEvent::Remove { u, v } => out.push_str(&format!("{t} del {u} {v}\n")),
+            EdgeEvent::Update { u, v, weight } => {
+                out.push_str(&format!("{t} upd {u} {v} {weight}\n"))
+            }
+            EdgeEvent::RemoveNode { u } => out.push_str(&format!("{t} del_node {u}\n")),
+        }
+    }
+    out
 }
 
 /// Reads an edge-event log from a file (see [`parse_event_log`]).
@@ -344,6 +392,56 @@ mod tests {
         assert_eq!(line_of("add 0 1 1.0 extra\n"), 1); // trailing field
         assert_eq!(line_of("7 add 0 1\n3 add 1 2\n"), 2); // timestamps go backwards
         assert_eq!(line_of("9\n"), 1); // timestamp with no op
+        assert_eq!(line_of("del_node\n"), 1); // missing node id
+        assert_eq!(line_of("del_node x\n"), 1); // bad node id
+        assert_eq!(line_of("del_node 0 1\n"), 1); // trailing field
+        assert_eq!(line_of("3 del_node 0 1.5\n"), 1); // trailing field
+    }
+
+    #[test]
+    fn parse_del_node_events() {
+        let events = parse_event_log("0 add 0 1\n1 del_node 0\n1 del_node 1\n").unwrap();
+        assert_eq!(
+            events,
+            vec![
+                EdgeEvent::Add { u: 0, v: 1, weight: 1.0 },
+                EdgeEvent::RemoveNode { u: 0 },
+                EdgeEvent::RemoveNode { u: 1 },
+            ]
+        );
+        let mut g = crate::DynamicGraph::new(2);
+        g.apply_events(&events).unwrap();
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.num_nodes(), 2, "deleted nodes remain as tombstones");
+    }
+
+    #[test]
+    fn timed_event_log_round_trips_with_batch_offsets() {
+        let timed = vec![
+            (0u64, EdgeEvent::Add { u: 0, v: 1, weight: 1.0 }),
+            (0, EdgeEvent::Add { u: 1, v: 2, weight: 0.1 + 0.2 }), // non-representable decimal
+            (1, EdgeEvent::Update { u: 1, v: 2, weight: 2.5 }),
+            (2, EdgeEvent::Remove { u: 0, v: 1 }),
+            (2, EdgeEvent::RemoveNode { u: 2 }),
+        ];
+        let text = to_event_log(&timed);
+        let back = parse_timed_event_log(&text).unwrap();
+        assert_eq!(back.len(), timed.len());
+        for ((ta, ea), (tb, eb)) in timed.iter().zip(back.iter()) {
+            assert_eq!(ta, tb);
+            // Weight round trips are bit-exact (shortest round-trip printing).
+            match (ea, eb) {
+                (EdgeEvent::Add { weight: wa, .. }, EdgeEvent::Add { weight: wb, .. })
+                | (EdgeEvent::Update { weight: wa, .. }, EdgeEvent::Update { weight: wb, .. }) => {
+                    assert_eq!(wa.to_bits(), wb.to_bits());
+                }
+                _ => {}
+            }
+            assert_eq!(ea, eb);
+        }
+        // Untimestamped lines inherit the previous timestamp.
+        let inherited = parse_timed_event_log("add 0 1\n5 add 1 2\nadd 2 3\n").unwrap();
+        assert_eq!(inherited.iter().map(|&(t, _)| t).collect::<Vec<_>>(), vec![0, 5, 5]);
     }
 
     #[test]

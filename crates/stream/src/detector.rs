@@ -36,6 +36,15 @@ pub struct StreamConfig {
     /// last full solve, as a fraction of the current total edge weight. Must
     /// be positive.
     pub drift_threshold: f64,
+    /// Adaptive scaling of the drift threshold with batch size: the effective
+    /// threshold of a batch of `b` events over `n` nodes is
+    /// `drift_threshold · (1 + drift_batch_scale · b / n)`. A fixed threshold
+    /// over-triggers full re-detects on bursty traffic, where one heavy batch
+    /// legitimately carries a lot of weight churn; scaling the allowance with
+    /// the batch size keeps small-batch sensitivity while tolerating bursts.
+    /// Must be finite and non-negative. The default `0.0` reproduces the
+    /// fixed-threshold behaviour bit-for-bit (pinned by a regression test).
+    pub drift_batch_scale: f64,
     /// The detector used for the initial solve and for full re-detects (which
     /// are warm-started from the incumbent via
     /// [`CommunityDetector::detect_with_hint`]). Configure a time limit here
@@ -49,6 +58,7 @@ impl Default for StreamConfig {
             refine: RefineConfig::default(),
             frontier_fraction: 0.25,
             drift_threshold: 0.5,
+            drift_batch_scale: 0.0,
             detector: CommunityDetector::classical_fallback(),
         }
     }
@@ -79,6 +89,14 @@ impl StreamConfig {
         if !(self.drift_threshold > 0.0 && self.drift_threshold.is_finite()) {
             return Err(StreamError::InvalidConfig {
                 reason: format!("drift_threshold must be positive, got {}", self.drift_threshold),
+            });
+        }
+        if !(self.drift_batch_scale >= 0.0 && self.drift_batch_scale.is_finite()) {
+            return Err(StreamError::InvalidConfig {
+                reason: format!(
+                    "drift_batch_scale must be finite and non-negative, got {}",
+                    self.drift_batch_scale
+                ),
             });
         }
         if self.refine.max_passes == 0 {
@@ -283,9 +301,37 @@ impl StreamingDetector {
         let start = Instant::now();
         let modularity_before = self.modularity();
 
-        // --- Phase 1: apply events, patching aggregates in O(1) per event.
+        // --- Phase 1: apply events, patching aggregates in O(1) per event
+        // (O(deg) for a node deletion, which is one event per incident edge).
         let mut touched: BTreeSet<NodeId> = BTreeSet::new();
         for (index, event) in events.iter().enumerate() {
+            if let EdgeEvent::RemoveNode { u } = *event {
+                // A deletion strips every incident edge at once; patch the
+                // aggregates per removed edge exactly as the equivalent
+                // sequence of `Remove` events would.
+                let removed = self
+                    .graph
+                    .remove_node(u)
+                    .map_err(|source| StreamError::EventFailed { index, source })?;
+                let cu = self.labels[u];
+                for &(v, w) in &removed {
+                    if v == u {
+                        self.sigma_tot[cu] -= 2.0 * w;
+                        self.sigma_in[cu] -= 2.0 * w;
+                    } else {
+                        let cv = self.labels[v];
+                        self.sigma_tot[cu] -= w;
+                        self.sigma_tot[cv] -= w;
+                        if cu == cv {
+                            self.sigma_in[cu] -= 2.0 * w;
+                        }
+                        touched.insert(v);
+                    }
+                    self.drift += w;
+                }
+                touched.insert(u);
+                continue;
+            }
             let delta = self
                 .graph
                 .apply(event)
@@ -318,9 +364,14 @@ impl StreamingDetector {
         // --- Phase 3: localized repair or epoch fallback.
         let n = self.graph.num_nodes();
         let total_weight = self.graph.total_edge_weight();
+        // Adaptive drift allowance: `drift_batch_scale == 0.0` multiplies by
+        // exactly 1.0, so the default preserves the fixed-threshold decisions
+        // bit-for-bit.
+        let effective_drift_threshold = self.config.drift_threshold
+            * (1.0 + self.config.drift_batch_scale * events.len() as f64 / n as f64);
         let full_redetect = total_weight > 0.0
             && (frontier.len() as f64 > self.config.frontier_fraction * n as f64
-                || self.drift > self.config.drift_threshold * total_weight);
+                || self.drift > effective_drift_threshold * total_weight);
         let (nodes_moved, refine_passes) = if full_redetect {
             (self.full_redetect()?, 0)
         } else {
@@ -446,6 +497,76 @@ impl StreamingDetector {
         self.labels[node] = target;
     }
 
+    /// Borrows every piece of state a bit-exact checkpoint must capture:
+    /// `(graph, labels, sigma_tot, sigma_in, drift, batches, full_redetects)`.
+    /// The float aggregates are the *incrementally patched* values — they can
+    /// differ from a fresh summation in the low bits, so a checkpoint must
+    /// record them verbatim rather than rebuild them on restore.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn checkpoint_parts(
+        &self,
+    ) -> (&DynamicGraph, &[usize], &[f64], &[f64], f64, u64, u64) {
+        (
+            &self.graph,
+            &self.labels,
+            &self.sigma_tot,
+            &self.sigma_in,
+            self.drift,
+            self.batches,
+            self.full_redetects,
+        )
+    }
+
+    /// Reassembles a detector from checkpointed state without touching any of
+    /// the float values (the inverse of [`StreamingDetector::checkpoint_parts`]).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_checkpoint_parts(
+        graph: DynamicGraph,
+        labels: Vec<usize>,
+        sigma_tot: Vec<f64>,
+        sigma_in: Vec<f64>,
+        drift: f64,
+        batches: u64,
+        full_redetects: u64,
+        config: StreamConfig,
+    ) -> Result<Self, StreamError> {
+        config.validate()?;
+        if labels.len() != graph.num_nodes() {
+            return Err(StreamError::Graph(qhdcd_graph::GraphError::PartitionSizeMismatch {
+                labels: labels.len(),
+                nodes: graph.num_nodes(),
+            }));
+        }
+        if sigma_tot.len() != sigma_in.len() {
+            return Err(StreamError::InvalidConfig {
+                reason: format!(
+                    "checkpoint aggregates disagree: {} sigma_tot vs {} sigma_in entries",
+                    sigma_tot.len(),
+                    sigma_in.len()
+                ),
+            });
+        }
+        if let Some(&label) = labels.iter().find(|&&label| label >= sigma_tot.len()) {
+            return Err(StreamError::InvalidConfig {
+                reason: format!(
+                    "checkpoint label {label} has no aggregate slot ({} communities)",
+                    sigma_tot.len()
+                ),
+            });
+        }
+        Ok(StreamingDetector {
+            graph,
+            config,
+            labels,
+            sigma_tot,
+            sigma_in,
+            drift,
+            batches,
+            full_redetects,
+            scan: modularity::NeighborScan::new(),
+        })
+    }
+
     /// Rebuilds `Σtot`/`Σin` from the graph and labels (O(n + m)); used only
     /// at construction and after full re-detects — never on the per-batch
     /// incremental path.
@@ -533,6 +654,8 @@ mod tests {
             StreamConfig { frontier_fraction: 1.5, ..StreamConfig::default() },
             StreamConfig { drift_threshold: 0.0, ..StreamConfig::default() },
             StreamConfig { drift_threshold: f64::NAN, ..StreamConfig::default() },
+            StreamConfig { drift_batch_scale: -0.5, ..StreamConfig::default() },
+            StreamConfig { drift_batch_scale: f64::INFINITY, ..StreamConfig::default() },
             StreamConfig {
                 refine: RefineConfig { max_passes: 0, ..RefineConfig::default() },
                 ..StreamConfig::default()
@@ -717,6 +840,109 @@ mod tests {
         let p = detector.partition();
         assert_eq!(p.community_of(34), p.community_of(0));
         assert_q_consistent(&detector);
+    }
+
+    #[test]
+    fn remove_node_event_keeps_aggregates_consistent() {
+        let mut detector = karate_detector();
+        // Give node 33 a self-loop first so the deletion covers that path too.
+        detector.apply_events(&[EdgeEvent::Add { u: 33, v: 33, weight: 1.5 }]).unwrap();
+        assert_q_consistent(&detector);
+        let stats = detector.apply_events(&[EdgeEvent::RemoveNode { u: 33 }]).unwrap();
+        assert_eq!(stats.events_applied, 1);
+        assert!(detector.graph().neighbors(33).next().is_none());
+        // The id survives as a tombstone: the node count is unchanged and the
+        // label vector still covers it.
+        assert_eq!(detector.num_nodes(), 34);
+        assert_eq!(detector.partition().num_nodes(), 34);
+        assert_q_consistent(&detector);
+        // Mixed batches with deletions stay consistent as well.
+        let stats = detector
+            .apply_events(&[
+                EdgeEvent::Add { u: 33, v: 0, weight: 2.0 },
+                EdgeEvent::RemoveNode { u: 0 },
+                EdgeEvent::Add { u: 1, v: 2, weight: 0.5 },
+            ])
+            .unwrap();
+        assert_eq!(stats.events_applied, 3);
+        assert_q_consistent(&detector);
+    }
+
+    #[test]
+    fn remove_node_out_of_bounds_reports_the_event_index() {
+        let mut detector = karate_detector();
+        let err = detector
+            .apply_events(&[
+                EdgeEvent::Add { u: 0, v: 2, weight: 1.0 },
+                EdgeEvent::RemoveNode { u: 99 },
+            ])
+            .unwrap_err();
+        assert!(matches!(err, StreamError::EventFailed { index: 1, .. }));
+        assert_q_consistent(&detector);
+    }
+
+    #[test]
+    fn adaptive_drift_threshold_tolerates_heavy_batches() {
+        // One heavy batch whose churn exceeds the fixed allowance: with
+        // drift_batch_scale = 0 it must fall back to a full re-detect, while a
+        // large enough scale raises the per-batch allowance and keeps the
+        // repair localized. Same events, same seed — only the scale differs.
+        let run = |scale: f64| {
+            let pg = generators::ring_of_cliques(6, 5).unwrap();
+            let graph = DynamicGraph::from_graph(&pg.graph);
+            let config = StreamConfig {
+                drift_threshold: 0.05,
+                drift_batch_scale: scale,
+                frontier_fraction: 1.0,
+                ..StreamConfig::default()
+            }
+            .with_seed(3);
+            let mut detector =
+                StreamingDetector::from_partition(graph, pg.ground_truth.clone(), config).unwrap();
+            let stats =
+                detector.apply_events(&[EdgeEvent::Add { u: 0, v: 1, weight: 10.0 }]).unwrap();
+            assert_q_consistent(&detector);
+            stats.full_redetect
+        };
+        assert!(run(0.0), "fixed threshold must trigger the epoch fallback");
+        assert!(!run(200.0), "scaled allowance must keep the heavy batch localized");
+    }
+
+    #[test]
+    fn zero_batch_scale_is_bit_identical_to_the_fixed_threshold() {
+        // The adaptive form with the default scale must reproduce the exact
+        // trace of the pre-adaptive detector (the regression pin for the
+        // existing fixed-seed streaming tests).
+        let run = |config: StreamConfig| {
+            let pg = generators::ring_of_cliques(6, 5).unwrap();
+            let graph = DynamicGraph::from_graph(&pg.graph);
+            let mut detector = StreamingDetector::from_partition(
+                graph,
+                pg.ground_truth.clone(),
+                config.with_seed(7),
+            )
+            .unwrap();
+            let mut trace = Vec::new();
+            for step in 0..10u64 {
+                let u = (step * 11 % 30) as usize;
+                let v = (step * 17 + 1) as usize % 30;
+                let events = if detector.graph().has_edge(u, v) {
+                    vec![EdgeEvent::Remove { u, v }]
+                } else {
+                    vec![EdgeEvent::Add { u, v, weight: 0.5 + step as f64 / 7.0 }]
+                };
+                let stats = detector.apply_events(&events).unwrap();
+                trace.push((stats.modularity.to_bits(), stats.nodes_moved, stats.full_redetect));
+            }
+            (trace, detector.partition())
+        };
+        let fixed = StreamConfig { drift_threshold: 0.08, ..StreamConfig::default() };
+        let adaptive = StreamConfig {
+            drift_threshold: 0.08,
+            drift_batch_scale: 0.0,
+            ..StreamConfig::default()
+        };
+        assert_eq!(run(fixed), run(adaptive));
     }
 
     #[test]

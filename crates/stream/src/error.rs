@@ -24,6 +24,23 @@ pub enum StreamError {
         /// Human readable description of the problem.
         reason: String,
     },
+    /// The service's bounded ingestion queue is full; the caller should retry
+    /// after the writer drains a batch.
+    Backpressure {
+        /// Events currently queued.
+        queued: usize,
+        /// Capacity of the bounded queue.
+        capacity: usize,
+    },
+    /// The service was closed; no further events are accepted.
+    ServiceClosed,
+    /// A serialized service checkpoint could not be parsed.
+    Checkpoint {
+        /// 1-based line number of the offending entry.
+        line: usize,
+        /// Human readable description of the problem.
+        reason: String,
+    },
 }
 
 impl fmt::Display for StreamError {
@@ -35,6 +52,13 @@ impl fmt::Display for StreamError {
                 write!(f, "event {index} failed: {source}")
             }
             StreamError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+            StreamError::Backpressure { queued, capacity } => {
+                write!(f, "ingestion queue is full ({queued}/{capacity} events queued)")
+            }
+            StreamError::ServiceClosed => write!(f, "streaming service is closed"),
+            StreamError::Checkpoint { line, reason } => {
+                write!(f, "failed to parse service checkpoint at line {line}: {reason}")
+            }
         }
     }
 }
@@ -44,7 +68,10 @@ impl Error for StreamError {
         match self {
             StreamError::Graph(e) | StreamError::EventFailed { source: e, .. } => Some(e),
             StreamError::Detect(e) => Some(e),
-            StreamError::InvalidConfig { .. } => None,
+            StreamError::InvalidConfig { .. }
+            | StreamError::Backpressure { .. }
+            | StreamError::ServiceClosed
+            | StreamError::Checkpoint { .. } => None,
         }
     }
 }
@@ -78,6 +105,14 @@ mod tests {
         assert!(e.to_string().contains("re-detect"));
         let e = StreamError::InvalidConfig { reason: "bad threshold".into() };
         assert!(e.to_string().contains("bad threshold"));
+        assert!(e.source().is_none());
+        let e = StreamError::Backpressure { queued: 64, capacity: 64 };
+        assert!(e.to_string().contains("64/64"));
+        assert!(e.source().is_none());
+        let e = StreamError::ServiceClosed;
+        assert!(e.to_string().contains("closed"));
+        let e = StreamError::Checkpoint { line: 4, reason: "bad token".into() };
+        assert!(e.to_string().contains("line 4"));
         assert!(e.source().is_none());
     }
 

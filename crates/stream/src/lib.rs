@@ -24,6 +24,14 @@
 //!   warm-started from the incumbent partition via
 //!   `CommunityDetector::detect_with_hint` (the portfolio seeds one restart
 //!   from the incumbent, so the re-solve can only improve on local polish).
+//!   The drift allowance optionally scales with the batch size
+//!   ([`StreamConfig::drift_batch_scale`]) so bursty traffic does not
+//!   over-trigger full re-detects.
+//! * **Service layer.** [`StreamingService`] (module [`service`]) runs the
+//!   detector as a long-lived concurrent service: lock-free versioned
+//!   snapshot reads (module [`snapshot`]), bounded-queue ingestion with
+//!   backpressure, and bit-exact checkpoint/replay crash recovery (module
+//!   [`checkpoint`]).
 //!
 //! # Determinism contract
 //!
@@ -59,8 +67,15 @@
 mod detector;
 mod error;
 
+pub mod checkpoint;
+pub mod service;
+pub mod snapshot;
+
+pub use checkpoint::{EventJournal, ServiceCheckpoint};
 pub use detector::{StreamConfig, StreamStats, StreamingDetector};
 pub use error::StreamError;
+pub use service::{ServiceClient, ServiceConfig, StreamingService};
+pub use snapshot::{PartitionSnapshot, SnapshotReader};
 
 // The dynamic-graph layer is re-exported so that streaming applications only
 // need this crate.

@@ -1,0 +1,802 @@
+//! The concurrent streaming service: one mutating writer, lock-free readers,
+//! bounded ingestion, and checkpoint/replay crash recovery.
+//!
+//! [`StreamingService`] wraps a [`StreamingDetector`] (the single writer) and
+//! separates the three concerns a long-running deployment needs:
+//!
+//! * **Lock-free reads.** Every applied batch publishes a new epoch — an
+//!   immutable [`PartitionSnapshot`](crate::PartitionSnapshot) appended to a
+//!   publication chain (see [`crate::snapshot`]). Any number of
+//!   [`ServiceClient`]s / [`SnapshotReader`]s serve point queries from the
+//!   latest epoch with atomic loads only, while the writer refines the next
+//!   batch.
+//! * **Bounded ingestion with backpressure.** Clients enqueue events into a
+//!   bounded queue. [`ServiceClient::try_submit`] fails fast with
+//!   [`StreamError::Backpressure`] when the batch does not fit;
+//!   [`ServiceClient::submit`] blocks until the writer drains room. Events
+//!   are applied strictly in submission order — the backpressure tests pin
+//!   that a fill/drain cycle loses and reorders nothing.
+//! * **Checkpoint / replay recovery.** Every applied batch is appended to an
+//!   [`EventJournal`]; [`StreamingService::checkpoint`] freezes the full
+//!   detector state bit-exactly (see [`crate::checkpoint`]).
+//!   [`StreamingService::recover`] rebuilds a service from a checkpoint and
+//!   the journal, replaying post-checkpoint batches with their original
+//!   boundaries — the recovered partition, modularity bits, counters and
+//!   epoch are **bit-identical** to the uninterrupted run.
+//!
+//! Batches are validated *atomically* before application: a batch that would
+//! fail mid-way (out-of-range endpoint, missing edge, invalid weight) is
+//! rejected as a whole and mutates nothing, so the journal always mirrors the
+//! applied state exactly — a prefix-applied batch would otherwise diverge
+//! from its journal entry and break replay.
+
+use crate::checkpoint::{EventJournal, ServiceCheckpoint};
+use crate::snapshot::{PartitionSnapshot, SnapshotPublisher, SnapshotReader};
+use crate::{StreamConfig, StreamError, StreamStats, StreamingDetector};
+use qhdcd_graph::{DynamicGraph, EdgeEvent, GraphError};
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Configuration of a [`StreamingService`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Configuration of the underlying [`StreamingDetector`].
+    pub stream: StreamConfig,
+    /// Capacity of the bounded ingestion queue, in events. Must be positive.
+    pub queue_capacity: usize,
+    /// Maximum number of queued events drained into one detector batch by
+    /// [`StreamingService::step`]. Must be positive.
+    pub max_batch: usize,
+    /// Automatically refresh [`StreamingService::latest_checkpoint`] every
+    /// this many applied batches; `0` disables automatic checkpoints
+    /// (checkpoints are then cut manually via
+    /// [`StreamingService::checkpoint`]).
+    pub checkpoint_every: u64,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            stream: StreamConfig::default(),
+            queue_capacity: 1024,
+            max_batch: 256,
+            checkpoint_every: 0,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// Returns a copy with the given seed on the fallback detector.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.stream = self.stream.with_seed(seed);
+        self
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StreamError::InvalidConfig`] for a zero queue capacity or
+    /// batch size, and propagates [`StreamConfig::validate`] errors.
+    pub fn validate(&self) -> Result<(), StreamError> {
+        self.stream.validate()?;
+        if self.queue_capacity == 0 {
+            return Err(StreamError::InvalidConfig { reason: "queue_capacity must be > 0".into() });
+        }
+        if self.max_batch == 0 {
+            return Err(StreamError::InvalidConfig { reason: "max_batch must be > 0".into() });
+        }
+        Ok(())
+    }
+}
+
+/// The queue contents guarded by the mutex (events plus the closed flag).
+#[derive(Debug)]
+struct QueueState {
+    events: VecDeque<EdgeEvent>,
+    closed: bool,
+}
+
+/// The bounded ingestion queue shared between clients and the writer.
+///
+/// `depth` mirrors `events.len()` so that clients can probe backpressure
+/// without taking the lock; the mutex guards only enqueue/dequeue, never the
+/// snapshot read path.
+#[derive(Debug)]
+struct EventQueue {
+    state: Mutex<QueueState>,
+    depth: AtomicUsize,
+    capacity: usize,
+    /// Signalled when the writer frees queue space (or the service closes).
+    space: Condvar,
+    /// Signalled when events arrive (or the service closes).
+    items: Condvar,
+}
+
+impl EventQueue {
+    fn new(capacity: usize) -> Self {
+        EventQueue {
+            state: Mutex::new(QueueState { events: VecDeque::new(), closed: false }),
+            depth: AtomicUsize::new(0),
+            capacity,
+            space: Condvar::new(),
+            items: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, QueueState> {
+        self.state.lock().expect("ingestion queue mutex poisoned")
+    }
+}
+
+/// A cloneable client handle: submits events into the bounded queue and reads
+/// the latest published snapshot lock-free.
+#[derive(Debug, Clone)]
+pub struct ServiceClient {
+    queue: Arc<EventQueue>,
+    reader: SnapshotReader,
+}
+
+impl ServiceClient {
+    /// Enqueues `events` if the whole batch fits, never blocking.
+    ///
+    /// # Errors
+    ///
+    /// * [`StreamError::Backpressure`] if the queue cannot hold the batch
+    ///   right now (retry after the writer drains) — also, unconditionally,
+    ///   for a batch larger than the queue capacity.
+    /// * [`StreamError::ServiceClosed`] after [`ServiceClient::close`].
+    pub fn try_submit(&self, events: &[EdgeEvent]) -> Result<(), StreamError> {
+        let mut state = self.queue.lock();
+        if state.closed {
+            return Err(StreamError::ServiceClosed);
+        }
+        if state.events.len() + events.len() > self.queue.capacity {
+            return Err(StreamError::Backpressure {
+                queued: state.events.len(),
+                capacity: self.queue.capacity,
+            });
+        }
+        state.events.extend(events.iter().cloned());
+        self.queue.depth.store(state.events.len(), Ordering::Release);
+        drop(state);
+        self.queue.items.notify_all();
+        Ok(())
+    }
+
+    /// Enqueues `events`, blocking while the queue is full until the writer
+    /// frees enough space.
+    ///
+    /// # Errors
+    ///
+    /// * [`StreamError::Backpressure`] for a batch larger than the queue
+    ///   capacity (it could never fit, so blocking would deadlock).
+    /// * [`StreamError::ServiceClosed`] if the service closes before the
+    ///   batch is accepted.
+    pub fn submit(&self, events: &[EdgeEvent]) -> Result<(), StreamError> {
+        if events.len() > self.queue.capacity {
+            return Err(StreamError::Backpressure { queued: 0, capacity: self.queue.capacity });
+        }
+        let mut state = self.queue.lock();
+        loop {
+            if state.closed {
+                return Err(StreamError::ServiceClosed);
+            }
+            if state.events.len() + events.len() <= self.queue.capacity {
+                state.events.extend(events.iter().cloned());
+                self.queue.depth.store(state.events.len(), Ordering::Release);
+                drop(state);
+                self.queue.items.notify_all();
+                return Ok(());
+            }
+            state = self.queue.space.wait(state).expect("ingestion queue mutex poisoned");
+        }
+    }
+
+    /// Closes the service: pending events are still drained by the writer,
+    /// but no further submissions are accepted and
+    /// [`StreamingService::run_until_closed`] returns once the queue is
+    /// empty.
+    pub fn close(&self) {
+        let mut state = self.queue.lock();
+        state.closed = true;
+        drop(state);
+        self.queue.items.notify_all();
+        self.queue.space.notify_all();
+    }
+
+    /// Number of events currently queued (lock-free probe).
+    pub fn queued(&self) -> usize {
+        self.queue.depth.load(Ordering::Acquire)
+    }
+
+    /// Capacity of the bounded queue.
+    pub fn capacity(&self) -> usize {
+        self.queue.capacity
+    }
+
+    /// Whether the queue is at capacity right now (lock-free probe; a
+    /// `try_submit` may still fail for batches larger than the free space).
+    pub fn is_backpressured(&self) -> bool {
+        self.queued() >= self.capacity()
+    }
+
+    /// Advances to and returns the latest published snapshot (lock-free).
+    pub fn snapshot(&mut self) -> Arc<PartitionSnapshot> {
+        self.reader.latest()
+    }
+}
+
+/// A long-running streaming community-detection service. See the module docs
+/// for the architecture.
+#[derive(Debug)]
+pub struct StreamingService {
+    detector: StreamingDetector,
+    config: ServiceConfig,
+    queue: Arc<EventQueue>,
+    publisher: SnapshotPublisher,
+    journal: EventJournal,
+    epoch: u64,
+    latest_checkpoint: Option<String>,
+}
+
+impl StreamingService {
+    /// Creates a service, running the configured detector once to obtain the
+    /// initial partition, published as epoch 0.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`StreamingDetector::new`], plus [`StreamError::InvalidConfig`]
+    /// for invalid service parameters.
+    pub fn new(graph: DynamicGraph, config: ServiceConfig) -> Result<Self, StreamError> {
+        config.validate()?;
+        let detector = StreamingDetector::new(graph, config.stream.clone())?;
+        Ok(Self::assemble(detector, config, EventJournal::new(), 0, None))
+    }
+
+    /// Creates a service around an existing detector (e.g. one seeded with a
+    /// known partition), published as epoch 0.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StreamError::InvalidConfig`] for invalid service parameters.
+    pub fn from_detector(
+        detector: StreamingDetector,
+        config: ServiceConfig,
+    ) -> Result<Self, StreamError> {
+        config.validate()?;
+        Ok(Self::assemble(detector, config, EventJournal::new(), 0, None))
+    }
+
+    fn assemble(
+        detector: StreamingDetector,
+        config: ServiceConfig,
+        journal: EventJournal,
+        epoch: u64,
+        latest_checkpoint: Option<String>,
+    ) -> Self {
+        let snapshot = Self::build_snapshot(&detector, epoch);
+        let (publisher, _) = SnapshotPublisher::new(snapshot);
+        let queue = Arc::new(EventQueue::new(config.queue_capacity));
+        StreamingService { detector, config, queue, publisher, journal, epoch, latest_checkpoint }
+    }
+
+    fn build_snapshot(detector: &StreamingDetector, epoch: u64) -> PartitionSnapshot {
+        PartitionSnapshot::new(
+            epoch,
+            detector.graph().snapshot(),
+            detector.partition().labels().to_vec(),
+            detector.modularity(),
+        )
+    }
+
+    /// A new client handle (submission + lock-free snapshot reads). Clients
+    /// are cheap to clone and safe to move to other threads.
+    pub fn client(&self) -> ServiceClient {
+        ServiceClient { queue: Arc::clone(&self.queue), reader: self.publisher.reader() }
+    }
+
+    /// A new read-only handle onto the snapshot chain.
+    pub fn reader(&self) -> SnapshotReader {
+        self.publisher.reader()
+    }
+
+    /// The most recently published snapshot.
+    pub fn latest_snapshot(&self) -> Arc<PartitionSnapshot> {
+        self.publisher.latest()
+    }
+
+    /// The current epoch (number of applied batches since service start,
+    /// carried across recovery).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The underlying detector (read-only).
+    pub fn detector(&self) -> &StreamingDetector {
+        &self.detector
+    }
+
+    /// The event journal accumulated so far.
+    pub fn journal(&self) -> &EventJournal {
+        &self.journal
+    }
+
+    /// The journal serialized as a timestamped event log (timestamps are
+    /// batch indices; see [`crate::checkpoint`]).
+    pub fn journal_log(&self) -> String {
+        self.journal.to_event_log()
+    }
+
+    /// Validates `events` against the current graph state *as a batch*: every
+    /// event is checked against the state the preceding events would leave
+    /// behind, without mutating anything. This is what makes batch
+    /// application all-or-nothing.
+    fn validate_batch(&self, events: &[EdgeEvent]) -> Result<(), StreamError> {
+        let graph = self.detector.graph();
+        let n = graph.num_nodes();
+        let key = |u: usize, v: usize| if u <= v { (u, v) } else { (v, u) };
+        // Overlay of edge presence changes the batch would make; absent keys
+        // defer to the live graph.
+        let mut overlay: BTreeMap<(usize, usize), bool> = BTreeMap::new();
+        let present = |overlay: &BTreeMap<(usize, usize), bool>, u: usize, v: usize| {
+            overlay.get(&key(u, v)).copied().unwrap_or_else(|| graph.has_edge(u, v))
+        };
+        let fail = |index: usize, source: GraphError| StreamError::EventFailed { index, source };
+        for (index, event) in events.iter().enumerate() {
+            let check_bounds = |node: usize| -> Result<(), StreamError> {
+                if node >= n {
+                    return Err(fail(index, GraphError::NodeOutOfBounds { node, num_nodes: n }));
+                }
+                Ok(())
+            };
+            let check_weight = |weight: f64| -> Result<(), StreamError> {
+                if !weight.is_finite() || weight < 0.0 {
+                    return Err(fail(index, GraphError::InvalidEdgeWeight { weight }));
+                }
+                Ok(())
+            };
+            match *event {
+                EdgeEvent::Add { u, v, weight } => {
+                    check_bounds(u)?;
+                    check_bounds(v)?;
+                    check_weight(weight)?;
+                    overlay.insert(key(u, v), true);
+                }
+                EdgeEvent::Remove { u, v } => {
+                    check_bounds(u)?;
+                    check_bounds(v)?;
+                    if !present(&overlay, u, v) {
+                        return Err(fail(index, GraphError::EdgeNotFound { u, v }));
+                    }
+                    overlay.insert(key(u, v), false);
+                }
+                EdgeEvent::Update { u, v, weight } => {
+                    check_bounds(u)?;
+                    check_bounds(v)?;
+                    check_weight(weight)?;
+                    if !present(&overlay, u, v) {
+                        return Err(fail(index, GraphError::EdgeNotFound { u, v }));
+                    }
+                }
+                EdgeEvent::RemoveNode { u } => {
+                    check_bounds(u)?;
+                    // Every edge incident to `u` — live or added earlier in
+                    // this batch — is gone after the deletion.
+                    let incident: Vec<(usize, usize)> =
+                        overlay.keys().filter(|&&(a, b)| a == u || b == u).copied().collect();
+                    for k in incident {
+                        overlay.insert(k, false);
+                    }
+                    for (v, _) in graph.neighbors(u) {
+                        overlay.insert(key(u, v), false);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies one batch synchronously: validate atomically, apply, journal,
+    /// publish the next epoch, and refresh the automatic checkpoint when due.
+    /// This is the deterministic ingestion path — the queue-driven
+    /// [`StreamingService::step`] and crash replay both funnel through it, so
+    /// a fixed event-batch sequence always produces the same state regardless
+    /// of how it arrived.
+    ///
+    /// An empty batch is a no-op (nothing applied, journaled or published).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first event's validation error ([`StreamError::EventFailed`])
+    /// with **nothing applied**, or [`StreamError::Detect`] if a full
+    /// re-detect fails.
+    pub fn ingest(&mut self, events: &[EdgeEvent]) -> Result<StreamStats, StreamError> {
+        if events.is_empty() {
+            let q = self.detector.modularity();
+            return Ok(StreamStats {
+                events_applied: 0,
+                frontier_size: 0,
+                nodes_moved: 0,
+                refine_passes: 0,
+                full_redetect: false,
+                modularity_before: q,
+                modularity: q,
+                modularity_delta: 0.0,
+                elapsed: Duration::ZERO,
+            });
+        }
+        self.validate_batch(events)?;
+        self.apply_validated(events, true)
+    }
+
+    /// Applies a pre-validated batch; `record` is false during crash replay
+    /// (the events are already journaled).
+    fn apply_validated(
+        &mut self,
+        events: &[EdgeEvent],
+        record: bool,
+    ) -> Result<StreamStats, StreamError> {
+        let stats = self.detector.apply_events(events)?;
+        if record {
+            self.journal.record_batch(events);
+        }
+        self.epoch += 1;
+        self.publisher.publish(Self::build_snapshot(&self.detector, self.epoch));
+        if self.config.checkpoint_every > 0
+            && self.detector.batches_applied().is_multiple_of(self.config.checkpoint_every)
+        {
+            self.checkpoint();
+        }
+        Ok(stats)
+    }
+
+    /// Drains up to `max_batch` queued events (in submission order) and
+    /// applies them as one batch. Returns `Ok(None)` when the queue is empty.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`StreamingService::ingest`]. A batch that fails validation is
+    /// dropped from the queue as a whole with no state change.
+    pub fn step(&mut self) -> Result<Option<StreamStats>, StreamError> {
+        let batch: Vec<EdgeEvent> = {
+            let mut state = self.queue.lock();
+            let take = state.events.len().min(self.config.max_batch);
+            let batch: Vec<EdgeEvent> = state.events.drain(..take).collect();
+            self.queue.depth.store(state.events.len(), Ordering::Release);
+            batch
+        };
+        if batch.is_empty() {
+            return Ok(None);
+        }
+        self.queue.space.notify_all();
+        self.ingest(&batch).map(Some)
+    }
+
+    /// Applies queued events until the queue is empty, returning the per-batch
+    /// statistics.
+    ///
+    /// # Errors
+    ///
+    /// Stops at and returns the first batch error.
+    pub fn drain(&mut self) -> Result<Vec<StreamStats>, StreamError> {
+        let mut all = Vec::new();
+        while let Some(stats) = self.step()? {
+            all.push(stats);
+        }
+        Ok(all)
+    }
+
+    /// Runs the writer loop: drain queued events, sleep until more arrive,
+    /// and return once the service is closed and the queue fully drained.
+    /// Returns the number of batches applied by this call.
+    ///
+    /// # Errors
+    ///
+    /// Stops at and returns the first batch error (remaining queued events
+    /// stay queued).
+    pub fn run_until_closed(&mut self) -> Result<u64, StreamError> {
+        let mut batches = 0u64;
+        loop {
+            while let Some(_stats) = self.step()? {
+                batches += 1;
+            }
+            let state = self.queue.lock();
+            if state.events.is_empty() {
+                if state.closed {
+                    return Ok(batches);
+                }
+                drop(self.queue.items.wait(state).expect("ingestion queue mutex poisoned"));
+            }
+        }
+    }
+
+    /// Cuts a bit-exact checkpoint of the current state at the current batch
+    /// boundary, stores it as [`StreamingService::latest_checkpoint`], and
+    /// returns its serialized text. Recovery needs this text plus the journal
+    /// ([`StreamingService::journal_log`]) from the same or a later moment.
+    pub fn checkpoint(&mut self) -> String {
+        let (graph, labels, sigma_tot, sigma_in, drift, batches, full_redetects) =
+            self.detector.checkpoint_parts();
+        let checkpoint = ServiceCheckpoint {
+            epoch: self.epoch,
+            events_applied: self.journal.len(),
+            batches,
+            full_redetects,
+            drift,
+            labels: labels.to_vec(),
+            sigma_tot: sigma_tot.to_vec(),
+            sigma_in: sigma_in.to_vec(),
+            graph: graph.clone(),
+        };
+        let text = checkpoint.to_text();
+        self.latest_checkpoint = Some(text.clone());
+        text
+    }
+
+    /// The most recent checkpoint text (manual or automatic), if any.
+    pub fn latest_checkpoint(&self) -> Option<&str> {
+        self.latest_checkpoint.as_deref()
+    }
+
+    /// Rebuilds a service from a checkpoint and the full event journal,
+    /// replaying every journaled batch after the checkpoint's offset with its
+    /// original boundaries. The recovered service is **bit-identical** to the
+    /// uninterrupted run at the same point: partition, modularity bits,
+    /// drift, counters, epoch and journal all match (the crash-consistency
+    /// contract pinned by `tests/service.rs`).
+    ///
+    /// # Errors
+    ///
+    /// * [`StreamError::Checkpoint`] for malformed checkpoint text, or a
+    ///   checkpoint offset that is beyond the journal or not on one of its
+    ///   batch boundaries.
+    /// * [`StreamError::Graph`] for malformed journal text.
+    /// * Any replay error (replayed batches were validated when first
+    ///   applied, so this indicates a truncated or edited journal).
+    pub fn recover(
+        checkpoint_text: &str,
+        journal_text: &str,
+        config: ServiceConfig,
+    ) -> Result<Self, StreamError> {
+        config.validate()?;
+        let checkpoint = ServiceCheckpoint::from_text(checkpoint_text)?;
+        let journal = EventJournal::from_event_log(journal_text)?;
+        if checkpoint.events_applied > journal.len()
+            || !journal.is_batch_boundary(checkpoint.events_applied)
+        {
+            return Err(StreamError::Checkpoint {
+                line: 3,
+                reason: format!(
+                    "checkpoint offset {} is not a batch boundary of the {}-event journal",
+                    checkpoint.events_applied,
+                    journal.len()
+                ),
+            });
+        }
+        let detector = StreamingDetector::from_checkpoint_parts(
+            checkpoint.graph,
+            checkpoint.labels,
+            checkpoint.sigma_tot,
+            checkpoint.sigma_in,
+            checkpoint.drift,
+            checkpoint.batches,
+            checkpoint.full_redetects,
+            config.stream.clone(),
+        )?;
+        let offset = checkpoint.events_applied;
+        let mut service = Self::assemble(
+            detector,
+            config,
+            journal,
+            checkpoint.epoch,
+            Some(checkpoint_text.to_string()),
+        );
+        let replay: Vec<Vec<EdgeEvent>> =
+            service.journal.batches_from(offset).map(<[EdgeEvent]>::to_vec).collect();
+        for batch in replay {
+            service.apply_validated(&batch, false)?;
+        }
+        Ok(service)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qhdcd_graph::generators;
+
+    fn karate_service(config: ServiceConfig) -> StreamingService {
+        let graph = DynamicGraph::from_graph(&generators::karate_club());
+        let detector = StreamingDetector::from_partition(
+            graph,
+            generators::karate_club_communities(),
+            config.stream.clone(),
+        )
+        .unwrap();
+        StreamingService::from_detector(detector, config).unwrap()
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(ServiceConfig::default().validate().is_ok());
+        assert!(ServiceConfig { queue_capacity: 0, ..Default::default() }.validate().is_err());
+        assert!(ServiceConfig { max_batch: 0, ..Default::default() }.validate().is_err());
+        let bad_stream = StreamConfig { frontier_fraction: 0.0, ..Default::default() };
+        assert!(ServiceConfig { stream: bad_stream, ..Default::default() }.validate().is_err());
+    }
+
+    #[test]
+    fn ingest_publishes_monotonic_epochs() {
+        let mut service = karate_service(ServiceConfig::default());
+        assert_eq!(service.latest_snapshot().epoch(), 0);
+        service.ingest(&[EdgeEvent::Add { u: 0, v: 33, weight: 1.0 }]).unwrap();
+        service.ingest(&[EdgeEvent::Remove { u: 0, v: 33 }]).unwrap();
+        assert_eq!(service.epoch(), 2);
+        let snap = service.latest_snapshot();
+        assert_eq!(snap.epoch(), 2);
+        assert_eq!(snap.num_nodes(), 34);
+        // Empty batches publish nothing.
+        service.ingest(&[]).unwrap();
+        assert_eq!(service.epoch(), 2);
+        assert_eq!(service.journal().len(), 2);
+    }
+
+    #[test]
+    fn invalid_batches_are_rejected_atomically() {
+        let mut service = karate_service(ServiceConfig::default());
+        let before = service.detector().graph().clone();
+        let epoch_before = service.epoch();
+        // The first two events are fine; the third refers to a missing edge.
+        let err = service
+            .ingest(&[
+                EdgeEvent::Add { u: 0, v: 20, weight: 1.0 },
+                EdgeEvent::Update { u: 0, v: 20, weight: 2.0 },
+                EdgeEvent::Remove { u: 5, v: 20 },
+            ])
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            StreamError::EventFailed { index: 2, source: GraphError::EdgeNotFound { u: 5, v: 20 } }
+        ));
+        // Nothing was applied, journaled or published.
+        assert_eq!(service.detector().graph(), &before);
+        assert_eq!(service.epoch(), epoch_before);
+        assert!(service.journal().is_empty());
+    }
+
+    #[test]
+    fn batch_validation_tracks_intra_batch_state() {
+        let mut service = karate_service(ServiceConfig::default());
+        // Remove-then-remove of the same edge must fail on the second event.
+        let err = service
+            .ingest(&[EdgeEvent::Remove { u: 0, v: 1 }, EdgeEvent::Remove { u: 0, v: 1 }])
+            .unwrap_err();
+        assert!(matches!(err, StreamError::EventFailed { index: 1, .. }));
+        // Add-then-remove of a new edge is fine; so is updating it in between.
+        service
+            .ingest(&[
+                EdgeEvent::Add { u: 0, v: 20, weight: 1.0 },
+                EdgeEvent::Update { u: 0, v: 20, weight: 0.5 },
+                EdgeEvent::Remove { u: 0, v: 20 },
+            ])
+            .unwrap();
+        // A node deletion kills edges added earlier in the same batch.
+        let err = service
+            .ingest(&[
+                EdgeEvent::Add { u: 0, v: 20, weight: 1.0 },
+                EdgeEvent::RemoveNode { u: 0 },
+                EdgeEvent::Update { u: 0, v: 20, weight: 0.5 },
+            ])
+            .unwrap_err();
+        assert!(matches!(err, StreamError::EventFailed { index: 2, .. }));
+        // ... but re-adding after the deletion is valid.
+        service
+            .ingest(&[
+                EdgeEvent::RemoveNode { u: 0 },
+                EdgeEvent::Add { u: 0, v: 20, weight: 1.0 },
+                EdgeEvent::Update { u: 0, v: 20, weight: 0.5 },
+            ])
+            .unwrap();
+        // Invalid weights and out-of-range endpoints are caught up front.
+        let err = service.ingest(&[EdgeEvent::Add { u: 0, v: 1, weight: f64::NAN }]).unwrap_err();
+        assert!(matches!(
+            err,
+            StreamError::EventFailed { index: 0, source: GraphError::InvalidEdgeWeight { .. } }
+        ));
+        let err = service.ingest(&[EdgeEvent::RemoveNode { u: 99 }]).unwrap_err();
+        assert!(matches!(
+            err,
+            StreamError::EventFailed { index: 0, source: GraphError::NodeOutOfBounds { .. } }
+        ));
+    }
+
+    #[test]
+    fn queue_steps_in_submission_order() {
+        let mut service =
+            karate_service(ServiceConfig { max_batch: 2, ..ServiceConfig::default() });
+        let client = service.client();
+        client
+            .try_submit(&[
+                EdgeEvent::Add { u: 0, v: 20, weight: 1.0 },
+                EdgeEvent::Update { u: 0, v: 20, weight: 2.0 },
+                EdgeEvent::Remove { u: 0, v: 20 },
+            ])
+            .unwrap();
+        assert_eq!(client.queued(), 3);
+        // max_batch = 2: first step applies (add, update), second (remove) —
+        // only valid if order is preserved.
+        let stats = service.step().unwrap().unwrap();
+        assert_eq!(stats.events_applied, 2);
+        let stats = service.step().unwrap().unwrap();
+        assert_eq!(stats.events_applied, 1);
+        assert!(service.step().unwrap().is_none());
+        assert_eq!(client.queued(), 0);
+        assert!(!service.detector().graph().has_edge(0, 20));
+    }
+
+    #[test]
+    fn closed_service_rejects_submissions() {
+        let service = karate_service(ServiceConfig::default());
+        let client = service.client();
+        client.close();
+        assert!(matches!(
+            client.try_submit(&[EdgeEvent::Add { u: 0, v: 1, weight: 1.0 }]),
+            Err(StreamError::ServiceClosed)
+        ));
+        assert!(matches!(
+            client.submit(&[EdgeEvent::Add { u: 0, v: 1, weight: 1.0 }]),
+            Err(StreamError::ServiceClosed)
+        ));
+    }
+
+    #[test]
+    fn oversized_batches_are_rejected_up_front() {
+        let service =
+            karate_service(ServiceConfig { queue_capacity: 2, ..ServiceConfig::default() });
+        let client = service.client();
+        let batch: Vec<EdgeEvent> =
+            (0..3).map(|i| EdgeEvent::Add { u: i, v: 20, weight: 1.0 }).collect();
+        assert!(matches!(client.try_submit(&batch), Err(StreamError::Backpressure { .. })));
+        assert!(matches!(client.submit(&batch), Err(StreamError::Backpressure { .. })));
+    }
+
+    #[test]
+    fn checkpoint_offset_must_be_a_batch_boundary() {
+        let mut service = karate_service(ServiceConfig::default());
+        service
+            .ingest(&[
+                EdgeEvent::Add { u: 0, v: 20, weight: 1.0 },
+                EdgeEvent::Add { u: 0, v: 21, weight: 1.0 },
+            ])
+            .unwrap();
+        let checkpoint = service.checkpoint();
+        // Sabotage the offset into the middle of the two-event batch.
+        let bad = checkpoint.replace("events_applied 2", "events_applied 1");
+        let err = StreamingService::recover(&bad, &service.journal_log(), ServiceConfig::default())
+            .unwrap_err();
+        assert!(matches!(err, StreamError::Checkpoint { .. }));
+        // And beyond the journal.
+        let bad = checkpoint.replace("events_applied 2", "events_applied 4");
+        let err = StreamingService::recover(&bad, &service.journal_log(), ServiceConfig::default())
+            .unwrap_err();
+        assert!(matches!(err, StreamError::Checkpoint { .. }));
+    }
+
+    #[test]
+    fn automatic_checkpoints_refresh_on_schedule() {
+        let mut service =
+            karate_service(ServiceConfig { checkpoint_every: 2, ..ServiceConfig::default() });
+        assert!(service.latest_checkpoint().is_none());
+        service.ingest(&[EdgeEvent::Add { u: 0, v: 20, weight: 1.0 }]).unwrap();
+        assert!(service.latest_checkpoint().is_none());
+        service.ingest(&[EdgeEvent::Add { u: 0, v: 21, weight: 1.0 }]).unwrap();
+        let first = service.latest_checkpoint().unwrap().to_string();
+        service.ingest(&[EdgeEvent::Add { u: 0, v: 22, weight: 1.0 }]).unwrap();
+        assert_eq!(service.latest_checkpoint().unwrap(), first, "not due yet");
+        service.ingest(&[EdgeEvent::Add { u: 0, v: 23, weight: 1.0 }]).unwrap();
+        assert_ne!(service.latest_checkpoint().unwrap(), first, "refreshed at batch 4");
+    }
+}
