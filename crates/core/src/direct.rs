@@ -12,7 +12,7 @@ use crate::formulation::{build_qubo, FormulationConfig};
 use crate::refine::{refine_partition, RefineConfig};
 use crate::CdError;
 use qhdcd_graph::{modularity, Graph, Partition};
-use qhdcd_qubo::QuboSolver;
+use qhdcd_qubo::{Budget, Completion, QuboSolver};
 use std::time::{Duration, Instant};
 
 /// Configuration of the direct pipeline.
@@ -67,6 +67,10 @@ pub struct DirectOutcome {
     pub elapsed: Duration,
     /// Wall-clock time spent inside the QUBO solver only.
     pub solver_time: Duration,
+    /// Whether the solver ran its full schedule or was cut short by an anytime
+    /// [`Budget`] (see [`detect_bounded`]); a truncated outcome is still a
+    /// valid best-so-far partition.
+    pub completion: Completion,
 }
 
 /// Runs the direct pipeline on `graph` with the given `solver`.
@@ -94,16 +98,34 @@ pub fn detect<S: QuboSolver>(
     solver: &S,
     config: &DirectConfig,
 ) -> Result<DirectOutcome, CdError> {
+    detect_bounded(graph, solver, config, &Budget::unlimited())
+}
+
+/// Runs the direct pipeline under an anytime [`Budget`].
+///
+/// The budget is handed to the solver through [`QuboSolver::solve_bounded`];
+/// on expiry the solver returns its best-so-far incumbent, which is decoded
+/// (and refined, when enabled) exactly like a full solution —
+/// [`DirectOutcome::completion`] records the truncation.
+///
+/// # Errors
+///
+/// Propagates [`CdError`] from the QUBO construction, the solver or decoding;
+/// budget expiry is not an error.
+pub fn detect_bounded<S: QuboSolver>(
+    graph: &Graph,
+    solver: &S,
+    config: &DirectConfig,
+    budget: &Budget,
+) -> Result<DirectOutcome, CdError> {
     let start = Instant::now();
     let qubo = build_qubo(graph, &config.formulation)?;
     let solve_start = Instant::now();
-    let report = match &config.hint {
-        Some(hint) => {
-            let warm = qubo.encode(hint)?;
-            solver.solve_with_hint(qubo.model(), &warm)?
-        }
-        None => solver.solve(qubo.model())?,
+    let warm = match &config.hint {
+        Some(hint) => Some(qubo.encode(hint)?),
+        None => None,
     };
+    let report = solver.solve_bounded(qubo.model(), warm.as_deref(), budget)?;
     let solver_time = solve_start.elapsed();
     let mut partition = qubo.decode(graph, &report.solution)?;
     if config.refine {
@@ -117,6 +139,7 @@ pub fn detect<S: QuboSolver>(
         solver_status: report.status,
         elapsed: start.elapsed(),
         solver_time,
+        completion: report.completion,
     })
 }
 
@@ -200,6 +223,32 @@ mod tests {
             qhdcd_qubo::SolveStatus::Optimal | qhdcd_qubo::SolveStatus::TimeLimit
         ));
         assert!(outcome.modularity > 0.3);
+    }
+
+    #[test]
+    fn bounded_detection_reports_truncation_and_still_partitions() {
+        use qhdcd_qubo::CancelToken;
+        let g = generators::karate_club();
+        let full = detect_bounded(
+            &g,
+            &SimulatedAnnealing::default().with_seed(11),
+            &DirectConfig::with_communities(4),
+            &Budget::unlimited(),
+        )
+        .unwrap();
+        assert!(full.completion.is_full());
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let out = detect_bounded(
+            &g,
+            &SimulatedAnnealing::default().with_seed(11),
+            &DirectConfig::with_communities(4),
+            &Budget::unlimited().cancelled_by(&cancel),
+        )
+        .unwrap();
+        // The best-effort incumbent still decodes into a valid partition.
+        assert!(!out.completion.is_full());
+        assert_eq!(out.partition.labels().len(), 34);
     }
 
     #[test]

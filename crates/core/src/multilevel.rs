@@ -14,7 +14,7 @@ use crate::formulation::FormulationConfig;
 use crate::refine::{refine_partition, RefineConfig};
 use crate::CdError;
 use qhdcd_graph::{modularity, Graph, Partition};
-use qhdcd_qubo::QuboSolver;
+use qhdcd_qubo::{Budget, Completion, QuboSolver};
 use std::time::{Duration, Instant};
 
 /// Configuration of the multilevel pipeline.
@@ -90,6 +90,11 @@ pub struct MultilevelOutcome {
     pub elapsed: Duration,
     /// Wall-clock time spent inside the base QUBO solver only.
     pub solver_time: Duration,
+    /// Whether the whole pipeline ran to completion or was cut short by an
+    /// anytime [`Budget`] (see [`detect_bounded`]): truncated when the base
+    /// solve was truncated or any per-level refinement pass was skipped. A
+    /// truncated outcome is still a valid projected partition.
+    pub completion: Completion,
 }
 
 /// Runs the multilevel pipeline on `graph` with the given base `solver`
@@ -118,6 +123,28 @@ pub fn detect<S: QuboSolver>(
     graph: &Graph,
     solver: &S,
     config: &MultilevelConfig,
+) -> Result<MultilevelOutcome, CdError> {
+    detect_bounded(graph, solver, config, &Budget::unlimited())
+}
+
+/// Runs the multilevel pipeline under an anytime [`Budget`].
+///
+/// The budget flows into the base solve (via
+/// [`direct::detect_bounded`]) and is re-checked at every level boundary of
+/// the uncoarsening phase: once exhausted, the remaining refinement passes are
+/// skipped and the partition is only *projected* down to the original graph —
+/// projection is cheap and always required to return a valid partition.
+/// [`MultilevelOutcome::completion`] records whether anything was skipped.
+///
+/// # Errors
+///
+/// Propagates [`CdError`] from coarsening, the base solve or refinement;
+/// budget expiry is not an error.
+pub fn detect_bounded<S: QuboSolver>(
+    graph: &Graph,
+    solver: &S,
+    config: &MultilevelConfig,
+    budget: &Budget,
 ) -> Result<MultilevelOutcome, CdError> {
     config.validate()?;
     let start = Instant::now();
@@ -163,26 +190,47 @@ pub fn detect<S: QuboSolver>(
         refine_config: config.refine,
         hint: coarse_hint,
     };
-    let base = direct::detect(coarsest, solver, &direct_config)?;
+    let base = direct::detect_bounded(coarsest, solver, &direct_config, budget)?;
     let solver_time = base.solver_time;
     let solver_status = base.solver_status;
+    let mut skipped_refinement = false;
 
-    // --- Uncoarsening with per-level refinement.
+    // --- Uncoarsening with per-level refinement. The budget is observed at
+    // every level boundary: refinement is optional polish, projection is not.
     let mut partition = base.partition;
     // Refine on the coarsest graph itself first.
-    partition = refine_partition(coarsest, &partition, &config.refine)?.partition;
+    if budget.is_exhausted() {
+        skipped_refinement = true;
+    } else {
+        partition = refine_partition(coarsest, &partition, &config.refine)?.partition;
+    }
     for level_index in (0..hierarchy.levels.len()).rev() {
         let level = &hierarchy.levels[level_index];
         // Project one level down: the finer graph is the previous level's graph
         // (or the original graph at the bottom).
         partition = partition.project(&level.coarse_of);
+        if budget.is_exhausted() {
+            skipped_refinement = true;
+            continue;
+        }
         let finer_graph: &Graph =
             if level_index == 0 { graph } else { &hierarchy.levels[level_index - 1].graph };
         partition = refine_partition(finer_graph, &partition, &config.refine)?.partition;
     }
     if config.final_refine {
-        partition = refine_partition(graph, &partition, &config.refine)?.partition;
+        if budget.is_exhausted() {
+            skipped_refinement = true;
+        } else {
+            partition = refine_partition(graph, &partition, &config.refine)?.partition;
+        }
     }
+    let completion = if skipped_refinement && base.completion.is_full() {
+        // The base solve finished but uncoarsening was cut short; there is no
+        // restart structure to count at this level.
+        Completion::Truncated { completed_restarts: 0 }
+    } else {
+        base.completion
+    };
     let q = modularity::modularity(graph, &partition);
     Ok(MultilevelOutcome {
         partition,
@@ -192,6 +240,7 @@ pub fn detect<S: QuboSolver>(
         solver_status,
         elapsed: start.elapsed(),
         solver_time,
+        completion,
     })
 }
 
@@ -269,6 +318,36 @@ mod tests {
         assert_eq!(out.levels, 0);
         assert_eq!(out.coarsest_nodes, 34);
         assert!(out.modularity > 0.35, "q={}", out.modularity);
+    }
+
+    #[test]
+    fn bounded_detection_projects_to_a_valid_partition_when_exhausted() {
+        use qhdcd_qubo::CancelToken;
+        let pg = generators::planted_partition(&generators::PlantedPartitionConfig {
+            num_nodes: 300,
+            num_communities: 6,
+            p_in: 0.2,
+            p_out: 0.01,
+            seed: 3,
+        })
+        .unwrap();
+        let config = MultilevelConfig {
+            num_communities: 6,
+            coarsen: CoarsenConfig { threshold: 50, ..CoarsenConfig::default() },
+            ..MultilevelConfig::default()
+        };
+        let solver = SimulatedAnnealing::default().with_seed(2);
+        let full = detect_bounded(&pg.graph, &solver, &config, &Budget::unlimited()).unwrap();
+        assert!(full.completion.is_full());
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let out =
+            detect_bounded(&pg.graph, &solver, &config, &Budget::unlimited().cancelled_by(&cancel))
+                .unwrap();
+        // Refinement is skipped but the coarse solution is still projected all
+        // the way down to a full partition of the original graph.
+        assert!(!out.completion.is_full());
+        assert_eq!(out.partition.labels().len(), 300);
     }
 
     #[test]

@@ -42,11 +42,11 @@ use crate::batch::{MeanFieldWorkspace, WaveBatch};
 use crate::complex::Complex;
 use crate::grid::{Grid, ThomasFactors};
 use crate::schedule::Schedule;
-use qhdcd_qubo::{LocalFieldState, QuboError, QuboModel};
+use qhdcd_qubo::{Budget, LocalFieldState, QuboError, QuboModel};
 use qhdcd_solvers::runtime::{resolve_threads, shard_ranges};
 use rand::prelude::*;
 use rand_chacha::ChaCha8Rng;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 
 /// Configuration of a mean-field QHD trajectory.
 #[derive(Debug, Clone, PartialEq)]
@@ -96,6 +96,11 @@ pub struct MeanFieldOutcome {
     /// Final measurement probabilities `P(x_i = 1)` (upper-half mass of `|ψ_i|²`),
     /// from which further candidate roundings can be drawn.
     pub probabilities: Vec<f64>,
+    /// Number of integration steps actually performed. Equal to the configured
+    /// step count unless the trajectory was cut short by a [`Budget`]
+    /// (see [`evolve_bounded`]); measurement then reads the state reached so
+    /// far, so the outcome is still a valid (best-effort) sample.
+    pub steps_completed: usize,
 }
 
 /// Runs one mean-field QHD trajectory for `model` on the batched SoA engine.
@@ -123,6 +128,27 @@ pub struct MeanFieldOutcome {
 /// # }
 /// ```
 pub fn evolve(model: &QuboModel, config: &MeanFieldConfig) -> Result<MeanFieldOutcome, QuboError> {
+    evolve_bounded(model, config, &Budget::unlimited())
+}
+
+/// Runs one mean-field QHD trajectory under an anytime [`Budget`].
+///
+/// The budget is observed at every step boundary (in the sharded sweep a
+/// single leader worker takes the decision and a barrier publishes it, so all
+/// workers stop at the same step). On expiry the step loop stops early and
+/// measurement runs on the state reached so far — the outcome is a valid
+/// best-effort sample with [`MeanFieldOutcome::steps_completed`] recording how
+/// far the evolution got.
+///
+/// # Errors
+///
+/// Returns [`QuboError::InvalidConfig`] for the same degenerate configurations
+/// as [`evolve`]; budget expiry is not an error.
+pub fn evolve_bounded(
+    model: &QuboModel,
+    config: &MeanFieldConfig,
+    budget: &Budget,
+) -> Result<MeanFieldOutcome, QuboError> {
     let n = model.num_variables();
     validate(model, config)?;
     let grid = Grid::new(config.grid_resolution)?;
@@ -162,10 +188,14 @@ pub fn evolve(model: &QuboModel, config: &MeanFieldConfig) -> Result<MeanFieldOu
     }
 
     let dt = config.schedule.total_time() / config.steps as f64;
+    let mut steps_completed = 0usize;
     if workers == 1 {
         let mut fields = vec![0.0f64; n];
         let mut factors = ThomasFactors::new();
         for step in 0..config.steps {
+            if budget.is_exhausted() {
+                break;
+            }
             let t = step as f64 * dt;
             let kinetic_coeff = config.schedule.kinetic(t);
             let potential_coeff = config.schedule.potential(t);
@@ -195,6 +225,7 @@ pub fn evolve(model: &QuboModel, config: &MeanFieldConfig) -> Result<MeanFieldOu
                 &mut workspaces[0],
                 &mut expectations,
             );
+            steps_completed += 1;
         }
     } else {
         // Sharded sweep with persistent workers: one scoped thread per
@@ -214,19 +245,35 @@ pub fn evolve(model: &QuboModel, config: &MeanFieldConfig) -> Result<MeanFieldOu
         let shared: Vec<AtomicU64> =
             expectations.iter().map(|e| AtomicU64::new(e.to_bits())).collect();
         let barrier = std::sync::Barrier::new(blocks.len());
+        // The anytime stop decision is taken by a single leader worker (the
+        // block holding variable 0) and published through a barrier, so every
+        // worker leaves the step loop at the same step — a per-worker budget
+        // check could strand workers on the phase barriers below.
+        let stop = AtomicBool::new(false);
+        let performed = AtomicUsize::new(0);
         crossbeam::thread::scope(|scope| {
             for ((range, block), ws) in
                 ranges.iter().zip(blocks.iter_mut()).zip(workspaces.iter_mut())
             {
                 let (shared, barrier, grid, schedule) =
                     (&shared, &barrier, &grid, &config.schedule);
+                let (stop, performed) = (&stop, &performed);
                 let range = range.clone();
                 scope.spawn(move |_| {
+                    let leader = range.start == 0;
                     let nb = block.num_variables();
                     let mut slopes = vec![0.0f64; nb];
                     let mut local_exp = vec![0.0f64; nb];
                     let mut factors = ThomasFactors::new();
                     for step in 0..config.steps {
+                        if leader {
+                            stop.store(budget.is_exhausted(), Ordering::Relaxed);
+                        }
+                        // Everyone sees the leader's decision for this step.
+                        barrier.wait();
+                        if stop.load(Ordering::Relaxed) {
+                            break;
+                        }
                         let t = step as f64 * dt;
                         let kinetic_coeff = schedule.kinetic(t);
                         let potential_coeff = schedule.potential(t);
@@ -244,6 +291,9 @@ pub fn evolve(model: &QuboModel, config: &MeanFieldConfig) -> Result<MeanFieldOu
                         for (local, i) in range.clone().enumerate() {
                             shared[i].store(local_exp[local].to_bits(), Ordering::Relaxed);
                         }
+                        if leader {
+                            performed.store(step + 1, Ordering::Relaxed);
+                        }
                         // Everyone has published before the next read phase.
                         barrier.wait();
                     }
@@ -254,6 +304,7 @@ pub fn evolve(model: &QuboModel, config: &MeanFieldConfig) -> Result<MeanFieldOu
         for (e, cell) in expectations.iter_mut().zip(&shared) {
             *e = f64::from_bits(cell.load(Ordering::Relaxed));
         }
+        steps_completed = performed.load(Ordering::Relaxed);
     }
 
     // Measurement distribution from the final product state.
@@ -263,7 +314,13 @@ pub fn evolve(model: &QuboModel, config: &MeanFieldConfig) -> Result<MeanFieldOu
     }
     let (best_solution, best_energy) =
         measure_shots(model, &probabilities, config.shots, &mut rng)?;
-    Ok(MeanFieldOutcome { best_solution, best_energy, expectations, probabilities })
+    Ok(MeanFieldOutcome {
+        best_solution,
+        best_energy,
+        expectations,
+        probabilities,
+        steps_completed,
+    })
 }
 
 /// One Strang-split step plus expectation refresh for one column block.
@@ -359,7 +416,13 @@ pub fn evolve_reference(
         states.chunks_exact(resolution).map(|psi| grid.probability_upper_half(psi)).collect();
     let (best_solution, best_energy) =
         measure_shots(model, &probabilities, config.shots, &mut rng)?;
-    Ok(MeanFieldOutcome { best_solution, best_energy, expectations, probabilities })
+    Ok(MeanFieldOutcome {
+        best_solution,
+        best_energy,
+        expectations,
+        probabilities,
+        steps_completed: config.steps,
+    })
 }
 
 /// Shared validation of [`evolve`] / [`evolve_reference`] configurations.
@@ -616,6 +679,40 @@ mod tests {
             out.best_energy.to_bits(),
             model.evaluate(&out.best_solution).unwrap().to_bits()
         );
+    }
+
+    #[test]
+    fn an_exhausted_budget_stops_the_evolution_but_still_measures() {
+        use qhdcd_qubo::CancelToken;
+        let model = random_qubo(&RandomQuboConfig {
+            num_variables: 20,
+            density: 0.3,
+            coefficient_range: 1.0,
+            seed: 14,
+        })
+        .unwrap();
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let budget = Budget::unlimited().cancelled_by(&cancel);
+        let cfg = MeanFieldConfig { seed: 6, steps: 50, ..MeanFieldConfig::default() };
+        let serial = evolve_bounded(&model, &cfg, &budget).unwrap();
+        assert_eq!(serial.steps_completed, 0);
+        // Measurement still runs on the initial state: the sample is valid.
+        assert_eq!(serial.best_solution.len(), 20);
+        assert_eq!(
+            serial.best_energy.to_bits(),
+            model.evaluate(&serial.best_solution).unwrap().to_bits()
+        );
+        // The sharded path takes the same leader-decided stop at step 0.
+        let sharded =
+            evolve_bounded(&model, &MeanFieldConfig { threads: 3, ..cfg.clone() }, &budget)
+                .unwrap();
+        assert_eq!(sharded.steps_completed, 0);
+        assert_eq!(sharded.best_solution, serial.best_solution);
+        assert_eq!(sharded.best_energy.to_bits(), serial.best_energy.to_bits());
+        // An unlimited budget performs every configured step.
+        let full = evolve_bounded(&model, &cfg, &Budget::unlimited()).unwrap();
+        assert_eq!(full.steps_completed, 50);
     }
 
     #[test]

@@ -13,7 +13,8 @@ use crate::refine;
 use crate::schedule::Schedule;
 use crate::statevector::{self, StateVectorConfig, MAX_EXACT_VARIABLES};
 use parking_lot::Mutex;
-use qhdcd_qubo::{QuboError, QuboModel, QuboSolver, SolveReport, SolveStatus};
+use qhdcd_qubo::{Budget, Completion, QuboError, QuboModel, QuboSolver, SolveReport, SolveStatus};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 
 /// Which simulation backend the solver uses.
@@ -199,12 +200,16 @@ impl QhdSolver {
     /// produces a measurement distribution, several candidate roundings are
     /// drawn from it, and each is projected to a nearby local minimum by the
     /// classical refinement step; the best refined candidate wins.
+    /// Returns the refined sample plus whether the trajectory was cut short by
+    /// the budget (the exact backend's short dense evolutions are not
+    /// interruptible mid-trajectory; they observe the budget between samples).
     fn run_sample(
         &self,
         model: &QuboModel,
         backend: Backend,
         seed: u64,
-    ) -> Result<(Vec<bool>, f64), QuboError> {
+        budget: &Budget,
+    ) -> Result<(Vec<bool>, f64, bool), QuboError> {
         use rand::prelude::*;
         let schedule = Schedule::default_qhd(self.config.total_time);
         // The pair-aware search costs O(nnz · average degree) per sweep, which is
@@ -231,14 +236,16 @@ impl QhdSolver {
                         seed,
                     },
                 )?;
-                Ok(refine_one(out.best_solution, out.best_energy))
+                let (solution, energy) = refine_one(out.best_solution, out.best_energy);
+                Ok((solution, energy, false))
             }
             Backend::MeanField | Backend::Auto => {
-                let out = meanfield::evolve(
+                let steps = self.config.steps;
+                let out = meanfield::evolve_bounded(
                     model,
                     &MeanFieldConfig {
                         schedule,
-                        steps: self.config.steps,
+                        steps,
                         grid_resolution: self.config.grid_resolution,
                         shots: self.config.shots,
                         seed,
@@ -248,7 +255,9 @@ impl QhdSolver {
                         // than oversubscribing with nested parallelism.
                         threads: 1,
                     },
+                    budget,
                 )?;
+                let interrupted = out.steps_completed < steps;
                 let (mut best, mut best_energy) = refine_one(out.best_solution, out.best_energy);
                 // Refine additional roundings drawn from the final measurement
                 // distribution (capped so the classical work stays bounded).
@@ -264,42 +273,95 @@ impl QhdSolver {
                         best_energy = energy;
                     }
                 }
-                Ok((best, best_energy))
+                Ok((best, best_energy, interrupted))
             }
         }
     }
-}
 
-impl QuboSolver for QhdSolver {
-    fn name(&self) -> &str {
-        "qhd"
-    }
+    /// Shared implementation behind [`QuboSolver::solve`] and
+    /// [`QuboSolver::solve_bounded`].
+    ///
+    /// Samples are reduced by `(energy, sample index)` with strict comparisons
+    /// — the lowest sample index wins ties — so the result is a pure function
+    /// of the set of completed samples, independent of worker count and
+    /// completion order. The budget is observed between samples and inside
+    /// each mean-field trajectory; budget-interrupted samples only stand in
+    /// when no sample completed. A panicking sample is isolated and counted
+    /// failed; [`QuboError::RestartPanicked`] is returned only when every
+    /// sample that ran panicked.
+    fn solve_impl(&self, model: &QuboModel, budget: &Budget) -> Result<SolveReport, QuboError> {
+        struct Merge {
+            /// Best fully-completed sample as `(solution, energy, index)`.
+            best: Option<(Vec<bool>, f64, usize)>,
+            /// Best budget-interrupted sample (used only if `best` is empty).
+            best_interrupted: Option<(Vec<bool>, f64, usize)>,
+            completed: u64,
+            failed: Vec<(usize, String)>,
+            first_error: Option<QuboError>,
+            budget_hit: bool,
+        }
+        fn reduce(slot: &mut Option<(Vec<bool>, f64, usize)>, candidate: (Vec<bool>, f64, usize)) {
+            let better = match slot {
+                None => true,
+                Some((_, e, k)) => candidate.1 < *e || (candidate.1 == *e && candidate.2 < *k),
+            };
+            if better {
+                *slot = Some(candidate);
+            }
+        }
 
-    fn solve(&self, model: &QuboModel) -> Result<SolveReport, QuboError> {
         let start = Instant::now();
         let backend = self.backend_for(model);
-        let samples = self.config.samples.max(1);
+        let configured = self.config.samples.max(1);
+        // A restart cap truncates the sample schedule itself (mirroring the
+        // portfolio runtime); sample 0 always runs for a best-effort result.
+        let samples = match budget.restart_cap() {
+            Some(cap) => configured.min(cap.max(1) as usize),
+            None => configured,
+        };
+        let cap_truncated = samples < configured;
         let threads = self.config.threads.max(1).min(samples);
 
-        let best: Mutex<Option<(Vec<bool>, f64)>> = Mutex::new(None);
-        let first_error: Mutex<Option<QuboError>> = Mutex::new(None);
+        let merge = Mutex::new(Merge {
+            best: None,
+            best_interrupted: None,
+            completed: 0,
+            failed: Vec::new(),
+            first_error: None,
+            budget_hit: false,
+        });
 
         let run_range = |range: std::ops::Range<usize>| {
             for k in range {
-                match self.run_sample(model, backend, self.config.seed.wrapping_add(k as u64)) {
-                    Ok((solution, energy)) => {
-                        let mut guard = best.lock();
-                        let better = guard.as_ref().is_none_or(|(_, e)| energy < *e);
-                        if better {
-                            *guard = Some((solution, energy));
-                        }
+                // Sample 0 always runs so an already-expired budget still
+                // yields a best-effort incumbent.
+                if k != 0 && budget.is_exhausted() {
+                    merge.lock().budget_hit = true;
+                    return;
+                }
+                let seed = self.config.seed.wrapping_add(k as u64);
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    self.run_sample(model, backend, seed, budget)
+                }));
+                let mut guard = merge.lock();
+                match outcome {
+                    Ok(Ok((solution, energy, false))) => {
+                        guard.completed += 1;
+                        reduce(&mut guard.best, (solution, energy, k));
                     }
-                    Err(e) => {
-                        let mut guard = first_error.lock();
-                        if guard.is_none() {
-                            *guard = Some(e);
+                    Ok(Ok((solution, energy, true))) => {
+                        guard.budget_hit = true;
+                        reduce(&mut guard.best_interrupted, (solution, energy, k));
+                    }
+                    Ok(Err(e)) => {
+                        if guard.first_error.is_none() {
+                            guard.first_error = Some(e);
                         }
                         return;
+                    }
+                    Err(payload) => {
+                        let message = qhdcd_solvers::runtime::panic_message(payload.as_ref());
+                        guard.failed.push((k, message));
                     }
                 }
             }
@@ -317,21 +379,69 @@ impl QuboSolver for QhdSolver {
                     scope.spawn(move |_| run_range(range));
                 }
             })
-            .expect("QHD worker threads do not panic");
+            .expect("QHD sample workers isolate panics internally");
         }
 
-        if let Some(err) = first_error.into_inner() {
+        let merged = merge.into_inner();
+        if let Some(err) = merged.first_error {
             return Err(err);
         }
-        let (solution, objective) =
-            best.into_inner().expect("at least one sample ran successfully");
+        let completed = merged.completed;
+        // Samples can also be missing because they panicked; panics alone do
+        // not mark the run truncated — only budget skips, interruptions and
+        // schedule caps do.
+        let truncated = merged.budget_hit || cap_truncated;
+        let (solution, objective, completion) = match (merged.best, merged.best_interrupted) {
+            (Some((solution, objective, _)), _) => {
+                let completion = if truncated {
+                    Completion::Truncated { completed_restarts: completed }
+                } else {
+                    Completion::Full
+                };
+                (solution, objective, completion)
+            }
+            (None, Some((solution, objective, _))) => {
+                (solution, objective, Completion::Truncated { completed_restarts: 0 })
+            }
+            (None, None) => {
+                let (restart, message) = merged
+                    .failed
+                    .into_iter()
+                    .min_by_key(|(k, _)| *k)
+                    .expect("at least one sample ran");
+                return Err(QuboError::RestartPanicked { restart, message });
+            }
+        };
         Ok(SolveReport {
             solution,
             objective,
             status: SolveStatus::Heuristic,
             elapsed: start.elapsed(),
-            iterations: samples as u64,
+            iterations: completed.max(1),
+            completion,
         })
+    }
+}
+
+impl QuboSolver for QhdSolver {
+    fn name(&self) -> &str {
+        "qhd"
+    }
+
+    fn solve(&self, model: &QuboModel) -> Result<SolveReport, QuboError> {
+        self.solve_impl(model, &Budget::unlimited())
+    }
+
+    fn solve_bounded(
+        &self,
+        model: &QuboModel,
+        hint: Option<&[bool]>,
+        budget: &Budget,
+    ) -> Result<SolveReport, QuboError> {
+        // QHD samples start from their own randomized wave packets; a hint
+        // cannot seed the quantum(-inspired) evolution.
+        let _ = hint;
+        self.solve_impl(model, budget)
     }
 }
 
@@ -449,6 +559,28 @@ mod tests {
         let model = QuboBuilder::new(30).build();
         let solver = QhdSolver::builder().backend(Backend::Exact).samples(1).build();
         assert!(solver.solve(&model).is_err());
+    }
+
+    #[test]
+    fn an_expired_budget_yields_a_best_effort_truncated_report() {
+        use qhdcd_qubo::CancelToken;
+        let model = random_qubo(&RandomQuboConfig {
+            num_variables: 30,
+            density: 0.2,
+            coefficient_range: 1.0,
+            seed: 9,
+        })
+        .unwrap();
+        let solver = QhdSolver::builder().samples(4).threads(2).steps(60).seed(1).build();
+        assert!(solver.solve(&model).unwrap().completion.is_full());
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let budget = Budget::unlimited().cancelled_by(&cancel);
+        let report = solver.solve_bounded(&model, None, &budget).unwrap();
+        // Sample 0 still runs (with its evolution cut short), so the report
+        // carries a valid incumbent marked truncated.
+        assert!(!report.completion.is_full());
+        assert!((model.evaluate(&report.solution).unwrap() - report.objective).abs() < 1e-12);
     }
 
     #[test]

@@ -28,6 +28,18 @@ pub enum QuboError {
         /// Human readable description of the problem.
         reason: String,
     },
+    /// A restart worker panicked and no surviving restart produced a result.
+    ///
+    /// The restart runtime isolates worker panics: a panicking restart is
+    /// marked failed and the surviving restarts are still reduced
+    /// deterministically. This error surfaces only when *every* restart that
+    /// ran panicked, leaving no incumbent to report.
+    RestartPanicked {
+        /// Index of the first restart (in restart order) that panicked.
+        restart: usize,
+        /// The panic payload rendered as a string, when it was one.
+        message: String,
+    },
 }
 
 impl fmt::Display for QuboError {
@@ -44,6 +56,9 @@ impl fmt::Display for QuboError {
                 write!(f, "solution has {solution} entries but the model has {variables} variables")
             }
             QuboError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+            QuboError::RestartPanicked { restart, message } => {
+                write!(f, "restart {restart} panicked ({message}) and no restart survived")
+            }
         }
     }
 }
@@ -62,6 +77,9 @@ mod tests {
         assert!(e.to_string().contains("2 entries"));
         let e = QuboError::InvalidConfig { reason: "bad density".into() };
         assert!(e.to_string().contains("bad density"));
+        let e = QuboError::RestartPanicked { restart: 4, message: "boom".into() };
+        assert!(e.to_string().contains("restart 4"));
+        assert!(e.to_string().contains("boom"));
     }
 
     #[test]

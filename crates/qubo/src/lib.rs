@@ -49,4 +49,6 @@ pub use builder::QuboBuilder;
 pub use error::QuboError;
 pub use fields::LocalFieldState;
 pub use model::{BinarySolution, QuboModel};
-pub use solver::{QuboSolver, SolveReport, SolveStatus, SolverOptions};
+pub use solver::{
+    Budget, CancelToken, Completion, QuboSolver, SolveReport, SolveStatus, SolverOptions,
+};

@@ -9,7 +9,9 @@
 //! comparison methodology.
 
 use crate::{BinarySolution, QuboError, QuboModel};
-use std::time::Duration;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Outcome classification of a solve.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -41,6 +43,153 @@ impl std::fmt::Display for SolveStatus {
     }
 }
 
+/// How much of its configured work a solve finished before returning.
+///
+/// The anytime contract: a solver handed a [`Budget`] returns its best-so-far
+/// incumbent when the budget expires instead of running to completion, and
+/// marks the report `Truncated` with the number of fully completed restarts
+/// (samples, for sampling solvers). Truncated results are bit-deterministic as
+/// a pure function of the completed-restart set — which restarts completed may
+/// depend on wall clock, but the result reduced from a given completed set
+/// never does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Completion {
+    /// Every configured restart/sweep/sample ran to its natural end.
+    Full,
+    /// The budget expired first; the report carries the best-so-far incumbent.
+    Truncated {
+        /// Number of restarts (or samples) that ran to completion before the
+        /// budget expired. Solvers without a restart structure (branch and
+        /// bound, exhaustive enumeration) report `0` here.
+        completed_restarts: u64,
+    },
+}
+
+impl Completion {
+    /// Returns `true` if the solve ran to its natural end.
+    pub fn is_full(self) -> bool {
+        matches!(self, Completion::Full)
+    }
+}
+
+impl std::fmt::Display for Completion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Completion::Full => f.write_str("full"),
+            Completion::Truncated { completed_restarts } => {
+                write!(f, "truncated({completed_restarts} restarts)")
+            }
+        }
+    }
+}
+
+/// A cooperative cancellation flag shared between a caller and a running solve.
+///
+/// Cloning the token shares the underlying flag. Solvers check it at restart
+/// and sweep boundaries; cancellation is therefore prompt but never tears a
+/// restart mid-kernel.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// Creates a fresh, un-cancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation. Idempotent; visible to all clones of the token.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Returns `true` once [`CancelToken::cancel`] has been called.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+/// An anytime execution budget: wall-clock deadline, cooperative cancellation,
+/// and an optional deterministic restart cap.
+///
+/// Solvers check the budget at restart/sweep boundaries and return their
+/// best-so-far incumbent (marked [`Completion::Truncated`]) once it is
+/// exhausted. The restart cap truncates after a fixed number of completed
+/// restarts independent of wall clock, which makes truncation itself
+/// reproducible — the lever the determinism tests use.
+#[derive(Debug, Clone, Default)]
+pub struct Budget {
+    deadline: Option<Instant>,
+    cancels: Vec<CancelToken>,
+    restart_cap: Option<u64>,
+}
+
+impl Budget {
+    /// A budget that never expires.
+    pub fn unlimited() -> Self {
+        Budget::default()
+    }
+
+    /// A budget expiring `limit` from now.
+    pub fn with_time_limit(limit: Duration) -> Self {
+        Budget::unlimited().deadline_at(Instant::now() + limit)
+    }
+
+    /// Returns a copy with the deadline set to `deadline` (tightening any
+    /// existing deadline: the earlier of the two wins).
+    pub fn deadline_at(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(match self.deadline {
+            Some(existing) => existing.min(deadline),
+            None => deadline,
+        });
+        self
+    }
+
+    /// Returns a copy also observing `token`: the budget is exhausted once the
+    /// token is cancelled. Multiple tokens may be attached; any one suffices.
+    pub fn cancelled_by(mut self, token: &CancelToken) -> Self {
+        self.cancels.push(token.clone());
+        self
+    }
+
+    /// Returns a copy that truncates after `cap` completed restarts,
+    /// independent of wall clock. `Some(0)` is treated like `Some(1)` by the
+    /// runtime so a result always exists.
+    pub fn with_restart_cap(mut self, cap: u64) -> Self {
+        self.restart_cap = Some(cap);
+        self
+    }
+
+    /// The wall-clock deadline, if one is set.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// The deterministic restart cap, if one is set.
+    pub fn restart_cap(&self) -> Option<u64> {
+        self.restart_cap
+    }
+
+    /// Returns a copy tightened by an optional relative time limit (the
+    /// convention [`SolverOptions::time_limit`] uses). `None` leaves the
+    /// budget unchanged.
+    pub fn merged_with_time_limit(self, limit: Option<Duration>) -> Self {
+        match limit {
+            Some(limit) => self.deadline_at(Instant::now() + limit),
+            None => self,
+        }
+    }
+
+    /// Returns `true` once the deadline has passed or any attached token has
+    /// been cancelled. The restart cap is *not* part of exhaustion — it is
+    /// enforced by the restart runtime, which counts completed restarts.
+    pub fn is_exhausted(&self) -> bool {
+        self.cancels.iter().any(CancelToken::is_cancelled)
+            || self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+}
+
 /// The result of running a [`QuboSolver`] on a model.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SolveReport {
@@ -54,6 +203,8 @@ pub struct SolveReport {
     pub elapsed: Duration,
     /// Solver-specific work counter (branch-and-bound nodes, sweeps, samples…).
     pub iterations: u64,
+    /// Whether the solve ran to completion or was truncated by its budget.
+    pub completion: Completion,
 }
 
 impl SolveReport {
@@ -72,7 +223,14 @@ impl SolveReport {
         iterations: u64,
     ) -> Result<Self, QuboError> {
         let objective = model.evaluate(&solution)?;
-        Ok(SolveReport { solution, objective, status, elapsed, iterations })
+        Ok(SolveReport {
+            solution,
+            objective,
+            status,
+            elapsed,
+            iterations,
+            completion: Completion::Full,
+        })
     }
 }
 
@@ -136,6 +294,34 @@ pub trait QuboSolver {
         let _ = hint;
         self.solve(model)
     }
+
+    /// Minimises `model` under an anytime [`Budget`], optionally warm-started.
+    ///
+    /// The anytime contract for implementers: check the budget at restart and
+    /// sweep boundaries; on exhaustion return the best-so-far incumbent with
+    /// [`Completion::Truncated`] instead of an error, and keep the result a
+    /// pure function of the set of restarts that completed. The default
+    /// ignores the budget and delegates to [`QuboSolver::solve_with_hint`] /
+    /// [`QuboSolver::solve`]; every solver family in this workspace overrides
+    /// it.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`QuboSolver::solve_with_hint`]. Implementations additionally
+    /// surface [`QuboError::RestartPanicked`] when every restart that ran
+    /// panicked, leaving no incumbent to report.
+    fn solve_bounded(
+        &self,
+        model: &QuboModel,
+        hint: Option<&[bool]>,
+        budget: &Budget,
+    ) -> Result<SolveReport, QuboError> {
+        let _ = budget;
+        match hint {
+            Some(hint) => self.solve_with_hint(model, hint),
+            None => self.solve(model),
+        }
+    }
 }
 
 /// Blanket implementation so `Box<dyn QuboSolver>` and `&S` work transparently.
@@ -151,6 +337,15 @@ impl<S: QuboSolver + ?Sized> QuboSolver for &S {
     fn solve_with_hint(&self, model: &QuboModel, hint: &[bool]) -> Result<SolveReport, QuboError> {
         (**self).solve_with_hint(model, hint)
     }
+
+    fn solve_bounded(
+        &self,
+        model: &QuboModel,
+        hint: Option<&[bool]>,
+        budget: &Budget,
+    ) -> Result<SolveReport, QuboError> {
+        (**self).solve_bounded(model, hint, budget)
+    }
 }
 
 impl<S: QuboSolver + ?Sized> QuboSolver for Box<S> {
@@ -164,6 +359,15 @@ impl<S: QuboSolver + ?Sized> QuboSolver for Box<S> {
 
     fn solve_with_hint(&self, model: &QuboModel, hint: &[bool]) -> Result<SolveReport, QuboError> {
         (**self).solve_with_hint(model, hint)
+    }
+
+    fn solve_bounded(
+        &self,
+        model: &QuboModel,
+        hint: Option<&[bool]>,
+        budget: &Budget,
+    ) -> Result<SolveReport, QuboError> {
+        (**self).solve_bounded(model, hint, budget)
     }
 }
 
@@ -217,6 +421,7 @@ impl QuboSolver for RandomSamplingSolver {
             status: SolveStatus::Heuristic,
             elapsed: start.elapsed(),
             iterations: self.samples as u64 + 2,
+            completion: Completion::Full,
         })
     }
 }
@@ -286,6 +491,81 @@ mod tests {
         assert!((m.evaluate(&report.solution).unwrap() - report.objective).abs() < 1e-12);
         // Random sampling should at least beat the all-zero assignment here.
         assert!(report.objective <= m.evaluate(&[false; 12]).unwrap());
+    }
+
+    #[test]
+    fn completion_display_and_predicates() {
+        assert_eq!(Completion::Full.to_string(), "full");
+        assert_eq!(
+            Completion::Truncated { completed_restarts: 3 }.to_string(),
+            "truncated(3 restarts)"
+        );
+        assert!(Completion::Full.is_full());
+        assert!(!Completion::Truncated { completed_restarts: 0 }.is_full());
+    }
+
+    #[test]
+    fn cancel_token_is_shared_across_clones() {
+        let token = CancelToken::new();
+        let clone = token.clone();
+        assert!(!clone.is_cancelled());
+        token.cancel();
+        assert!(clone.is_cancelled());
+        // Idempotent.
+        token.cancel();
+        assert!(token.is_cancelled());
+    }
+
+    #[test]
+    fn budget_exhaustion_rules() {
+        assert!(!Budget::unlimited().is_exhausted());
+        // An already-passed deadline exhausts the budget.
+        let past = Instant::now() - Duration::from_millis(1);
+        assert!(Budget::unlimited().deadline_at(past).is_exhausted());
+        // A generous deadline does not.
+        assert!(!Budget::with_time_limit(Duration::from_secs(3600)).is_exhausted());
+        // Any attached cancelled token exhausts it.
+        let token = CancelToken::new();
+        let budget = Budget::unlimited().cancelled_by(&token);
+        assert!(!budget.is_exhausted());
+        token.cancel();
+        assert!(budget.is_exhausted());
+        // The restart cap is carried but is not an exhaustion condition.
+        let budget = Budget::unlimited().with_restart_cap(2);
+        assert_eq!(budget.restart_cap(), Some(2));
+        assert!(!budget.is_exhausted());
+    }
+
+    #[test]
+    fn budget_deadline_merging_keeps_the_earlier_deadline() {
+        let early = Instant::now() + Duration::from_millis(10);
+        let late = early + Duration::from_secs(10);
+        let budget = Budget::unlimited().deadline_at(late).deadline_at(early);
+        assert_eq!(budget.deadline(), Some(early));
+        let budget = Budget::unlimited().deadline_at(early).deadline_at(late);
+        assert_eq!(budget.deadline(), Some(early));
+        let merged = Budget::unlimited()
+            .deadline_at(early)
+            .merged_with_time_limit(Some(Duration::from_secs(3600)));
+        assert_eq!(merged.deadline(), Some(early));
+        assert_eq!(Budget::unlimited().merged_with_time_limit(None).deadline(), None);
+    }
+
+    #[test]
+    fn solve_bounded_default_delegates_and_ignores_the_budget() {
+        let m = random_qubo(&RandomQuboConfig {
+            num_variables: 8,
+            density: 0.5,
+            coefficient_range: 1.0,
+            seed: 5,
+        })
+        .unwrap();
+        let solver = RandomSamplingSolver { samples: 50, seed: 3 };
+        let plain = solver.solve(&m).unwrap();
+        let bounded = solver.solve_bounded(&m, None, &Budget::unlimited()).unwrap();
+        assert_eq!(plain.solution, bounded.solution);
+        assert_eq!(plain.objective.to_bits(), bounded.objective.to_bits());
+        assert!(bounded.completion.is_full());
     }
 
     #[test]

@@ -8,7 +8,9 @@
 //! comparison protocol (Figures 3 and 4) relies on.
 
 use crate::local_search;
-use qhdcd_qubo::{QuboError, QuboModel, QuboSolver, SolveReport, SolveStatus, SolverOptions};
+use qhdcd_qubo::{
+    Budget, Completion, QuboError, QuboModel, QuboSolver, SolveReport, SolveStatus, SolverOptions,
+};
 use std::time::{Duration, Instant};
 
 /// Exact branch-and-bound solver with a configurable time limit.
@@ -60,7 +62,7 @@ struct SearchState<'m> {
     incumbent_energy: f64,
     nodes: u64,
     node_limit: u64,
-    deadline: Option<Instant>,
+    budget: Budget,
     stopped: bool,
 }
 
@@ -87,13 +89,12 @@ impl SearchState<'_> {
             self.stopped = true;
             return true;
         }
-        if self.nodes.is_multiple_of(1024) {
-            if let Some(deadline) = self.deadline {
-                if Instant::now() >= deadline {
-                    self.stopped = true;
-                    return true;
-                }
-            }
+        // Deadline and cancellation checks are amortised over 1024 nodes; the
+        // first node always checks so an already-expired budget stops the
+        // search before it starts (the warm-start incumbent is returned).
+        if (self.nodes == 1 || self.nodes.is_multiple_of(1024)) && self.budget.is_exhausted() {
+            self.stopped = true;
+            return true;
         }
         false
     }
@@ -159,12 +160,10 @@ impl SearchState<'_> {
     }
 }
 
-impl QuboSolver for BranchAndBound {
-    fn name(&self) -> &str {
-        "branch-and-bound"
-    }
-
-    fn solve(&self, model: &QuboModel) -> Result<SolveReport, QuboError> {
+impl BranchAndBound {
+    /// Shared implementation behind [`QuboSolver::solve`] and
+    /// [`QuboSolver::solve_bounded`].
+    fn solve_impl(&self, model: &QuboModel, budget: &Budget) -> Result<SolveReport, QuboError> {
         let start = Instant::now();
         let n = model.num_variables();
         if n == 0 {
@@ -207,19 +206,50 @@ impl QuboSolver for BranchAndBound {
             incumbent_energy,
             nodes: 0,
             node_limit: self.node_limit.unwrap_or(u64::MAX),
-            deadline: self.options.time_limit.map(|limit| start + limit),
+            budget: budget.clone().merged_with_time_limit(self.options.time_limit),
             stopped: false,
         };
         state.search(0);
 
         let status = if state.stopped { SolveStatus::TimeLimit } else { SolveStatus::Optimal };
+        // Branch-and-bound has no restart structure; a truncated search
+        // reports `completed_restarts: 0` per the `Completion` convention.
+        let completion = if state.stopped {
+            Completion::Truncated { completed_restarts: 0 }
+        } else {
+            Completion::Full
+        };
         Ok(SolveReport {
             objective: state.incumbent_energy,
             solution: state.incumbent,
             status,
             elapsed: start.elapsed(),
             iterations: state.nodes,
+            completion,
         })
+    }
+}
+
+impl QuboSolver for BranchAndBound {
+    fn name(&self) -> &str {
+        "branch-and-bound"
+    }
+
+    fn solve(&self, model: &QuboModel) -> Result<SolveReport, QuboError> {
+        self.solve_impl(model, &Budget::unlimited())
+    }
+
+    fn solve_bounded(
+        &self,
+        model: &QuboModel,
+        hint: Option<&[bool]>,
+        budget: &Budget,
+    ) -> Result<SolveReport, QuboError> {
+        // The warm start below (descents from the all-zero/all-one corners) is
+        // already a strong incumbent; an external hint is ignored, matching
+        // `solve_with_hint`'s default.
+        let _ = hint;
+        self.solve_impl(model, budget)
     }
 }
 

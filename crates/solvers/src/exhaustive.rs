@@ -1,6 +1,6 @@
 //! Brute-force enumeration of every assignment — the ground truth for tests.
 
-use qhdcd_qubo::{QuboError, QuboModel, QuboSolver, SolveReport, SolveStatus};
+use qhdcd_qubo::{Budget, Completion, QuboError, QuboModel, QuboSolver, SolveReport, SolveStatus};
 use std::time::Instant;
 
 /// Maximum number of variables the exhaustive solver accepts.
@@ -33,12 +33,10 @@ impl ExhaustiveSearch {
     }
 }
 
-impl QuboSolver for ExhaustiveSearch {
-    fn name(&self) -> &str {
-        "exhaustive"
-    }
-
-    fn solve(&self, model: &QuboModel) -> Result<SolveReport, QuboError> {
+impl ExhaustiveSearch {
+    /// Shared implementation behind [`QuboSolver::solve`] and
+    /// [`QuboSolver::solve_bounded`].
+    fn solve_impl(&self, model: &QuboModel, budget: &Budget) -> Result<SolveReport, QuboError> {
         let start = Instant::now();
         let n = model.num_variables();
         if n == 0 || n > MAX_EXHAUSTIVE_VARIABLES {
@@ -51,23 +49,63 @@ impl QuboSolver for ExhaustiveSearch {
         let mut best = vec![false; n];
         let mut best_e = model.evaluate(&best)?;
         let mut x = vec![false; n];
+        let mut visited = 1u64;
+        let mut stopped = false;
         for bits in 1..(1u64 << n) {
+            // Budget checks are amortised over blocks of 4096 assignments;
+            // the first iteration always checks so an already-expired budget
+            // stops the enumeration before it starts.
+            if (bits == 1 || bits.is_multiple_of(4096)) && budget.is_exhausted() {
+                stopped = true;
+                break;
+            }
             for (i, slot) in x.iter_mut().enumerate() {
                 *slot = (bits >> i) & 1 == 1;
             }
             let e = model.evaluate(&x)?;
+            visited += 1;
             if e < best_e {
                 best_e = e;
                 best.copy_from_slice(&x);
             }
         }
+        // A truncated enumeration proved nothing: the incumbent is the best
+        // over the visited prefix only. `completed_restarts: 0` follows the
+        // convention for solvers without a restart structure.
+        let (status, completion) = if stopped {
+            (SolveStatus::TimeLimit, Completion::Truncated { completed_restarts: 0 })
+        } else {
+            (SolveStatus::Optimal, Completion::Full)
+        };
         Ok(SolveReport {
             solution: best,
             objective: best_e,
-            status: SolveStatus::Optimal,
+            status,
             elapsed: start.elapsed(),
-            iterations: 1 << n,
+            iterations: visited,
+            completion,
         })
+    }
+}
+
+impl QuboSolver for ExhaustiveSearch {
+    fn name(&self) -> &str {
+        "exhaustive"
+    }
+
+    fn solve(&self, model: &QuboModel) -> Result<SolveReport, QuboError> {
+        self.solve_impl(model, &Budget::unlimited())
+    }
+
+    fn solve_bounded(
+        &self,
+        model: &QuboModel,
+        hint: Option<&[bool]>,
+        budget: &Budget,
+    ) -> Result<SolveReport, QuboError> {
+        // Enumeration cannot exploit a hint.
+        let _ = hint;
+        self.solve_impl(model, budget)
     }
 }
 

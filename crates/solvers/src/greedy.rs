@@ -8,7 +8,8 @@
 use crate::local_search;
 use crate::runtime::{self, RestartRun};
 use qhdcd_qubo::{
-    LocalFieldState, QuboError, QuboModel, QuboSolver, SolveReport, SolveStatus, SolverOptions,
+    Budget, LocalFieldState, QuboError, QuboModel, QuboSolver, SolveReport, SolveStatus,
+    SolverOptions,
 };
 use rand::prelude::*;
 use rand_chacha::ChaCha8Rng;
@@ -80,6 +81,51 @@ impl MultiStartGreedy {
         self.options.seed = seed;
         self
     }
+
+    /// Shared implementation behind [`QuboSolver::solve`] and
+    /// [`QuboSolver::solve_bounded`].
+    fn solve_impl(&self, model: &QuboModel, budget: &Budget) -> Result<SolveReport, QuboError> {
+        let start = Instant::now();
+        let n = model.num_variables();
+        if n == 0 {
+            return Err(QuboError::InvalidConfig { reason: "model has no variables".into() });
+        }
+        let budget = budget.clone().merged_with_time_limit(self.options.time_limit);
+        let max_sweeps = self.max_sweeps;
+        let kernel =
+            |k: usize, rng: &mut ChaCha8Rng, state: &mut LocalFieldState<'_>, budget: &Budget| {
+                // Restart 0 descends from the all-zero assignment so the result is
+                // never worse than the trivial one; all others start random.
+                let x: Vec<bool> =
+                    if k == 0 { vec![false; n] } else { (0..n).map(|_| rng.gen()).collect() };
+                state.set_solution(&x).expect("worker state matches the model");
+                let outcome = local_search::descend_state(state, max_sweeps, budget);
+                state.debug_validate();
+                RestartRun {
+                    solution: state.solution().to_vec(),
+                    energy: state.energy(),
+                    iterations: 1,
+                    interrupted: outcome.interrupted,
+                }
+            };
+        let run = runtime::run_restarts(
+            model,
+            self.restarts.max(1),
+            self.threads,
+            self.options.seed,
+            &budget,
+            &kernel,
+        )?;
+        let completion = run.completion();
+        Ok(SolveReport {
+            solution: run.solution,
+            objective: run.energy,
+            status: SolveStatus::Heuristic,
+            elapsed: start.elapsed(),
+            iterations: run.restarts_completed,
+            completion,
+        })
+    }
 }
 
 impl QuboSolver for MultiStartGreedy {
@@ -88,45 +134,18 @@ impl QuboSolver for MultiStartGreedy {
     }
 
     fn solve(&self, model: &QuboModel) -> Result<SolveReport, QuboError> {
-        let start = Instant::now();
-        let n = model.num_variables();
-        if n == 0 {
-            return Err(QuboError::InvalidConfig { reason: "model has no variables".into() });
-        }
-        let deadline = self.options.time_limit.map(|limit| start + limit);
-        let max_sweeps = self.max_sweeps;
-        let kernel = |k: usize,
-                      rng: &mut ChaCha8Rng,
-                      state: &mut LocalFieldState<'_>,
-                      deadline: Option<Instant>| {
-            // Restart 0 descends from the all-zero assignment so the result is
-            // never worse than the trivial one; all others start random.
-            let x: Vec<bool> =
-                if k == 0 { vec![false; n] } else { (0..n).map(|_| rng.gen()).collect() };
-            state.set_solution(&x).expect("worker state matches the model");
-            local_search::descend_state(state, max_sweeps, deadline);
-            state.debug_validate();
-            RestartRun {
-                solution: state.solution().to_vec(),
-                energy: state.energy(),
-                iterations: 1,
-            }
-        };
-        let run = runtime::run_restarts(
-            model,
-            self.restarts.max(1),
-            self.threads,
-            self.options.seed,
-            deadline,
-            &kernel,
-        );
-        Ok(SolveReport {
-            solution: run.solution,
-            objective: run.energy,
-            status: SolveStatus::Heuristic,
-            elapsed: start.elapsed(),
-            iterations: run.restarts_completed,
-        })
+        self.solve_impl(model, &Budget::unlimited())
+    }
+
+    fn solve_bounded(
+        &self,
+        model: &QuboModel,
+        hint: Option<&[bool]>,
+        budget: &Budget,
+    ) -> Result<SolveReport, QuboError> {
+        // Greedy has no warm-start path (matching `solve_with_hint`'s default).
+        let _ = hint;
+        self.solve_impl(model, budget)
     }
 }
 

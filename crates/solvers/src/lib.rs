@@ -64,53 +64,70 @@ pub(crate) mod local_search {
     //! [`LocalFieldState::coupled_pair_sweep`] primitives (the same sweeps the
     //! QHD refinement uses, so trajectories agree by construction).
 
-    use qhdcd_qubo::{LocalFieldState, QuboModel};
-    use std::time::Instant;
+    use qhdcd_qubo::{Budget, LocalFieldState, QuboModel};
 
-    /// First-improvement single-flip descent on an existing engine state;
-    /// returns the number of sweeps performed. A candidate flip costs O(1)
-    /// from the cached fields and a sweep costs O(n) plus O(deg) per accepted
-    /// move. The deadline is checked between sweeps.
+    /// What a descent loop reports back: sweeps performed and whether the
+    /// budget cut the descent short (as opposed to converging or hitting the
+    /// sweep cap — only a budget interruption makes the trajectory depend on
+    /// wall clock).
+    #[derive(Debug, Clone, Copy)]
+    pub struct SweepOutcome {
+        /// Number of sweeps performed.
+        pub sweeps: u64,
+        /// `true` if the budget expired while improvement was still possible.
+        pub interrupted: bool,
+    }
+
+    /// First-improvement single-flip descent on an existing engine state. A
+    /// candidate flip costs O(1) from the cached fields and a sweep costs O(n)
+    /// plus O(deg) per accepted move. The budget is checked between sweeps.
     pub fn descend_state(
         state: &mut LocalFieldState<'_>,
         max_sweeps: usize,
-        deadline: Option<Instant>,
-    ) -> u64 {
+        budget: &Budget,
+    ) -> SweepOutcome {
         let mut sweeps = 0u64;
         for _ in 0..max_sweeps {
+            if budget.is_exhausted() {
+                return SweepOutcome { sweeps, interrupted: true };
+            }
             let improved = state.single_flip_sweep();
             sweeps += 1;
-            if !improved || deadline.is_some_and(|d| Instant::now() >= d) {
+            if !improved {
                 break;
             }
         }
-        sweeps
+        SweepOutcome { sweeps, interrupted: false }
     }
 
     /// Descent alternating single-flip sweeps with coupled pair sweeps (one-set
-    /// one-clear pairs applied as native reassignments). Returns the number of
-    /// sweeps performed. The deadline is checked between sweeps.
+    /// one-clear pairs applied as native reassignments). The budget is checked
+    /// between sweeps.
     pub fn pair_aware_descend_state(
         state: &mut LocalFieldState<'_>,
         max_sweeps: usize,
-        deadline: Option<Instant>,
-    ) -> u64 {
+        budget: &Budget,
+    ) -> SweepOutcome {
         let mut sweeps = 0u64;
         for _ in 0..max_sweeps {
+            if budget.is_exhausted() {
+                return SweepOutcome { sweeps, interrupted: true };
+            }
             let improved = state.single_flip_sweep() | state.coupled_pair_sweep();
             sweeps += 1;
-            if !improved || deadline.is_some_and(|d| Instant::now() >= d) {
+            if !improved {
                 break;
             }
         }
-        sweeps
+        SweepOutcome { sweeps, interrupted: false }
     }
 
     /// Owned-solution wrapper around [`descend_state`]: builds a fresh engine,
-    /// descends, and returns the improved solution and its energy.
+    /// descends to convergence (no budget), and returns the improved solution
+    /// and its energy.
     pub fn descend(model: &QuboModel, x: Vec<bool>, max_sweeps: usize) -> (Vec<bool>, f64) {
         let mut state = LocalFieldState::new(model, x);
-        descend_state(&mut state, max_sweeps, None);
+        descend_state(&mut state, max_sweeps, &Budget::unlimited());
         state.debug_validate();
         state.into_solution()
     }

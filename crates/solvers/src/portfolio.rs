@@ -39,7 +39,9 @@ use crate::local_search;
 use crate::runtime::{self, RestartRun};
 use crate::simulated_annealing::{anneal_restart, annealing_scale};
 use crate::tabu::tabu_restart;
-use qhdcd_qubo::{LocalFieldState, QuboError, QuboModel, QuboSolver, SolveReport, SolveStatus};
+use qhdcd_qubo::{
+    Budget, LocalFieldState, QuboError, QuboModel, QuboSolver, SolveReport, SolveStatus,
+};
 use rand::prelude::*;
 use rand_chacha::ChaCha8Rng;
 use std::time::Instant;
@@ -201,18 +203,19 @@ fn warm_restart(
     state: &mut LocalFieldState<'_>,
     sweeps: usize,
     move_set: MoveSet,
-    deadline: Option<Instant>,
+    budget: &Budget,
 ) -> RestartRun {
     state.set_solution(warm).expect("hint length is validated before the runtime starts");
-    let performed = match move_set {
-        MoveSet::SingleFlip => local_search::descend_state(state, sweeps, deadline),
-        MoveSet::PairAware => local_search::pair_aware_descend_state(state, sweeps, deadline),
+    let outcome = match move_set {
+        MoveSet::SingleFlip => local_search::descend_state(state, sweeps, budget),
+        MoveSet::PairAware => local_search::pair_aware_descend_state(state, sweeps, budget),
     };
     state.debug_validate();
     RestartRun {
         solution: state.solution().to_vec(),
         energy: state.energy(),
-        iterations: performed,
+        iterations: outcome.sweeps,
+        interrupted: outcome.interrupted,
     }
 }
 
@@ -222,20 +225,21 @@ fn greedy_restart(
     state: &mut LocalFieldState<'_>,
     sweeps: usize,
     move_set: MoveSet,
-    deadline: Option<Instant>,
+    budget: &Budget,
 ) -> RestartRun {
     let n = state.num_variables();
     let x: Vec<bool> = (0..n).map(|_| rng.gen()).collect();
     state.set_solution(&x).expect("worker state matches the model");
-    let performed = match move_set {
-        MoveSet::SingleFlip => local_search::descend_state(state, sweeps, deadline),
-        MoveSet::PairAware => local_search::pair_aware_descend_state(state, sweeps, deadline),
+    let outcome = match move_set {
+        MoveSet::SingleFlip => local_search::descend_state(state, sweeps, budget),
+        MoveSet::PairAware => local_search::pair_aware_descend_state(state, sweeps, budget),
     };
     state.debug_validate();
     RestartRun {
         solution: state.solution().to_vec(),
         energy: state.energy(),
-        iterations: performed,
+        iterations: outcome.sweeps,
+        interrupted: outcome.interrupted,
     }
 }
 
@@ -244,6 +248,7 @@ impl PortfolioSolver {
         &self,
         model: &QuboModel,
         warm_start: Option<&[bool]>,
+        budget: &Budget,
     ) -> Result<SolveReport, QuboError> {
         let start = Instant::now();
         if model.num_variables() == 0 {
@@ -273,40 +278,39 @@ impl PortfolioSolver {
             }
         }
         let scale = annealing_scale(model);
-        let deadline = self.config.time_limit.map(|limit| start + limit);
+        let budget = budget.clone().merged_with_time_limit(self.config.time_limit);
         let sweeps = self.config.sweeps;
-        let kernel = |k: usize,
-                      rng: &mut ChaCha8Rng,
-                      state: &mut LocalFieldState<'_>,
-                      deadline: Option<Instant>| {
-            // Restart 0 becomes the incumbent-polish member of a warm-started
-            // solve; every other restart keeps its regular strategy stream.
-            if k == 0 {
-                if let Some(warm) = warm_start {
-                    return warm_restart(warm, state, sweeps, self.config.move_set, deadline);
+        let kernel =
+            |k: usize, rng: &mut ChaCha8Rng, state: &mut LocalFieldState<'_>, budget: &Budget| {
+                // Restart 0 becomes the incumbent-polish member of a warm-started
+                // solve; every other restart keeps its regular strategy stream.
+                if k == 0 {
+                    if let Some(warm) = warm_start {
+                        return warm_restart(warm, state, sweeps, self.config.move_set, budget);
+                    }
                 }
-            }
-            match self.strategies[k % self.strategies.len()] {
-                Strategy::Greedy => {
-                    greedy_restart(rng, state, sweeps, self.config.move_set, deadline)
+                match self.strategies[k % self.strategies.len()] {
+                    Strategy::Greedy => {
+                        greedy_restart(rng, state, sweeps, self.config.move_set, budget)
+                    }
+                    Strategy::Annealing { initial_temperature, final_temperature } => {
+                        let t_start = initial_temperature * scale;
+                        let t_end = final_temperature * scale;
+                        let cooling = (t_end / t_start).powf(1.0 / sweeps.max(1) as f64);
+                        anneal_restart(state, rng, sweeps, t_start, cooling, budget)
+                    }
+                    Strategy::Tabu { tenure } => tabu_restart(state, rng, sweeps, tenure, budget),
                 }
-                Strategy::Annealing { initial_temperature, final_temperature } => {
-                    let t_start = initial_temperature * scale;
-                    let t_end = final_temperature * scale;
-                    let cooling = (t_end / t_start).powf(1.0 / sweeps.max(1) as f64);
-                    anneal_restart(state, rng, sweeps, t_start, cooling, deadline)
-                }
-                Strategy::Tabu { tenure } => tabu_restart(state, rng, sweeps, tenure, deadline),
-            }
-        };
+            };
         let run = runtime::run_restarts(
             model,
             self.config.restarts,
             self.config.threads,
             self.config.seed,
-            deadline,
+            &budget,
             &kernel,
-        );
+        )?;
+        let completion = run.completion();
         // The all-zero baseline keeps the result no worse than the trivial
         // assignment even when every restart lands in a bad basin (same floor
         // as the standalone greedy/annealing solvers).
@@ -320,6 +324,7 @@ impl PortfolioSolver {
             status: SolveStatus::Heuristic,
             elapsed: start.elapsed(),
             iterations: run.iterations,
+            completion,
         })
     }
 }
@@ -330,7 +335,7 @@ impl QuboSolver for PortfolioSolver {
     }
 
     fn solve(&self, model: &QuboModel) -> Result<SolveReport, QuboError> {
-        self.solve_impl(model, None)
+        self.solve_impl(model, None, &Budget::unlimited())
     }
 
     /// Warm-started solve: restart 0 polishes `hint` by descent (under the
@@ -338,7 +343,20 @@ impl QuboSolver for PortfolioSolver {
     /// result is never worse than the polished incumbent. All other restarts
     /// are unchanged, and determinism across thread counts is preserved.
     fn solve_with_hint(&self, model: &QuboModel, hint: &[bool]) -> Result<SolveReport, QuboError> {
-        self.solve_impl(model, Some(hint))
+        self.solve_impl(model, Some(hint), &Budget::unlimited())
+    }
+
+    /// Anytime solve: restarts and sweeps observe `budget`, the reduction is
+    /// over completed restarts only, and the report is marked
+    /// [`qhdcd_qubo::Completion::Truncated`] when the budget cut the schedule
+    /// short.
+    fn solve_bounded(
+        &self,
+        model: &QuboModel,
+        hint: Option<&[bool]>,
+        budget: &Budget,
+    ) -> Result<SolveReport, QuboError> {
+        self.solve_impl(model, hint, budget)
     }
 }
 

@@ -12,7 +12,8 @@
 
 use crate::runtime::{self, RestartRun};
 use qhdcd_qubo::{
-    LocalFieldState, QuboError, QuboModel, QuboSolver, SolveReport, SolveStatus, SolverOptions,
+    Budget, LocalFieldState, QuboError, QuboModel, QuboSolver, SolveReport, SolveStatus,
+    SolverOptions,
 };
 use rand::prelude::*;
 use rand_chacha::ChaCha8Rng;
@@ -33,14 +34,16 @@ pub(crate) fn annealing_scale(model: &QuboModel) -> f64 {
 
 /// Runs one annealing restart on the worker's engine: a random start drawn
 /// from the restart's stream, `sweeps` Metropolis sweeps under geometric
-/// cooling, tracking the best assignment seen along the trajectory.
+/// cooling, tracking the best assignment seen along the trajectory. The
+/// budget is observed between sweeps; an early exit is reported via
+/// [`RestartRun::interrupted`].
 pub(crate) fn anneal_restart(
     state: &mut LocalFieldState<'_>,
     rng: &mut ChaCha8Rng,
     sweeps: usize,
     t_start: f64,
     cooling: f64,
-    deadline: Option<Instant>,
+    budget: &Budget,
 ) -> RestartRun {
     let n = state.num_variables();
     let x: Vec<bool> = (0..n).map(|_| rng.gen()).collect();
@@ -49,7 +52,12 @@ pub(crate) fn anneal_restart(
     let mut best_e = state.energy();
     let mut temperature = t_start;
     let mut performed = 0u64;
+    let mut interrupted = false;
     for _ in 0..sweeps {
+        if budget.is_exhausted() {
+            interrupted = true;
+            break;
+        }
         for _ in 0..n {
             let i = rng.gen_range(0..n);
             let delta = state.flip_delta(i);
@@ -63,12 +71,9 @@ pub(crate) fn anneal_restart(
         }
         temperature *= cooling;
         performed += 1;
-        if deadline.is_some_and(|d| Instant::now() >= d) {
-            break;
-        }
     }
     state.debug_validate();
-    RestartRun { solution: best, energy: best_e, iterations: performed }
+    RestartRun { solution: best, energy: best_e, iterations: performed, interrupted }
 }
 
 /// Simulated-annealing QUBO solver with geometric cooling and parallel
@@ -148,14 +153,10 @@ impl SimulatedAnnealing {
         self.options.seed = seed;
         self
     }
-}
 
-impl QuboSolver for SimulatedAnnealing {
-    fn name(&self) -> &str {
-        "simulated-annealing"
-    }
-
-    fn solve(&self, model: &QuboModel) -> Result<SolveReport, QuboError> {
+    /// Shared implementation behind [`QuboSolver::solve`] and
+    /// [`QuboSolver::solve_bounded`].
+    fn solve_impl(&self, model: &QuboModel, budget: &Budget) -> Result<SolveReport, QuboError> {
         let start = Instant::now();
         let n = model.num_variables();
         if n == 0 {
@@ -172,22 +173,21 @@ impl QuboSolver for SimulatedAnnealing {
         let t_start = self.initial_temperature * scale;
         let t_end = self.final_temperature * scale;
         let cooling = (t_end / t_start).powf(1.0 / self.sweeps.max(1) as f64);
-        let deadline = self.options.time_limit.map(|limit| start + limit);
+        let budget = budget.clone().merged_with_time_limit(self.options.time_limit);
 
-        let kernel = |_k: usize,
-                      rng: &mut ChaCha8Rng,
-                      state: &mut LocalFieldState<'_>,
-                      deadline: Option<Instant>| {
-            anneal_restart(state, rng, self.sweeps, t_start, cooling, deadline)
-        };
+        let kernel =
+            |_k: usize, rng: &mut ChaCha8Rng, state: &mut LocalFieldState<'_>, budget: &Budget| {
+                anneal_restart(state, rng, self.sweeps, t_start, cooling, budget)
+            };
         let run = runtime::run_restarts(
             model,
             self.restarts.max(1),
             self.threads,
             self.options.seed,
-            deadline,
+            &budget,
             &kernel,
-        );
+        )?;
+        let completion = run.completion();
         // The all-zero baseline keeps the result no worse than the trivial
         // assignment even when every restart lands badly.
         let zero = vec![false; n];
@@ -200,7 +200,30 @@ impl QuboSolver for SimulatedAnnealing {
             status: SolveStatus::Heuristic,
             elapsed: start.elapsed(),
             iterations: run.iterations,
+            completion,
         })
+    }
+}
+
+impl QuboSolver for SimulatedAnnealing {
+    fn name(&self) -> &str {
+        "simulated-annealing"
+    }
+
+    fn solve(&self, model: &QuboModel) -> Result<SolveReport, QuboError> {
+        self.solve_impl(model, &Budget::unlimited())
+    }
+
+    fn solve_bounded(
+        &self,
+        model: &QuboModel,
+        hint: Option<&[bool]>,
+        budget: &Budget,
+    ) -> Result<SolveReport, QuboError> {
+        // Annealing has no warm-start path (matching `solve_with_hint`'s
+        // default).
+        let _ = hint;
+        self.solve_impl(model, budget)
     }
 }
 

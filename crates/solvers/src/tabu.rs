@@ -12,7 +12,8 @@
 use crate::local_search;
 use crate::runtime::{self, RestartRun};
 use qhdcd_qubo::{
-    LocalFieldState, QuboError, QuboModel, QuboSolver, SolveReport, SolveStatus, SolverOptions,
+    Budget, LocalFieldState, QuboError, QuboModel, QuboSolver, SolveReport, SolveStatus,
+    SolverOptions,
 };
 use rand::prelude::*;
 use rand_chacha::ChaCha8Rng;
@@ -20,13 +21,15 @@ use std::time::Instant;
 
 /// Runs one tabu restart on the worker's engine: a random start drawn from the
 /// restart's stream, a short seeding descent, then `iterations` tabu moves
-/// with aspiration. Returns the best assignment of the chain.
+/// with aspiration. Returns the best assignment of the chain. The budget is
+/// observed every 256 iterations (and in the seeding descent); an early exit
+/// is reported via [`RestartRun::interrupted`].
 pub(crate) fn tabu_restart(
     state: &mut LocalFieldState<'_>,
     rng: &mut ChaCha8Rng,
     iterations: usize,
     tenure: Option<usize>,
-    deadline: Option<Instant>,
+    budget: &Budget,
 ) -> RestartRun {
     let n = state.num_variables();
     // Default tenure max(10, n/10), capped at n/2: a tenure close to n makes
@@ -36,13 +39,17 @@ pub(crate) fn tabu_restart(
         tenure.unwrap_or_else(|| (n / 10).max(10).min(n / 2)).min(n.saturating_sub(1)).max(1);
     let x: Vec<bool> = (0..n).map(|_| rng.gen()).collect();
     state.set_solution(&x).expect("worker state matches the model");
-    local_search::descend_state(state, 50, deadline);
+    let mut interrupted = local_search::descend_state(state, 50, budget).interrupted;
     let mut best = state.solution().to_vec();
     let mut best_e = state.energy();
     // tabu_until[i] = first iteration at which flipping i is allowed again.
     let mut tabu_until = vec![0usize; n];
     let mut performed = 0u64;
     for iter in 0..iterations {
+        if iter % 256 == 0 && budget.is_exhausted() {
+            interrupted = true;
+            break;
+        }
         let e = state.energy();
         let mut chosen: Option<(usize, f64)> = None;
         for (i, &until) in tabu_until.iter().enumerate() {
@@ -55,6 +62,7 @@ pub(crate) fn tabu_restart(
                 chosen = Some((i, delta));
             }
         }
+        // A chain with no allowed move ends naturally — not an interruption.
         let Some((i, _)) = chosen else { break };
         state.apply_flip(i);
         tabu_until[i] = iter + 1 + tenure;
@@ -63,12 +71,9 @@ pub(crate) fn tabu_restart(
             best_e = state.energy();
             best.copy_from_slice(state.solution());
         }
-        if iter % 256 == 0 && deadline.is_some_and(|d| Instant::now() >= d) {
-            break;
-        }
     }
     state.debug_validate();
-    RestartRun { solution: best, energy: best_e, iterations: performed }
+    RestartRun { solution: best, energy: best_e, iterations: performed, interrupted }
 }
 
 /// Tabu-search QUBO solver: at every iteration the best non-tabu single flip is
@@ -148,14 +153,10 @@ impl TabuSearch {
         self.options.seed = seed;
         self
     }
-}
 
-impl QuboSolver for TabuSearch {
-    fn name(&self) -> &str {
-        "tabu-search"
-    }
-
-    fn solve(&self, model: &QuboModel) -> Result<SolveReport, QuboError> {
+    /// Shared implementation behind [`QuboSolver::solve`] and
+    /// [`QuboSolver::solve_bounded`].
+    fn solve_impl(&self, model: &QuboModel, budget: &Budget) -> Result<SolveReport, QuboError> {
         let start = Instant::now();
         let n = model.num_variables();
         if n == 0 {
@@ -164,28 +165,49 @@ impl QuboSolver for TabuSearch {
         if self.iterations == 0 {
             return Err(QuboError::InvalidConfig { reason: "iterations must be positive".into() });
         }
-        let deadline = self.options.time_limit.map(|limit| start + limit);
-        let kernel = |_k: usize,
-                      rng: &mut ChaCha8Rng,
-                      state: &mut LocalFieldState<'_>,
-                      deadline: Option<Instant>| {
-            tabu_restart(state, rng, self.iterations, self.tenure, deadline)
-        };
+        let budget = budget.clone().merged_with_time_limit(self.options.time_limit);
+        let kernel =
+            |_k: usize, rng: &mut ChaCha8Rng, state: &mut LocalFieldState<'_>, budget: &Budget| {
+                tabu_restart(state, rng, self.iterations, self.tenure, budget)
+            };
         let run = runtime::run_restarts(
             model,
             self.restarts.max(1),
             self.threads,
             self.options.seed,
-            deadline,
+            &budget,
             &kernel,
-        );
+        )?;
+        let completion = run.completion();
         Ok(SolveReport {
             solution: run.solution,
             objective: run.energy,
             status: SolveStatus::Heuristic,
             elapsed: start.elapsed(),
             iterations: run.iterations,
+            completion,
         })
+    }
+}
+
+impl QuboSolver for TabuSearch {
+    fn name(&self) -> &str {
+        "tabu-search"
+    }
+
+    fn solve(&self, model: &QuboModel) -> Result<SolveReport, QuboError> {
+        self.solve_impl(model, &Budget::unlimited())
+    }
+
+    fn solve_bounded(
+        &self,
+        model: &QuboModel,
+        hint: Option<&[bool]>,
+        budget: &Budget,
+    ) -> Result<SolveReport, QuboError> {
+        // Tabu has no warm-start path (matching `solve_with_hint`'s default).
+        let _ = hint;
+        self.solve_impl(model, budget)
     }
 }
 

@@ -164,6 +164,18 @@ fn bits(x: f64) -> String {
     format!("{:016x}", x.to_bits())
 }
 
+/// FNV-1a over the checkpoint body: cheap, dependency-free, and enough to
+/// catch torn writes and bit rot (the threat model is storage corruption,
+/// not an adversary forging checkpoints).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
 fn join_bits(xs: &[f64]) -> String {
     xs.iter().map(|&x| bits(x)).collect::<Vec<_>>().join(" ")
 }
@@ -174,7 +186,6 @@ impl ServiceCheckpoint {
     /// format and terminates the checkpoint.
     pub fn to_text(&self) -> String {
         let mut out = String::new();
-        out.push_str("qhdcd-service v1\n");
         out.push_str(&format!("epoch {}\n", self.epoch));
         out.push_str(&format!("events_applied {}\n", self.events_applied));
         out.push_str(&format!("batches {}\n", self.batches));
@@ -188,7 +199,10 @@ impl ServiceCheckpoint {
         out.push_str(&format!("sigma_in {}\n", join_bits(&self.sigma_in)));
         out.push_str("graph\n");
         out.push_str(&self.graph.to_checkpoint_text());
-        out
+        // The checksum guards the body against *silent* corruption: a flipped
+        // hex digit in a raw-bit float still parses, just to a different
+        // value, which would otherwise restore a subtly wrong state.
+        format!("qhdcd-service v1\nchecksum {:016x}\n{out}", fnv1a(out.as_bytes()))
     }
 
     /// Parses a checkpoint from [`ServiceCheckpoint::to_text`] output.
@@ -215,6 +229,11 @@ impl ServiceCheckpoint {
         if version != "v1" {
             return Err(err(lineno + 1, format!("unsupported checkpoint version `{version}`")));
         }
+        // Everything after the checksum line is the checksummed body.
+        let computed = text.splitn(3, '\n').nth(2).map(|body| fnv1a(body.as_bytes()));
+        let (cks_lineno, cks_body) = expect("checksum")?;
+        let stored = u64::from_str_radix(&cks_body, 16)
+            .map_err(|e| err(cks_lineno + 1, format!("invalid checksum `{cks_body}`: {e}")))?;
         let parse_u64 = |lineno: usize, tok: &str| -> Result<u64, StreamError> {
             tok.parse::<u64>().map_err(|e| err(lineno + 1, format!("invalid count `{tok}`: {e}")))
         };
@@ -267,6 +286,15 @@ impl ServiceCheckpoint {
             ),
             other => err(0, format!("in graph section: {other}")),
         })?;
+        // Structural errors above carry a precise line; a document that parses
+        // cleanly but fails its checksum was silently bit-flipped (raw-bit
+        // floats parse to a *different* value rather than failing).
+        if computed != Some(stored) {
+            return Err(err(
+                cks_lineno + 1,
+                "checksum mismatch: checkpoint body is corrupted".into(),
+            ));
+        }
         Ok(ServiceCheckpoint {
             epoch,
             events_applied,
@@ -392,27 +420,126 @@ mod tests {
             ServiceCheckpoint::from_text(&bad),
             Err(StreamError::Checkpoint { line: 1, .. })
         ));
-        // Corrupt drift bits: line 6.
-        let bad = text.replace("drift ", "drift zz");
+        // A mangled checksum line: line 2.
+        let bad = text.replace("checksum ", "checksum zz");
         assert!(matches!(
             ServiceCheckpoint::from_text(&bad),
-            Err(StreamError::Checkpoint { line: 6, .. })
+            Err(StreamError::Checkpoint { line: 2, .. })
         ));
-        // A bad label: line 7.
-        let bad = text.replace("labels 0 1", "labels 0 x");
+        // Corrupt drift bits: line 7.
+        let bad = text.replace("drift ", "drift zz");
         assert!(matches!(
             ServiceCheckpoint::from_text(&bad),
             Err(StreamError::Checkpoint { line: 7, .. })
         ));
+        // A bad label: line 8.
+        let bad = text.replace("labels 0 1", "labels 0 x");
+        assert!(matches!(
+            ServiceCheckpoint::from_text(&bad),
+            Err(StreamError::Checkpoint { line: 8, .. })
+        ));
         // Graph-section errors carry document line numbers: the `graph`
-        // marker is line 10, the embedded header is line 11.
+        // marker is line 11, the embedded header is line 12.
         let bad = text.replace("dyngraph v1", "dyngraph v9");
         match ServiceCheckpoint::from_text(&bad) {
             Err(StreamError::Checkpoint { line, reason }) => {
-                assert_eq!(line, 11, "reason: {reason}");
+                assert_eq!(line, 12, "reason: {reason}");
                 assert!(reason.contains("in graph section"));
             }
             other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn silent_bit_flips_are_caught_by_the_checksum() {
+        let mut graph = DynamicGraph::new(2);
+        graph.insert_edge(0, 1, 1.0).unwrap();
+        let checkpoint = ServiceCheckpoint {
+            epoch: 1,
+            events_applied: 1,
+            batches: 1,
+            full_redetects: 0,
+            drift: 1.0,
+            labels: vec![0, 1],
+            sigma_tot: vec![1.0, 1.0],
+            sigma_in: vec![0.0, 0.0],
+            graph,
+        };
+        let text = checkpoint.to_text();
+        // Flip one hex digit of a raw-bit float (1.0 = 3ff0...): the token
+        // still parses — only the checksum can tell the state is wrong.
+        let flipped = text.replacen("3ff0", "3ff8", 1);
+        assert_ne!(flipped, text, "the flip must hit a float");
+        match ServiceCheckpoint::from_text(&flipped) {
+            Err(StreamError::Checkpoint { line: 2, reason }) => {
+                assert!(reason.contains("checksum mismatch"), "reason: {reason}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Flipping a counter digit is equally caught.
+        let flipped = text.replacen("epoch 1", "epoch 2", 1);
+        assert!(matches!(
+            ServiceCheckpoint::from_text(&flipped),
+            Err(StreamError::Checkpoint { line: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn corruption_matrix_never_panics_or_partially_restores() {
+        let mut graph = DynamicGraph::new(3);
+        graph.insert_edge(0, 1, 0.5).unwrap();
+        graph.insert_edge(1, 2, 1.5).unwrap();
+        let checkpoint = ServiceCheckpoint {
+            epoch: 3,
+            events_applied: 4,
+            batches: 3,
+            full_redetects: 1,
+            drift: 0.25,
+            labels: vec![0, 0, 1],
+            sigma_tot: vec![2.0, 1.5],
+            sigma_in: vec![0.5, 0.0],
+            graph,
+        };
+        let text = checkpoint.to_text();
+        // Truncation at every byte boundary: a torn write yields a structured
+        // error — never a panic, never a silently different state.
+        for cut in 0..text.len() {
+            match ServiceCheckpoint::from_text(&text[..cut]) {
+                Err(StreamError::Checkpoint { .. }) => {}
+                Ok(restored) => {
+                    panic!("truncation to {cut} bytes restored {restored:?}")
+                }
+                Err(other) => panic!("unexpected error class {other:?}"),
+            }
+        }
+        // Single-byte overwrite at every position (the classic bit-rot
+        // model): either a structured parse error or a checksum mismatch;
+        // an `Ok` is only acceptable if it restores the exact original.
+        for pos in 0..text.len() {
+            if text.as_bytes()[pos] == b'X' {
+                continue;
+            }
+            let mut bytes = text.clone().into_bytes();
+            bytes[pos] = b'X';
+            let Ok(corrupted) = String::from_utf8(bytes) else { continue };
+            match ServiceCheckpoint::from_text(&corrupted) {
+                Err(StreamError::Checkpoint { .. }) => {}
+                Ok(restored) => {
+                    assert_eq!(restored, checkpoint, "overwrite at byte {pos} partially restored")
+                }
+                Err(other) => panic!("unexpected error class {other:?}"),
+            }
+        }
+        // The journal side: truncating the event log at every byte never
+        // panics, and whatever still parses is a prefix of the original
+        // (a torn journal tail loses batches, it never invents them).
+        let journal = sample_journal();
+        let log = journal.to_event_log();
+        for cut in 0..log.len() {
+            if let Ok(parsed) = EventJournal::from_event_log(&log[..cut]) {
+                assert!(parsed.len() <= journal.len(), "cut at {cut} grew the journal");
+                assert!(parsed.num_batches() <= journal.num_batches());
+            }
         }
     }
 }

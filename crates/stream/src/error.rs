@@ -34,6 +34,14 @@ pub enum StreamError {
     },
     /// The service was closed; no further events are accepted.
     ServiceClosed,
+    /// A blocking submission gave up after its timeout elapsed with the queue
+    /// still full.
+    SubmitTimeout {
+        /// Events queued when the submission gave up.
+        queued: usize,
+        /// Capacity of the bounded queue.
+        capacity: usize,
+    },
     /// A serialized service checkpoint could not be parsed.
     Checkpoint {
         /// 1-based line number of the offending entry.
@@ -56,6 +64,9 @@ impl fmt::Display for StreamError {
                 write!(f, "ingestion queue is full ({queued}/{capacity} events queued)")
             }
             StreamError::ServiceClosed => write!(f, "streaming service is closed"),
+            StreamError::SubmitTimeout { queued, capacity } => {
+                write!(f, "submission timed out ({queued}/{capacity} events still queued)")
+            }
             StreamError::Checkpoint { line, reason } => {
                 write!(f, "failed to parse service checkpoint at line {line}: {reason}")
             }
@@ -71,6 +82,7 @@ impl Error for StreamError {
             StreamError::InvalidConfig { .. }
             | StreamError::Backpressure { .. }
             | StreamError::ServiceClosed
+            | StreamError::SubmitTimeout { .. }
             | StreamError::Checkpoint { .. } => None,
         }
     }
@@ -111,6 +123,9 @@ mod tests {
         assert!(e.source().is_none());
         let e = StreamError::ServiceClosed;
         assert!(e.to_string().contains("closed"));
+        let e = StreamError::SubmitTimeout { queued: 8, capacity: 8 };
+        assert!(e.to_string().contains("timed out"));
+        assert!(e.source().is_none());
         let e = StreamError::Checkpoint { line: 4, reason: "bad token".into() };
         assert!(e.to_string().contains("line 4"));
         assert!(e.source().is_none());

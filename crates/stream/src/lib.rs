@@ -68,13 +68,17 @@ mod detector;
 mod error;
 
 pub mod checkpoint;
+#[cfg(feature = "fault-injection")]
+pub mod faults;
 pub mod service;
 pub mod snapshot;
 
 pub use checkpoint::{EventJournal, ServiceCheckpoint};
 pub use detector::{StreamConfig, StreamStats, StreamingDetector};
 pub use error::StreamError;
-pub use service::{ServiceClient, ServiceConfig, StreamingService};
+pub use service::{
+    BackoffPolicy, CheckpointStore, DeadLetter, ServiceClient, ServiceConfig, StreamingService,
+};
 pub use snapshot::{PartitionSnapshot, SnapshotReader};
 
 // The dynamic-graph layer is re-exported so that streaming applications only

@@ -54,6 +54,14 @@ pub struct ServiceConfig {
     /// (checkpoints are then cut manually via
     /// [`StreamingService::checkpoint`]).
     pub checkpoint_every: u64,
+    /// Poisoned-batch quarantine. `0` (the default) keeps the fail-fast
+    /// contract: a batch failing validation is dropped and the error returned
+    /// to the caller of [`StreamingService::step`]. With `n > 0`, a drained
+    /// batch is validated up to `n` times; one that never passes is moved to
+    /// the [dead-letter log](StreamingService::dead_letters) and *skipped*, so
+    /// a single poisoned batch can never wedge the queue or kill the writer
+    /// loop.
+    pub max_validation_attempts: u32,
 }
 
 impl Default for ServiceConfig {
@@ -63,6 +71,7 @@ impl Default for ServiceConfig {
             queue_capacity: 1024,
             max_batch: 256,
             checkpoint_every: 0,
+            max_validation_attempts: 0,
         }
     }
 }
@@ -128,6 +137,19 @@ impl EventQueue {
 
     fn lock(&self) -> std::sync::MutexGuard<'_, QueueState> {
         self.state.lock().expect("ingestion queue mutex poisoned")
+    }
+
+    /// Marks the queue closed and wakes every blocked submitter and the
+    /// writer loop. Used by [`ServiceClient::close`] and by the service's
+    /// [`Drop`] — the latter is what turns a dead writer (panicked thread,
+    /// dropped service) into prompt [`StreamError::ServiceClosed`] errors for
+    /// blocked [`ServiceClient::submit`] callers instead of a deadlock.
+    fn close(&self) {
+        let mut state = self.lock();
+        state.closed = true;
+        drop(state);
+        self.items.notify_all();
+        self.space.notify_all();
     }
 }
 
@@ -195,16 +217,91 @@ impl ServiceClient {
         }
     }
 
+    /// Enqueues `events`, blocking at most `timeout` for the writer to free
+    /// enough space.
+    ///
+    /// # Errors
+    ///
+    /// * [`StreamError::Backpressure`] for a batch larger than the queue
+    ///   capacity (it could never fit, so waiting would be pointless).
+    /// * [`StreamError::SubmitTimeout`] if the timeout elapses with the batch
+    ///   still not accepted.
+    /// * [`StreamError::ServiceClosed`] if the service closes before the
+    ///   batch is accepted.
+    pub fn submit_timeout(
+        &self,
+        events: &[EdgeEvent],
+        timeout: Duration,
+    ) -> Result<(), StreamError> {
+        if events.len() > self.queue.capacity {
+            return Err(StreamError::Backpressure { queued: 0, capacity: self.queue.capacity });
+        }
+        let deadline = std::time::Instant::now() + timeout;
+        let mut state = self.queue.lock();
+        loop {
+            if state.closed {
+                return Err(StreamError::ServiceClosed);
+            }
+            if state.events.len() + events.len() <= self.queue.capacity {
+                state.events.extend(events.iter().cloned());
+                self.queue.depth.store(state.events.len(), Ordering::Release);
+                drop(state);
+                self.queue.items.notify_all();
+                return Ok(());
+            }
+            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+            if remaining.is_zero() {
+                return Err(StreamError::SubmitTimeout {
+                    queued: state.events.len(),
+                    capacity: self.queue.capacity,
+                });
+            }
+            let (guard, _timed_out) = self
+                .queue
+                .space
+                .wait_timeout(state, remaining)
+                .expect("ingestion queue mutex poisoned");
+            // Timeouts are re-derived from the deadline at the loop top, so a
+            // spurious wakeup never extends the wait.
+            state = guard;
+        }
+    }
+
+    /// Retries [`ServiceClient::try_submit`] under a deterministic capped
+    /// exponential backoff until the batch is accepted, a non-backpressure
+    /// error occurs, or the policy's attempts are exhausted (the last
+    /// [`StreamError::Backpressure`] is then returned). `sleeper` receives
+    /// each computed delay — pass [`std::thread::sleep`] in production or a
+    /// recording closure in tests; the delay sequence is a pure function of
+    /// the policy, so retry schedules are reproducible.
+    pub fn retry_with_backoff(
+        &self,
+        events: &[EdgeEvent],
+        policy: &BackoffPolicy,
+        mut sleeper: impl FnMut(Duration),
+    ) -> Result<(), StreamError> {
+        let attempts = policy.max_attempts.max(1);
+        let mut delay = policy.initial_delay;
+        let mut result = self.try_submit(events);
+        for _ in 1..attempts {
+            match result {
+                Err(StreamError::Backpressure { .. }) => {
+                    sleeper(delay);
+                    delay = (delay * 2).min(policy.max_delay);
+                    result = self.try_submit(events);
+                }
+                other => return other,
+            }
+        }
+        result
+    }
+
     /// Closes the service: pending events are still drained by the writer,
     /// but no further submissions are accepted and
     /// [`StreamingService::run_until_closed`] returns once the queue is
     /// empty.
     pub fn close(&self) {
-        let mut state = self.queue.lock();
-        state.closed = true;
-        drop(state);
-        self.queue.items.notify_all();
-        self.queue.space.notify_all();
+        self.queue.close();
     }
 
     /// Number of events currently queued (lock-free probe).
@@ -229,6 +326,99 @@ impl ServiceClient {
     }
 }
 
+/// A deterministic capped exponential backoff schedule for
+/// [`ServiceClient::retry_with_backoff`]: attempt `k` (0-based) sleeps
+/// `min(initial_delay · 2ᵏ, max_delay)` before retrying, for at most
+/// `max_attempts` submission attempts in total.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BackoffPolicy {
+    /// Delay before the first retry.
+    pub initial_delay: Duration,
+    /// Upper bound on any single delay.
+    pub max_delay: Duration,
+    /// Total submission attempts (at least 1; includes the initial try).
+    pub max_attempts: u32,
+}
+
+impl Default for BackoffPolicy {
+    fn default() -> Self {
+        BackoffPolicy {
+            initial_delay: Duration::from_millis(1),
+            max_delay: Duration::from_millis(100),
+            max_attempts: 8,
+        }
+    }
+}
+
+/// A batch moved to the dead-letter log by the poisoned-batch quarantine
+/// (see [`ServiceConfig::max_validation_attempts`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeadLetter {
+    /// The quarantined batch, in submission order.
+    pub batch: Vec<EdgeEvent>,
+    /// The validation error of the final attempt.
+    pub error: StreamError,
+    /// How many validation attempts were made before giving up.
+    pub attempts: u32,
+}
+
+/// Internal state of a [`CheckpointStore`].
+#[derive(Debug, Default)]
+struct StoreState {
+    checkpoint: Option<String>,
+    journal: String,
+}
+
+/// A shared, crash-surviving home for the latest checkpoint and journal text.
+///
+/// The service only keeps its recovery state (`latest_checkpoint`, journal)
+/// in fields of its own — state that dies with the writer thread when it
+/// panics. Attaching a store ([`StreamingService::attach_store`]) mirrors the
+/// checkpoint at every refresh and the journal after every applied batch into
+/// this handle, which the supervising side holds on to; after a writer death
+/// [`StreamingService::resume_from_store`] rebuilds a bit-identical service
+/// from it while existing [`SnapshotReader`]s keep serving the last published
+/// epoch (degraded read-only mode).
+#[derive(Debug, Clone, Default)]
+pub struct CheckpointStore {
+    inner: Arc<Mutex<StoreState>>,
+}
+
+impl CheckpointStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, StoreState> {
+        // A writer panicking *between* store updates leaves the store intact;
+        // one panicking *during* an update can poison the mutex — the stored
+        // text is still a complete earlier state, so recovery proceeds.
+        match self.inner.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// The most recently recorded checkpoint text, if any.
+    pub fn latest_checkpoint(&self) -> Option<String> {
+        self.lock().checkpoint.clone()
+    }
+
+    /// The most recently recorded journal log.
+    pub fn journal_log(&self) -> String {
+        self.lock().journal.clone()
+    }
+
+    fn record_checkpoint(&self, text: &str) {
+        self.lock().checkpoint = Some(text.to_string());
+    }
+
+    fn record_journal(&self, log: String) {
+        self.lock().journal = log;
+    }
+}
+
 /// A long-running streaming community-detection service. See the module docs
 /// for the architecture.
 #[derive(Debug)]
@@ -240,6 +430,22 @@ pub struct StreamingService {
     journal: EventJournal,
     epoch: u64,
     latest_checkpoint: Option<String>,
+    dead_letters: Vec<DeadLetter>,
+    store: Option<CheckpointStore>,
+    #[cfg(feature = "fault-injection")]
+    faults: crate::faults::FaultPlan,
+}
+
+impl Drop for StreamingService {
+    /// Dropping the service — normally, or while a writer thread unwinds from
+    /// a panic — closes the ingestion queue and wakes every blocked
+    /// [`ServiceClient::submit`] caller with [`StreamError::ServiceClosed`],
+    /// so a dead writer can never strand its submitters. Snapshot readers are
+    /// unaffected: the publication chain is independently reference-counted
+    /// and keeps serving the last published epoch.
+    fn drop(&mut self) {
+        self.queue.close();
+    }
 }
 
 impl StreamingService {
@@ -280,7 +486,19 @@ impl StreamingService {
         let snapshot = Self::build_snapshot(&detector, epoch);
         let (publisher, _) = SnapshotPublisher::new(snapshot);
         let queue = Arc::new(EventQueue::new(config.queue_capacity));
-        StreamingService { detector, config, queue, publisher, journal, epoch, latest_checkpoint }
+        StreamingService {
+            detector,
+            config,
+            queue,
+            publisher,
+            journal,
+            epoch,
+            latest_checkpoint,
+            dead_letters: Vec::new(),
+            store: None,
+            #[cfg(feature = "fault-injection")]
+            faults: crate::faults::FaultPlan::default(),
+        }
     }
 
     fn build_snapshot(detector: &StreamingDetector, epoch: u64) -> PartitionSnapshot {
@@ -335,6 +553,13 @@ impl StreamingService {
     /// behind, without mutating anything. This is what makes batch
     /// application all-or-nothing.
     fn validate_batch(&self, events: &[EdgeEvent]) -> Result<(), StreamError> {
+        #[cfg(feature = "fault-injection")]
+        if self.faults.fails_validation_at(self.epoch + 1) {
+            return Err(StreamError::EventFailed {
+                index: 0,
+                source: GraphError::InvalidEdgeWeight { weight: f64::NAN },
+            });
+        }
         let graph = self.detector.graph();
         let n = graph.num_nodes();
         let key = |u: usize, v: usize| if u <= v { (u, v) } else { (v, u) };
@@ -439,9 +664,16 @@ impl StreamingService {
         events: &[EdgeEvent],
         record: bool,
     ) -> Result<StreamStats, StreamError> {
+        #[cfg(feature = "fault-injection")]
+        if record && self.faults.panics_at_batch(self.epoch + 1) {
+            panic!("injected fault: writer panic at batch {}", self.epoch + 1);
+        }
         let stats = self.detector.apply_events(events)?;
         if record {
             self.journal.record_batch(events);
+            if let Some(store) = &self.store {
+                store.record_journal(self.journal.to_event_log());
+            }
         }
         self.epoch += 1;
         self.publisher.publish(Self::build_snapshot(&self.detector, self.epoch));
@@ -461,18 +693,41 @@ impl StreamingService {
     /// Same as [`StreamingService::ingest`]. A batch that fails validation is
     /// dropped from the queue as a whole with no state change.
     pub fn step(&mut self) -> Result<Option<StreamStats>, StreamError> {
-        let batch: Vec<EdgeEvent> = {
-            let mut state = self.queue.lock();
-            let take = state.events.len().min(self.config.max_batch);
-            let batch: Vec<EdgeEvent> = state.events.drain(..take).collect();
-            self.queue.depth.store(state.events.len(), Ordering::Release);
-            batch
-        };
-        if batch.is_empty() {
-            return Ok(None);
+        loop {
+            let batch: Vec<EdgeEvent> = {
+                let mut state = self.queue.lock();
+                let take = state.events.len().min(self.config.max_batch);
+                let batch: Vec<EdgeEvent> = state.events.drain(..take).collect();
+                self.queue.depth.store(state.events.len(), Ordering::Release);
+                batch
+            };
+            if batch.is_empty() {
+                return Ok(None);
+            }
+            self.queue.space.notify_all();
+            if self.config.max_validation_attempts == 0 {
+                return self.ingest(&batch).map(Some);
+            }
+            // Quarantine mode: a batch failing validation
+            // `max_validation_attempts` times is moved to the dead-letter log
+            // and skipped, and the loop drains the next batch — one poisoned
+            // batch can never wedge the queue.
+            let attempts = self.config.max_validation_attempts;
+            let mut outcome = self.validate_batch(&batch);
+            let mut made = 1u32;
+            while outcome.is_err() && made < attempts {
+                outcome = self.validate_batch(&batch);
+                made += 1;
+            }
+            match outcome {
+                Ok(()) => return self.apply_validated(&batch, true).map(Some),
+                Err(error) => {
+                    self.dead_letters.push(DeadLetter { batch, error, attempts: made });
+                    #[cfg(feature = "fault-injection")]
+                    self.faults.consume_validation_fault();
+                }
+            }
         }
-        self.queue.space.notify_all();
-        self.ingest(&batch).map(Some)
     }
 
     /// Applies queued events until the queue is empty, returning the per-batch
@@ -531,14 +786,76 @@ impl StreamingService {
             sigma_in: sigma_in.to_vec(),
             graph: graph.clone(),
         };
-        let text = checkpoint.to_text();
+        #[allow(unused_mut)]
+        let mut text = checkpoint.to_text();
+        #[cfg(feature = "fault-injection")]
+        if let Some(keep) = self.faults.truncates_checkpoint() {
+            // Simulates a torn checkpoint write: only a prefix survives.
+            text.truncate(keep.min(text.len()));
+        }
         self.latest_checkpoint = Some(text.clone());
+        if let Some(store) = &self.store {
+            store.record_checkpoint(&text);
+        }
         text
     }
 
     /// The most recent checkpoint text (manual or automatic), if any.
     pub fn latest_checkpoint(&self) -> Option<&str> {
         self.latest_checkpoint.as_deref()
+    }
+
+    /// Batches quarantined by the poisoned-batch dead-letter log, oldest
+    /// first (see [`ServiceConfig::max_validation_attempts`]).
+    pub fn dead_letters(&self) -> &[DeadLetter] {
+        &self.dead_letters
+    }
+
+    /// Removes and returns the dead-letter log (e.g. after operator triage).
+    pub fn take_dead_letters(&mut self) -> Vec<DeadLetter> {
+        std::mem::take(&mut self.dead_letters)
+    }
+
+    /// Attaches a [`CheckpointStore`] that outlives the writer: the current
+    /// state is checkpointed into it immediately (so a recovery point always
+    /// exists), and every future checkpoint refresh and applied batch is
+    /// mirrored. Hold the store on the supervising side and rebuild after a
+    /// writer death with [`StreamingService::resume_from_store`].
+    pub fn attach_store(&mut self, store: &CheckpointStore) {
+        self.store = Some(store.clone());
+        let text = self.checkpoint();
+        store.record_checkpoint(&text);
+        store.record_journal(self.journal.to_event_log());
+    }
+
+    /// Rebuilds a service from the state a [`CheckpointStore`] captured before
+    /// a writer death, replaying journaled batches past the checkpoint — the
+    /// supervisor's restart path. The new service re-attaches to the store.
+    /// Readers of the dead service keep serving its last published epoch
+    /// while this runs; hand out fresh clients/readers once it returns.
+    ///
+    /// # Errors
+    ///
+    /// * [`StreamError::InvalidConfig`] if the store holds no checkpoint (the
+    ///   store was never attached to a service).
+    /// * Same as [`StreamingService::recover`] for corrupt store contents.
+    pub fn resume_from_store(
+        store: &CheckpointStore,
+        config: ServiceConfig,
+    ) -> Result<Self, StreamError> {
+        let checkpoint = store.latest_checkpoint().ok_or_else(|| StreamError::InvalidConfig {
+            reason: "checkpoint store holds no checkpoint to resume from".into(),
+        })?;
+        let mut service = Self::recover(&checkpoint, &store.journal_log(), config)?;
+        service.store = Some(store.clone());
+        Ok(service)
+    }
+
+    /// Installs a deterministic fault plan (feature `fault-injection` only);
+    /// see [`crate::faults`].
+    #[cfg(feature = "fault-injection")]
+    pub fn inject_faults(&mut self, faults: crate::faults::FaultPlan) {
+        self.faults = faults;
     }
 
     /// Rebuilds a service from a checkpoint and the full event journal,
@@ -798,5 +1115,190 @@ mod tests {
         assert_eq!(service.latest_checkpoint().unwrap(), first, "not due yet");
         service.ingest(&[EdgeEvent::Add { u: 0, v: 23, weight: 1.0 }]).unwrap();
         assert_ne!(service.latest_checkpoint().unwrap(), first, "refreshed at batch 4");
+    }
+
+    #[test]
+    fn dropping_the_service_wakes_blocked_submitters() {
+        let service =
+            karate_service(ServiceConfig { queue_capacity: 1, ..ServiceConfig::default() });
+        let client = service.client();
+        client.try_submit(&[EdgeEvent::Add { u: 0, v: 20, weight: 1.0 }]).unwrap();
+        let blocked = {
+            let client = client.clone();
+            std::thread::spawn(move || {
+                client.submit(&[EdgeEvent::Add { u: 0, v: 21, weight: 1.0 }])
+            })
+        };
+        // Let the submitter block on the full queue, then kill the writer
+        // WITHOUT a clean close() — the regression this pins is a submitter
+        // hanging forever on a dead writer.
+        std::thread::sleep(Duration::from_millis(50));
+        drop(service);
+        let result = blocked.join().expect("submitter must not panic");
+        assert!(matches!(result, Err(StreamError::ServiceClosed)));
+    }
+
+    #[test]
+    fn submit_timeout_reports_queue_state_and_recovers_after_drain() {
+        let mut service =
+            karate_service(ServiceConfig { queue_capacity: 2, ..ServiceConfig::default() });
+        let client = service.client();
+        client
+            .try_submit(&[
+                EdgeEvent::Add { u: 0, v: 20, weight: 1.0 },
+                EdgeEvent::Add { u: 0, v: 21, weight: 1.0 },
+            ])
+            .unwrap();
+        let err = client
+            .submit_timeout(
+                &[EdgeEvent::Add { u: 0, v: 22, weight: 1.0 }],
+                Duration::from_millis(10),
+            )
+            .unwrap_err();
+        assert_eq!(err, StreamError::SubmitTimeout { queued: 2, capacity: 2 });
+        // Oversized batches fail fast rather than waiting out the timeout.
+        let oversized: Vec<EdgeEvent> =
+            (20..23).map(|v| EdgeEvent::Add { u: 0, v, weight: 1.0 }).collect();
+        assert!(matches!(
+            client.submit_timeout(&oversized, Duration::from_secs(1)),
+            Err(StreamError::Backpressure { .. })
+        ));
+        // Draining frees space; the same submission then succeeds.
+        service.step().unwrap();
+        client
+            .submit_timeout(
+                &[EdgeEvent::Add { u: 0, v: 22, weight: 1.0 }],
+                Duration::from_millis(10),
+            )
+            .unwrap();
+        client.close();
+        assert!(matches!(
+            client.submit_timeout(&[EdgeEvent::Add { u: 0, v: 23, weight: 1.0 }], Duration::ZERO),
+            Err(StreamError::ServiceClosed)
+        ));
+    }
+
+    #[test]
+    fn quarantine_dead_letters_poisoned_batches_and_keeps_draining() {
+        let mut service = karate_service(ServiceConfig {
+            max_batch: 1,
+            max_validation_attempts: 2,
+            ..ServiceConfig::default()
+        });
+        let client = service.client();
+        let poisoned = vec![EdgeEvent::Add { u: 0, v: 20, weight: f64::NAN }];
+        client.try_submit(&poisoned).unwrap();
+        client.try_submit(&[EdgeEvent::Add { u: 0, v: 21, weight: 1.0 }]).unwrap();
+        // One step call: the poisoned batch is dead-lettered and the writer
+        // moves straight on to the healthy batch — the queue never wedges.
+        let stats = service.step().unwrap().unwrap();
+        assert_eq!(stats.events_applied, 1);
+        assert_eq!(service.epoch(), 1);
+        assert!(service.detector().graph().has_edge(0, 21));
+        let letters = service.dead_letters();
+        assert_eq!(letters.len(), 1);
+        // NaN never compares equal, so match the quarantined batch by shape.
+        assert!(matches!(letters[0].batch[..], [EdgeEvent::Add { u: 0, v: 20, .. }]));
+        assert_eq!(letters[0].attempts, 2);
+        assert!(matches!(letters[0].error, StreamError::EventFailed { index: 0, .. }));
+        // The quarantined batch is journaled nowhere: replay stays exact.
+        assert_eq!(service.journal().len(), 1);
+        assert_eq!(service.take_dead_letters().len(), 1);
+        assert!(service.dead_letters().is_empty());
+    }
+
+    #[test]
+    fn fail_fast_mode_still_returns_validation_errors_from_step() {
+        let mut service = karate_service(ServiceConfig::default());
+        let client = service.client();
+        client.try_submit(&[EdgeEvent::Add { u: 0, v: 20, weight: f64::NAN }]).unwrap();
+        assert!(matches!(service.step(), Err(StreamError::EventFailed { .. })));
+        assert!(service.dead_letters().is_empty());
+    }
+
+    #[test]
+    fn store_resume_is_bit_exact_after_writer_death() {
+        let config = ServiceConfig { checkpoint_every: 2, ..ServiceConfig::default() };
+        let mut service = karate_service(config.clone());
+        let store = CheckpointStore::new();
+        service.attach_store(&store);
+        for v in 20..25 {
+            service.ingest(&[EdgeEvent::Add { u: 0, v, weight: 1.0 }]).unwrap();
+        }
+        assert_eq!(service.epoch(), 5);
+        let mut client = service.client();
+        let last_published = client.snapshot();
+        // The store lags behind on purpose: its checkpoint is the automatic
+        // one at epoch 4, and the journal holds all five batches.
+        drop(service);
+        // Degraded read-only mode: readers of the dead writer keep serving
+        // the last published epoch while the supervisor restarts.
+        assert_eq!(client.snapshot().epoch(), 5);
+        let mut resumed = StreamingService::resume_from_store(&store, config.clone()).unwrap();
+        assert_eq!(resumed.epoch(), 5);
+        // Bit-exactness: the resumed state checkpoints identically to an
+        // uninterrupted run over the same batches.
+        let mut reference = karate_service(config);
+        for v in 20..25 {
+            reference.ingest(&[EdgeEvent::Add { u: 0, v, weight: 1.0 }]).unwrap();
+        }
+        assert_eq!(resumed.checkpoint(), reference.checkpoint());
+        assert_eq!(resumed.journal_log(), reference.journal_log());
+        assert_eq!(resumed.latest_snapshot().community_of(0), last_published.community_of(0));
+        // The resumed service is re-attached: new batches keep mirroring.
+        resumed.ingest(&[EdgeEvent::Add { u: 0, v: 25, weight: 1.0 }]).unwrap();
+        assert_eq!(store.journal_log(), resumed.journal_log());
+    }
+
+    #[test]
+    fn resume_from_an_empty_store_is_rejected() {
+        let err =
+            StreamingService::resume_from_store(&CheckpointStore::new(), ServiceConfig::default())
+                .unwrap_err();
+        assert!(matches!(err, StreamError::InvalidConfig { .. }));
+    }
+
+    #[test]
+    fn retry_with_backoff_schedule_is_deterministic() {
+        let mut service =
+            karate_service(ServiceConfig { queue_capacity: 1, ..ServiceConfig::default() });
+        let client = service.client();
+        client.try_submit(&[EdgeEvent::Add { u: 0, v: 20, weight: 1.0 }]).unwrap();
+        let policy = BackoffPolicy {
+            initial_delay: Duration::from_millis(1),
+            max_delay: Duration::from_millis(4),
+            max_attempts: 5,
+        };
+        // Exhaustion: nothing drains, so every retry sees backpressure and
+        // the capped delay sequence is exactly 1, 2, 4, 4 ms.
+        let mut delays = Vec::new();
+        let err = client
+            .retry_with_backoff(&[EdgeEvent::Add { u: 0, v: 21, weight: 1.0 }], &policy, |d| {
+                delays.push(d)
+            })
+            .unwrap_err();
+        assert!(matches!(err, StreamError::Backpressure { .. }));
+        let ms = Duration::from_millis;
+        assert_eq!(delays, vec![ms(1), ms(2), ms(4), ms(4)]);
+        // Success path: the sleeper doubles as the writer, draining the queue
+        // before the first retry.
+        let mut drains = 0;
+        client
+            .retry_with_backoff(&[EdgeEvent::Add { u: 0, v: 21, weight: 1.0 }], &policy, |_| {
+                service.step().unwrap();
+                drains += 1;
+            })
+            .unwrap();
+        assert_eq!(drains, 1);
+        // Non-backpressure errors abort the retry loop immediately.
+        client.close();
+        let mut sleeps = 0;
+        let err = client
+            .retry_with_backoff(&[EdgeEvent::Add { u: 0, v: 22, weight: 1.0 }], &policy, |_| {
+                sleeps += 1;
+            })
+            .unwrap_err();
+        assert!(matches!(err, StreamError::ServiceClosed));
+        assert_eq!(sleeps, 0);
     }
 }
