@@ -9,7 +9,7 @@ use crate::direct::{self, DirectConfig};
 use crate::formulation::FormulationConfig;
 use crate::multilevel::{self, MultilevelConfig};
 use crate::{label_propagation, louvain, CdError};
-use qhdcd_graph::{Graph, Partition};
+use qhdcd_graph::{Graph, Partition, QualityFunction};
 use qhdcd_qhd::QhdSolver;
 use qhdcd_qubo::SolverOptions;
 use qhdcd_solvers::{BranchAndBound, MoveSet, PortfolioSolver, SimulatedAnnealing};
@@ -62,7 +62,9 @@ impl std::fmt::Display for Method {
 pub struct DetectionResult {
     /// The detected partition (renumbered).
     pub partition: Partition,
-    /// Modularity of [`DetectionResult::partition`].
+    /// Quality of [`DetectionResult::partition`] under the detector's
+    /// configured quality function (γ=1 modularity unless changed with
+    /// [`CommunityDetector::with_quality`]).
     pub modularity: f64,
     /// Number of communities found.
     pub num_communities: usize,
@@ -97,6 +99,7 @@ pub struct CommunityDetector {
     qhd_steps: usize,
     coarsen_threshold: usize,
     balance_weight: f64,
+    quality: QualityFunction,
 }
 
 impl CommunityDetector {
@@ -111,6 +114,7 @@ impl CommunityDetector {
             qhd_steps: 120,
             coarsen_threshold: 200,
             balance_weight: FormulationConfig::default().balance_weight,
+            quality: QualityFunction::default(),
         }
     }
 
@@ -182,6 +186,19 @@ impl CommunityDetector {
         self
     }
 
+    /// Sets the quality function optimised and reported by the detector
+    /// (resolution-γ modularity or CPM; default γ=1 modularity).
+    ///
+    /// The choice is threaded through the QUBO formulation, every refinement
+    /// pass and the Louvain baseline; [`DetectionResult::modularity`] then
+    /// holds the value of *this* quality function. Methods that do not
+    /// optimise a quality function directly (label propagation, spectral,
+    /// agglomerative) still report their result under the configured quality.
+    pub fn with_quality(mut self, quality: QualityFunction) -> Self {
+        self.quality = quality;
+        self
+    }
+
     /// The method this detector runs.
     pub fn method(&self) -> Method {
         self.method
@@ -191,14 +208,20 @@ impl CommunityDetector {
         FormulationConfig {
             num_communities: self.num_communities,
             balance_weight: self.balance_weight,
+            quality: self.quality,
             ..FormulationConfig::default()
         }
+    }
+
+    fn refine_config(&self) -> crate::refine::RefineConfig {
+        crate::refine::RefineConfig { quality: self.quality, ..Default::default() }
     }
 
     fn multilevel_config(&self) -> MultilevelConfig {
         let mut config = MultilevelConfig::with_communities(self.num_communities);
         config.coarsen.threshold = self.coarsen_threshold;
         config.formulation = self.formulation();
+        config.refine = self.refine_config();
         config
     }
 
@@ -238,9 +261,8 @@ impl CommunityDetector {
     ) -> Result<DetectionResult, CdError> {
         let start = Instant::now();
         hint.check_matches(graph).map_err(CdError::Graph)?;
-        let polished =
-            crate::refine::refine_partition(graph, hint, &crate::refine::RefineConfig::default())?;
-        let polished_q = qhdcd_graph::modularity::modularity(graph, &polished.partition);
+        let polished = crate::refine::refine_partition(graph, hint, &self.refine_config())?;
+        let polished_q = qhdcd_graph::modularity::quality(graph, &polished.partition, self.quality);
         let mut result = self.detect_impl(graph, Some(hint))?;
         if polished_q > result.modularity {
             result.partition = polished.partition;
@@ -259,6 +281,7 @@ impl CommunityDetector {
         let start = Instant::now();
         let direct_config = || DirectConfig {
             formulation: self.formulation(),
+            refine_config: self.refine_config(),
             hint: hint.cloned(),
             ..DirectConfig::default()
         };
@@ -299,7 +322,11 @@ impl CommunityDetector {
                 (out.partition, out.modularity)
             }
             Method::Louvain => {
-                let out = louvain::detect(graph, &louvain::LouvainConfig::default())?;
+                let config = louvain::LouvainConfig {
+                    refine: self.refine_config(),
+                    ..louvain::LouvainConfig::default()
+                };
+                let out = louvain::detect(graph, &config)?;
                 (out.partition, out.modularity)
             }
             Method::LabelPropagation => {
@@ -310,7 +337,8 @@ impl CommunityDetector {
                         ..Default::default()
                     },
                 )?;
-                (out.partition, out.modularity)
+                let q = qhdcd_graph::modularity::quality(graph, &out.partition, self.quality);
+                (out.partition, q)
             }
             Method::Spectral => {
                 let out = crate::spectral::detect(
@@ -321,14 +349,16 @@ impl CommunityDetector {
                         ..Default::default()
                     },
                 )?;
-                (out.partition, out.modularity)
+                let q = qhdcd_graph::modularity::quality(graph, &out.partition, self.quality);
+                (out.partition, q)
             }
             Method::Agglomerative => {
                 let out = crate::agglomerative::detect(
                     graph,
                     &crate::agglomerative::AgglomerativeConfig::default(),
                 )?;
-                (out.partition, out.modularity)
+                let q = qhdcd_graph::modularity::quality(graph, &out.partition, self.quality);
+                (out.partition, q)
             }
         };
         Ok(DetectionResult {
@@ -398,7 +428,8 @@ mod tests {
             .with_qhd_samples(3)
             .with_qhd_steps(50)
             .with_coarsen_threshold(123)
-            .with_balance_weight(0.2);
+            .with_balance_weight(0.2)
+            .with_quality(QualityFunction::cpm(0.5));
         assert_eq!(d.method(), Method::QhdMultilevel);
         assert_eq!(d.num_communities, 7);
         assert_eq!(d.seed, 9);
@@ -406,6 +437,29 @@ mod tests {
         assert_eq!(d.qhd_steps, 50);
         assert_eq!(d.coarsen_threshold, 123);
         assert_eq!(d.balance_weight, 0.2);
+        assert_eq!(d.quality, QualityFunction::cpm(0.5));
+        assert_eq!(d.formulation().quality, QualityFunction::cpm(0.5));
+        assert_eq!(d.multilevel_config().refine.quality, QualityFunction::cpm(0.5));
+    }
+
+    #[test]
+    fn quality_choice_reaches_every_method_family() {
+        // Each representative method family reports the configured quality
+        // (CPM on a ring of cliques: each 5-clique is worth 10 − 0.5·10 = 5).
+        let pg = generators::ring_of_cliques(4, 5).unwrap();
+        for method in [Method::PortfolioMultilevel, Method::Louvain, Method::LabelPropagation] {
+            let result = CommunityDetector::new(method)
+                .with_communities(4)
+                .with_seed(1)
+                .with_quality(QualityFunction::cpm(0.5))
+                .detect(&pg.graph)
+                .unwrap();
+            assert!(
+                (result.modularity - 20.0).abs() < 1e-9,
+                "{method}: cpm quality={}",
+                result.modularity
+            );
+        }
     }
 
     #[test]

@@ -11,7 +11,7 @@
 use crate::formulation::{build_qubo, FormulationConfig};
 use crate::refine::{refine_partition, RefineConfig};
 use crate::CdError;
-use qhdcd_graph::{modularity, Graph, Partition};
+use qhdcd_graph::{modularity, Graph, Partition, QualityFunction};
 use qhdcd_qubo::{Budget, Completion, QuboSolver};
 use std::time::{Duration, Instant};
 
@@ -50,6 +50,15 @@ impl DirectConfig {
             ..DirectConfig::default()
         }
     }
+
+    /// Sets the quality function on both the formulation and the refinement
+    /// configuration, keeping the solver objective and the refiner gain in
+    /// lock-step.
+    pub fn with_quality(mut self, quality: QualityFunction) -> Self {
+        self.formulation.quality = quality;
+        self.refine_config.quality = quality;
+        self
+    }
 }
 
 /// Outcome of the direct pipeline.
@@ -57,7 +66,8 @@ impl DirectConfig {
 pub struct DirectOutcome {
     /// The detected partition (renumbered).
     pub partition: Partition,
-    /// Modularity of [`DirectOutcome::partition`].
+    /// Quality of [`DirectOutcome::partition`] under the configured
+    /// [`FormulationConfig::quality`] (modularity by default).
     pub modularity: f64,
     /// Energy of the best QUBO solution before decoding/refinement.
     pub qubo_objective: f64,
@@ -131,7 +141,7 @@ pub fn detect_bounded<S: QuboSolver>(
     if config.refine {
         partition = refine_partition(graph, &partition, &config.refine_config)?.partition;
     }
-    let q = modularity::modularity(graph, &partition);
+    let q = modularity::quality(graph, &partition, config.formulation.quality);
     Ok(DirectOutcome {
         partition,
         modularity: q,
@@ -249,6 +259,22 @@ mod tests {
         // The best-effort incumbent still decodes into a valid partition.
         assert!(!out.completion.is_full());
         assert_eq!(out.partition.labels().len(), 34);
+    }
+
+    #[test]
+    fn cpm_direct_pipeline_recovers_planted_communities() {
+        // End-to-end under CPM: the solver optimizes the CPM-encoded QUBO and
+        // the refiner polishes with CPM gains; the cliques are the γ=0.5
+        // optimum of a ring of cliques.
+        let pg = generators::ring_of_cliques(3, 5).unwrap();
+        let config =
+            DirectConfig::with_communities(3).with_quality(qhdcd_graph::QualityFunction::cpm(0.5));
+        let outcome =
+            detect(&pg.graph, &SimulatedAnnealing::default().with_seed(2), &config).unwrap();
+        let nmi = metrics::normalized_mutual_information(&outcome.partition, &pg.ground_truth);
+        assert!(nmi > 0.9, "nmi={nmi}");
+        // Each clique: e = 10, pairs = 10 ⇒ 10 − 5 = 5 per community.
+        assert!((outcome.modularity - 15.0).abs() < 1e-9, "q={}", outcome.modularity);
     }
 
     #[test]

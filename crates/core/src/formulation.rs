@@ -5,17 +5,20 @@
 //! *minimise* is
 //!
 //! ```text
-//! Q = −w₁ · Σ_{i,j} B_ij Σ_c x_{i,c} x_{j,c}          (modularity reward, Eq. 2)
+//! Q = −w₁ · Σ_{i,j} B_ij Σ_c x_{i,c} x_{j,c}          (quality reward, Eq. 2)
 //!   + λ_A · Σ_i (1 − Σ_c x_{i,c})²                     (assignment constraint, Eq. 3)
 //!   + λ_S · Σ_c (Σ_i x_{i,c} − n/k)²                   (balanced sizes, Eq. 4)
 //! ```
 //!
-//! with `B_ij = A_ij − d_i d_j / (2m)` the modularity matrix. The decoder maps
-//! a binary solution back to a [`Partition`], repairing nodes whose one-hot
-//! constraint is violated.
+//! with `B` the quality matrix of the configured [`QualityFunction`]:
+//! `B_ij = A_ij − γ d_i d_j / (2m)` for (resolution-γ) modularity — the
+//! paper's Eq. 2 at γ = 1 — and `B_ij = A_ij − γ [i ≠ j]` for the constant
+//! Potts model. The solvers therefore optimize exactly the objective the
+//! refinement phase improves. The decoder maps a binary solution back to a
+//! [`Partition`], repairing nodes whose one-hot constraint is violated.
 
 use crate::CdError;
-use qhdcd_graph::{modularity, Graph, Partition};
+use qhdcd_graph::{modularity, Graph, Partition, QualityFunction};
 use qhdcd_qubo::{BinarySolution, QuboBuilder, QuboModel};
 
 /// Configuration of the QUBO encoding.
@@ -34,6 +37,10 @@ pub struct FormulationConfig {
     /// community costs about `balance_weight × 2m` — comparable to, but by
     /// default much smaller than, the total modularity stake.
     pub balance_weight: f64,
+    /// The quality function whose matrix `B` the reward term encodes
+    /// (unit-resolution modularity by default). Must match the refinement
+    /// configuration so solvers and refiners optimize the same objective.
+    pub quality: QualityFunction,
 }
 
 impl Default for FormulationConfig {
@@ -43,6 +50,7 @@ impl Default for FormulationConfig {
             modularity_weight: 1.0,
             assignment_weight: 2.0,
             balance_weight: 0.05,
+            quality: QualityFunction::default(),
         }
     }
 }
@@ -74,6 +82,12 @@ impl FormulationConfig {
                 });
             }
         }
+        let resolution = self.quality.resolution();
+        if !resolution.is_finite() || resolution < 0.0 {
+            return Err(CdError::InvalidConfig {
+                reason: format!("resolution must be finite and non-negative, got {resolution}"),
+            });
+        }
         Ok(())
     }
 }
@@ -84,12 +98,18 @@ pub struct CdQubo {
     model: QuboModel,
     num_nodes: usize,
     num_communities: usize,
+    quality: QualityFunction,
 }
 
 impl CdQubo {
     /// The underlying QUBO model (`n·k` variables).
     pub fn model(&self) -> &QuboModel {
         &self.model
+    }
+
+    /// The quality function the reward term encodes.
+    pub fn quality_function(&self) -> QualityFunction {
+        self.quality
     }
 
     /// Number of graph nodes encoded.
@@ -209,13 +229,15 @@ pub fn build_qubo(graph: &Graph, config: &FormulationConfig) -> Result<CdQubo, C
     let mut builder = QuboBuilder::new(n * k);
     let idx = |i: usize, c: usize| i * k + c;
 
-    // --- Modularity reward: −w₁ Σ_{i,j} B_ij Σ_c x_ic x_jc.
-    // Sparse pass over edges for the A_ij part, plus the dense degree-product
-    // correction collapsed per node pair only where it matters:
-    //   Σ_{i,j} B_ij x_ic x_jc = Σ_{i,j} A_ij x_ic x_jc − (Σ_i d_i x_ic)²/(2m).
-    // The second term is a quadratic form over the per-community degree sums,
-    // which expands into k · O(n²)/2 pairs. For the direct formulation (small
-    // graphs) we add it exactly; it is what makes the encoding faithful to Eq. 2.
+    // --- Quality reward: −w₁ Σ_{i,j} B_ij Σ_c x_ic x_jc.
+    // Sparse pass over edges for the A_ij part (shared by every quality
+    // function), plus the null-model correction collapsed per node pair only
+    // where it matters. For resolution-γ modularity,
+    //   Σ_{i,j} B_ij x_ic x_jc = Σ_{i,j} A_ij x_ic x_jc − γ (Σ_i d_i x_ic)²/(2m),
+    // a quadratic form over the per-community degree sums which expands into
+    // k · O(n²)/2 pairs. For CPM the correction is a flat −γ per same-community
+    // ordered pair of distinct nodes. For the direct formulation (small graphs)
+    // we add it exactly; it is what makes the encoding faithful to Eq. 2.
     let w1 = config.modularity_weight;
     if two_m > 0.0 {
         // A_ij part (off-diagonal edges contribute to ordered pairs twice).
@@ -230,33 +252,62 @@ pub fn build_qubo(graph: &Graph, config: &FormulationConfig) -> Result<CdQubo, C
                 }
             }
         }
-        // −(Σ_i d_i x_ic)² / (2m) correction, expanded exactly.
-        for c in 0..k {
-            for i in 0..n {
-                let d_i = graph.degree(i);
-                if d_i == 0.0 {
-                    continue;
-                }
-                // Diagonal: x_ic² = x_ic.
-                builder.add_linear(idx(i, c), w1 * d_i * d_i / two_m)?;
-                for j in (i + 1)..n {
-                    let d_j = graph.degree(j);
-                    if d_j == 0.0 {
-                        continue;
+        match config.quality {
+            QualityFunction::Modularity { resolution } => {
+                // −γ (Σ_i d_i x_ic)² / (2m) correction, expanded exactly.
+                for c in 0..k {
+                    for i in 0..n {
+                        let d_i = graph.degree(i);
+                        if d_i == 0.0 {
+                            continue;
+                        }
+                        // Diagonal: x_ic² = x_ic.
+                        builder.add_linear(idx(i, c), resolution * (w1 * d_i * d_i / two_m))?;
+                        for j in (i + 1)..n {
+                            let d_j = graph.degree(j);
+                            if d_j == 0.0 {
+                                continue;
+                            }
+                            builder.add_quadratic(
+                                idx(i, c),
+                                idx(j, c),
+                                resolution * (2.0 * w1 * d_i * d_j / two_m),
+                            )?;
+                        }
                     }
-                    builder.add_quadratic(idx(i, c), idx(j, c), 2.0 * w1 * d_i * d_j / two_m)?;
+                }
+            }
+            QualityFunction::Cpm { resolution } => {
+                // +γ per same-community ordered pair of distinct nodes
+                // (2γ per unordered pair; the diagonal is exempt).
+                for c in 0..k {
+                    for i in 0..n {
+                        for j in (i + 1)..n {
+                            builder.add_quadratic(idx(i, c), idx(j, c), 2.0 * w1 * resolution)?;
+                        }
+                    }
                 }
             }
         }
     }
 
     // --- Assignment constraint λ_A Σ_i (1 − Σ_c x_ic)².
-    // λ_A is scaled to dominate the largest per-node modularity stake so that
-    // violating the one-hot constraint can never be energetically favourable.
+    // λ_A is scaled to dominate the largest per-node quality stake (the
+    // node's row of |B|) so that violating the one-hot constraint can never
+    // be energetically favourable.
     let max_stake = (0..n)
         .map(|i| {
-            let row: f64 = graph.neighbors(i).map(|(_, w)| w).sum::<f64>()
-                + if two_m > 0.0 { graph.degree(i) * graph.degree(i) / two_m } else { 0.0 };
+            let null_model = match config.quality {
+                QualityFunction::Modularity { resolution } => {
+                    if two_m > 0.0 {
+                        resolution * (graph.degree(i) * graph.degree(i) / two_m)
+                    } else {
+                        0.0
+                    }
+                }
+                QualityFunction::Cpm { resolution } => resolution * (n as f64 - 1.0),
+            };
+            let row: f64 = graph.neighbors(i).map(|(_, w)| w).sum::<f64>() + null_model;
             2.0 * w1 * row
         })
         .fold(1.0f64, f64::max);
@@ -277,7 +328,7 @@ pub fn build_qubo(graph: &Graph, config: &FormulationConfig) -> Result<CdQubo, C
         }
     }
 
-    Ok(CdQubo { model: builder.build(), num_nodes: n, num_communities: k })
+    Ok(CdQubo { model: builder.build(), num_nodes: n, num_communities: k, quality: config.quality })
 }
 
 /// Evaluates the *modularity* (not the raw QUBO energy) that a binary solution
@@ -289,6 +340,18 @@ pub fn build_qubo(graph: &Graph, config: &FormulationConfig) -> Result<CdQubo, C
 pub fn decoded_modularity(qubo: &CdQubo, graph: &Graph, solution: &[bool]) -> Result<f64, CdError> {
     let partition = qubo.decode(graph, solution)?;
     Ok(modularity::modularity(graph, &partition))
+}
+
+/// Evaluates the encoded quality function (not the raw QUBO energy) on the
+/// partition a binary solution decodes to — like [`decoded_modularity`], but
+/// honouring the [`FormulationConfig::quality`] the QUBO was built with.
+///
+/// # Errors
+///
+/// Returns [`CdError::Qubo`] if the solution does not match the encoded model.
+pub fn decoded_quality(qubo: &CdQubo, graph: &Graph, solution: &[bool]) -> Result<f64, CdError> {
+    let partition = qubo.decode(graph, solution)?;
+    Ok(modularity::quality(graph, &partition, qubo.quality_function()))
 }
 
 #[cfg(test)]
@@ -387,6 +450,77 @@ mod tests {
             checked += 1;
         }
         assert_eq!(checked, 3);
+    }
+
+    #[test]
+    fn generalized_qubo_energy_tracks_its_quality_function() {
+        // For valid one-hot assignments with balance_weight = 0, the QUBO
+        // energy is affine in the configured quality: E = −w₁·s·Q + const,
+        // where the scale s is 2m for modularity and 2 for CPM.
+        let g = two_triangles();
+        let two_m = 2.0 * g.total_edge_weight();
+        for resolution in [0.25, 1.0, 4.0] {
+            for (quality, scale) in [
+                (QualityFunction::modularity(resolution), two_m),
+                (QualityFunction::cpm(resolution), 2.0),
+            ] {
+                let config = FormulationConfig {
+                    balance_weight: 0.0,
+                    quality,
+                    ..FormulationConfig::with_communities(2)
+                };
+                let qubo = build_qubo(&g, &config).unwrap();
+                let mut reference: Option<f64> = None;
+                for labels in
+                    [vec![0, 0, 0, 1, 1, 1], vec![0, 1, 0, 1, 0, 1], vec![0, 0, 1, 1, 1, 0]]
+                {
+                    let p = Partition::from_labels(labels).unwrap();
+                    let q = modularity::quality(&g, &p, quality);
+                    let x = qubo.encode(&p).unwrap();
+                    let e = qubo.model().evaluate(&x).unwrap();
+                    let constant = e + scale * q;
+                    match reference {
+                        None => reference = Some(constant),
+                        Some(r) => assert!(
+                            (constant - r).abs() < 1e-9,
+                            "{quality:?}: constant {constant} vs {r}"
+                        ),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn solving_the_cpm_qubo_recovers_the_natural_communities() {
+        // Under CPM at γ = 0.5 the natural two-triangle split is the optimum;
+        // the exhaustive solver on the CPM-encoded QUBO must find it.
+        let g = two_triangles();
+        let config = FormulationConfig {
+            quality: QualityFunction::cpm(0.5),
+            ..FormulationConfig::with_communities(2)
+        };
+        let qubo = build_qubo(&g, &config).unwrap();
+        let report = ExhaustiveSearch.solve(qubo.model()).unwrap();
+        let partition = qubo.decode(&g, &report.solution).unwrap();
+        let expected = Partition::from_labels(vec![0, 0, 0, 1, 1, 1]).unwrap().renumbered();
+        assert_eq!(partition.renumbered(), expected);
+        let q = decoded_quality(&qubo, &g, &report.solution).unwrap();
+        assert!((q - 3.0).abs() < 1e-9, "q={q}");
+    }
+
+    #[test]
+    fn invalid_resolution_is_rejected() {
+        let bad = FormulationConfig {
+            quality: QualityFunction::modularity(f64::NAN),
+            ..FormulationConfig::default()
+        };
+        assert!(bad.validate().is_err());
+        let bad = FormulationConfig {
+            quality: QualityFunction::cpm(-1.0),
+            ..FormulationConfig::default()
+        };
+        assert!(bad.validate().is_err());
     }
 
     #[test]

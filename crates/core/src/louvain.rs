@@ -1,10 +1,18 @@
 //! The Louvain method — the standard classical modularity-maximisation baseline.
 //!
-//! Louvain alternates a local phase (greedy single-node modularity-gain moves,
+//! Louvain alternates a local phase (greedy single-node quality-gain moves,
 //! shared with [`crate::refine`]) and an aggregation phase (merging communities
-//! into super-nodes) until modularity stops improving. It is included both as a
-//! quality baseline for the QHD pipelines and as a reference implementation of
-//! the aggregation machinery.
+//! into super-nodes) until the configured quality stops improving. It is
+//! included both as a quality baseline for the QHD pipelines and as a
+//! reference implementation of the aggregation machinery.
+//!
+//! The quality function is taken from `config.refine.quality`. Resolution-γ
+//! modularity is preserved exactly by aggregation (super-node degrees are the
+//! community degree sums). CPM is not: a super-node counts as one node on the
+//! coarse graph, so coarse-level CPM gains under-count internal pairs — a
+//! standard approximation; the final polish pass on the original graph uses
+//! exact CPM gains, and the reported quality is always evaluated on the
+//! original graph.
 
 use crate::refine::{refine_partition, RefineConfig};
 use crate::CdError;
@@ -15,9 +23,10 @@ use qhdcd_graph::{modularity, quotient, Graph, Partition};
 pub struct LouvainConfig {
     /// Maximum number of (local phase + aggregation) rounds.
     pub max_rounds: usize,
-    /// Parameters of each local phase.
+    /// Parameters of each local phase, including the quality function driving
+    /// every gain and quality evaluation of the run.
     pub refine: RefineConfig,
-    /// Minimum modularity improvement per round to keep going.
+    /// Minimum quality improvement per round to keep going.
     pub min_improvement: f64,
 }
 
@@ -32,7 +41,8 @@ impl Default for LouvainConfig {
 pub struct LouvainOutcome {
     /// The detected partition of the input graph (renumbered).
     pub partition: Partition,
-    /// Modularity of [`LouvainOutcome::partition`].
+    /// Quality of [`LouvainOutcome::partition`] under the configured quality
+    /// function (modularity by default).
     pub modularity: f64,
     /// Number of rounds performed.
     pub rounds: usize,
@@ -66,9 +76,11 @@ pub fn detect(graph: &Graph, config: &LouvainConfig) -> Result<LouvainOutcome, C
     // current working (aggregated) graph's node ids.
     let mut membership: Vec<usize> = (0..graph.num_nodes()).collect();
     let mut working = graph.clone();
-    let mut best_q = modularity::modularity(
+    let quality = config.refine.quality;
+    let mut best_q = modularity::quality(
         graph,
         &Partition::from_labels(membership.clone()).map_err(CdError::Graph)?,
+        quality,
     );
     let mut rounds = 0usize;
     for _ in 0..config.max_rounds {
@@ -81,7 +93,7 @@ pub fn detect(graph: &Graph, config: &LouvainConfig) -> Result<LouvainOutcome, C
             membership.iter().map(|&w| refined.community_of(w)).collect();
         let original_partition =
             Partition::from_labels(original_labels.clone()).map_err(CdError::Graph)?;
-        let q = modularity::modularity(graph, &original_partition);
+        let q = modularity::quality(graph, &original_partition, quality);
         if q <= best_q + config.min_improvement && rounds > 1 {
             break;
         }
@@ -98,12 +110,12 @@ pub fn detect(graph: &Graph, config: &LouvainConfig) -> Result<LouvainOutcome, C
     }
     // Final labels: map original nodes through the last membership.
     let partition = Partition::from_labels(membership).map_err(CdError::Graph)?.renumbered();
-    let q = modularity::modularity(graph, &partition);
+    let q = modularity::quality(graph, &partition, quality);
     // Guard: if the loop ended in a state worse than an earlier round (possible
     // when the last aggregation did not help), fall back to a single refinement
     // of the final partition on the original graph.
     let polished = refine_partition(graph, &partition, &config.refine)?.partition;
-    let q_polished = modularity::modularity(graph, &polished);
+    let q_polished = modularity::quality(graph, &polished, quality);
     if q_polished >= q {
         Ok(LouvainOutcome { partition: polished, modularity: q_polished, rounds })
     } else {
@@ -143,6 +155,44 @@ mod tests {
     fn zero_round_budget_is_rejected() {
         let g = generators::karate_club();
         assert!(detect(&g, &LouvainConfig { max_rounds: 0, ..LouvainConfig::default() }).is_err());
+    }
+
+    #[test]
+    fn cpm_louvain_partitions_ring_of_cliques_into_cliques() {
+        let pg = generators::ring_of_cliques(6, 5).unwrap();
+        let config = LouvainConfig {
+            refine: RefineConfig {
+                quality: qhdcd_graph::QualityFunction::cpm(0.5),
+                ..RefineConfig::default()
+            },
+            ..LouvainConfig::default()
+        };
+        let out = detect(&pg.graph, &config).unwrap();
+        let nmi = metrics::normalized_mutual_information(&out.partition, &pg.ground_truth);
+        assert!(nmi > 0.95, "nmi={nmi}");
+        // Six cliques, each worth 10 − 0.5·10 = 5 under CPM at γ = 0.5.
+        assert!((out.modularity - 30.0).abs() < 1e-9, "q={}", out.modularity);
+    }
+
+    #[test]
+    fn higher_resolution_never_coarsens_the_karate_partition() {
+        let g = generators::karate_club();
+        let communities = |resolution: f64| {
+            let config = LouvainConfig {
+                refine: RefineConfig {
+                    quality: qhdcd_graph::QualityFunction::modularity(resolution),
+                    ..RefineConfig::default()
+                },
+                ..LouvainConfig::default()
+            };
+            detect(&g, &config).unwrap().partition.num_communities()
+        };
+        let coarse = communities(0.5);
+        let default = communities(1.0);
+        let fine = communities(4.0);
+        assert!(coarse <= default, "γ=0.5 gave {coarse} > γ=1 {default}");
+        assert!(fine >= default, "γ=4 gave {fine} < γ=1 {default}");
+        assert!(fine > coarse, "resolution sweep had no effect: {coarse}..{fine}");
     }
 
     #[test]

@@ -58,6 +58,18 @@ impl MultilevelConfig {
         MultilevelConfig { num_communities, ..MultilevelConfig::default() }
     }
 
+    /// Sets the quality function on both the coarsest-level formulation and
+    /// the per-level refinement, keeping the base solve and the uncoarsening
+    /// polish in lock-step. Resolution-γ modularity is preserved exactly by
+    /// coarsening; CPM gains on coarse levels under-count internal pairs (each
+    /// super-node counts as one node), the standard Leiden-style approximation
+    /// — the final pass on the original graph uses exact gains.
+    pub fn with_quality(mut self, quality: qhdcd_graph::QualityFunction) -> Self {
+        self.formulation.quality = quality;
+        self.refine.quality = quality;
+        self
+    }
+
     /// Validates the configuration.
     ///
     /// # Errors
@@ -78,7 +90,9 @@ impl MultilevelConfig {
 pub struct MultilevelOutcome {
     /// The detected partition of the original graph (renumbered).
     pub partition: Partition,
-    /// Modularity of [`MultilevelOutcome::partition`].
+    /// Quality of [`MultilevelOutcome::partition`] under the configured
+    /// [`FormulationConfig::quality`] (modularity by default), always evaluated
+    /// on the original graph.
     pub modularity: f64,
     /// Number of coarsening levels that were built.
     pub levels: usize,
@@ -231,7 +245,7 @@ pub fn detect_bounded<S: QuboSolver>(
     } else {
         base.completion
     };
-    let q = modularity::modularity(graph, &partition);
+    let q = modularity::quality(graph, &partition, config.formulation.quality);
     Ok(MultilevelOutcome {
         partition,
         modularity: q,
@@ -348,6 +362,31 @@ mod tests {
         // the way down to a full partition of the original graph.
         assert!(!out.completion.is_full());
         assert_eq!(out.partition.labels().len(), 300);
+    }
+
+    #[test]
+    fn cpm_multilevel_threads_the_quality_through_the_hierarchy() {
+        // Force real coarsening levels so the CPM quality flows through the
+        // base solve, the per-level refinement and the final exact polish.
+        // Coarse-level CPM gains are the documented approximation (a
+        // super-node counts as one node), so clique recovery is imperfect on a
+        // ring of cliques — the contract under test is that the reported
+        // quality is the exact CPM value of the returned partition on the
+        // original graph and that the structure stays close to the cliques.
+        let pg = generators::ring_of_cliques(12, 6).unwrap();
+        let quality = qhdcd_graph::QualityFunction::cpm(0.5);
+        let config = MultilevelConfig {
+            num_communities: 12,
+            coarsen: CoarsenConfig { threshold: 30, ..CoarsenConfig::default() },
+            ..MultilevelConfig::default()
+        }
+        .with_quality(quality);
+        let out = detect(&pg.graph, &SimulatedAnnealing::default().with_seed(4), &config).unwrap();
+        assert!(out.levels >= 1);
+        let nmi = metrics::normalized_mutual_information(&out.partition, &pg.ground_truth);
+        assert!(nmi > 0.8, "nmi={nmi}");
+        let recomputed = qhdcd_graph::modularity::quality(&pg.graph, &out.partition, quality);
+        assert_eq!(out.modularity.to_bits(), recomputed.to_bits());
     }
 
     #[test]

@@ -1,9 +1,10 @@
-//! Modularity-gain refinement (the Refinement step of Algorithm 2).
+//! Quality-gain refinement (the Refinement step of Algorithm 2).
 //!
 //! At each level of the multilevel pipeline, nodes are repeatedly moved to the
-//! neighbouring community with the highest positive modularity gain until no
-//! improving move remains or the pass budget is exhausted. The same routine
-//! also powers the local phase of the Louvain baseline.
+//! neighbouring community with the highest positive quality gain — under the
+//! configured [`QualityFunction`], unit-resolution modularity by default —
+//! until no improving move remains or the pass budget is exhausted. The same
+//! routine also powers the local phase of the Louvain baseline.
 //!
 //! # Unified move engine
 //!
@@ -36,7 +37,7 @@
 use crate::CdError;
 use qhdcd_graph::{
     modularity::{ModularityState, NeighborScan},
-    Graph, Partition,
+    Graph, Partition, QualityFunction,
 };
 use qhdcd_qubo::{LocalFieldState, QuboBuilder};
 
@@ -60,18 +61,21 @@ pub const ENGINE_MAX_SLOTS: usize = 64;
 /// build their QUBO in microseconds.
 pub const ENGINE_SMALL_VARIABLES: usize = 4_096;
 
-/// Configuration of the modularity-gain refinement.
+/// Configuration of the quality-gain refinement.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RefineConfig {
     /// Maximum number of full passes over the nodes.
     pub max_passes: usize,
-    /// Minimum total modularity gain per pass to keep iterating.
+    /// Minimum total quality gain per pass to keep iterating.
     pub min_gain: f64,
+    /// The quality function whose gain drives the moves (unit-resolution
+    /// modularity by default).
+    pub quality: QualityFunction,
 }
 
 impl Default for RefineConfig {
     fn default() -> Self {
-        RefineConfig { max_passes: 20, min_gain: 1e-7 }
+        RefineConfig { max_passes: 20, min_gain: 1e-7, quality: QualityFunction::default() }
     }
 }
 
@@ -80,7 +84,8 @@ impl Default for RefineConfig {
 pub struct RefineOutcome {
     /// The refined partition (renumbered).
     pub partition: Partition,
-    /// Total modularity gain accumulated over all applied moves.
+    /// Total quality gain (in the configured quality function's units)
+    /// accumulated over all applied moves.
     pub total_gain: f64,
     /// Number of single-node moves applied.
     pub moves: usize,
@@ -88,9 +93,10 @@ pub struct RefineOutcome {
     pub passes: usize,
 }
 
-/// Refines `partition` on `graph` by greedy single-node modularity-gain moves.
+/// Refines `partition` on `graph` by greedy single-node quality-gain moves
+/// under `config.quality` (unit-resolution modularity by default).
 ///
-/// The refined partition's modularity is never lower than the input's.
+/// The refined partition's quality is never lower than the input's.
 ///
 /// # Errors
 ///
@@ -168,10 +174,14 @@ fn refine_with_engine(
         x[idx(node, c)] = true;
     }
     let mut state = LocalFieldState::try_new(&model, x).map_err(CdError::Qubo)?;
+    // Per-community aggregate of the configured quality function: Σtot degree
+    // sums for modularity, node counts for CPM.
+    let quality = config.quality;
     let mut sigma_tot = vec![0.0f64; k];
     for node in 0..n {
-        sigma_tot[labels[node]] += graph.degree(node);
+        sigma_tot[labels[node]] += quality.node_factor(graph.degree(node));
     }
+    let tolerance = quality.move_tolerance(two_m);
 
     // Per-(pass, node) visit stamps for candidate-community deduplication.
     let mut stamp = vec![usize::MAX; k];
@@ -201,17 +211,36 @@ fn refine_with_engine(
                 // couplings live within one slot), so w_ij = 0.
                 let delta_sparse =
                     state.reassign_delta_with_coupling(idx(node, cur), idx(node, c), 0.0);
-                let delta_dense =
-                    if m > 0.0 { (d_i / m) * (sigma_tot[c] - sigma_tot[cur] + d_i) } else { 0.0 };
-                let gain = if two_m > 0.0 { -(delta_sparse + delta_dense) / two_m } else { 0.0 };
-                if gain > best.map_or(0.0, |(_, g)| g) && gain > 1e-12 {
+                // The sparse reassign delta is −2(k_target − k_cur) for both
+                // quality functions; only the dense correction and the overall
+                // normalization differ.
+                let gain = match quality {
+                    QualityFunction::Modularity { resolution } => {
+                        let delta_dense = if m > 0.0 {
+                            resolution * ((d_i / m) * (sigma_tot[c] - sigma_tot[cur] + d_i))
+                        } else {
+                            0.0
+                        };
+                        if two_m > 0.0 {
+                            -(delta_sparse + delta_dense) / two_m
+                        } else {
+                            0.0
+                        }
+                    }
+                    QualityFunction::Cpm { resolution } => {
+                        let delta_dense = 2.0 * resolution * (sigma_tot[c] - sigma_tot[cur] + 1.0);
+                        -(delta_sparse + delta_dense) / 2.0
+                    }
+                };
+                if gain > best.map_or(0.0, |(_, g)| g) && gain > tolerance {
                     best = Some((c, gain));
                 }
             }
             if let Some((target, gain)) = best {
                 state.apply_reassign(idx(node, cur), idx(node, target));
-                sigma_tot[cur] -= d_i;
-                sigma_tot[target] += d_i;
+                let factor = quality.node_factor(d_i);
+                sigma_tot[cur] -= factor;
+                sigma_tot[target] += factor;
                 labels[node] = target;
                 pass_gain += gain;
                 moves += 1;
@@ -261,7 +290,7 @@ pub fn refine_frontier(
     for &node in frontier {
         graph.check_node(node).map_err(CdError::Graph)?;
     }
-    let mut state = ModularityState::new(graph, &partition.renumbered());
+    let mut state = ModularityState::with_quality(graph, &partition.renumbered(), config.quality);
     // The deterministic one-pass best-move scan (first-seen candidate order,
     // O(deg) per node) shared — implementation and all — with the streaming
     // detector's incremental twin, so the two cannot drift apart.
@@ -278,13 +307,14 @@ pub fn refine_frontier(
         let mut pass_gain = 0.0;
         let mut next = std::collections::BTreeSet::new();
         for &node in &worklist {
-            if let Some((target, gain)) = scan.best_move(
+            if let Some((target, gain)) = scan.best_move_with_quality(
                 node,
                 graph.neighbors(node),
                 state.labels(),
                 graph.degree(node),
                 state.two_m(),
                 state.sigma_tot(),
+                config.quality,
             ) {
                 state.apply_move(graph, node, target);
                 pass_gain += gain;
@@ -312,7 +342,7 @@ fn refine_with_aggregates(
     renum: &Partition,
     config: &RefineConfig,
 ) -> Result<RefineOutcome, CdError> {
-    let mut state = ModularityState::new(graph, renum);
+    let mut state = ModularityState::with_quality(graph, renum, config.quality);
     let mut total_gain = 0.0;
     let mut moves = 0usize;
     let mut passes = 0usize;
@@ -498,6 +528,113 @@ mod tests {
     }
 
     #[test]
+    fn engine_and_aggregate_paths_price_generalized_gains_identically() {
+        // Under γ≠1 modularity and CPM, the engine-path gain must still match
+        // the aggregate path's ModularityState::gain for every candidate move.
+        let pg = generators::ring_of_cliques(4, 5).unwrap();
+        let g = &pg.graph;
+        let p = pg.ground_truth.renumbered();
+        let k = p.num_communities();
+        let n = g.num_nodes();
+        let idx = |node: usize, c: usize| node * k + c;
+        let mut builder = QuboBuilder::new(n * k);
+        for (u, v, w) in g.edges() {
+            if u != v {
+                for c in 0..k {
+                    builder.add_quadratic(idx(u, c), idx(v, c), -2.0 * w).unwrap();
+                }
+            }
+        }
+        let model = builder.build();
+        let mut x = vec![false; n * k];
+        for node in 0..n {
+            x[idx(node, p.community_of(node))] = true;
+        }
+        let engine = LocalFieldState::new(&model, x);
+        let two_m = 2.0 * g.total_edge_weight();
+        let m = two_m / 2.0;
+        for quality in [
+            QualityFunction::modularity(0.25),
+            QualityFunction::modularity(4.0),
+            QualityFunction::cpm(0.5),
+            QualityFunction::cpm(2.0),
+        ] {
+            let mut sigma_tot = vec![0.0f64; k];
+            for node in 0..n {
+                sigma_tot[p.community_of(node)] += quality.node_factor(g.degree(node));
+            }
+            let reference = ModularityState::with_quality(g, &p, quality);
+            let before = modularity::quality(g, &p, quality);
+            for node in 0..n {
+                let cur = p.community_of(node);
+                let d_i = g.degree(node);
+                for target in 0..k {
+                    if target == cur {
+                        continue;
+                    }
+                    let delta_sparse =
+                        engine.reassign_delta_with_coupling(idx(node, cur), idx(node, target), 0.0);
+                    let engine_gain = match quality {
+                        QualityFunction::Modularity { resolution } => {
+                            let delta_dense = resolution
+                                * ((d_i / m) * (sigma_tot[target] - sigma_tot[cur] + d_i));
+                            -(delta_sparse + delta_dense) / two_m
+                        }
+                        QualityFunction::Cpm { resolution } => {
+                            let delta_dense =
+                                2.0 * resolution * (sigma_tot[target] - sigma_tot[cur] + 1.0);
+                            -(delta_sparse + delta_dense) / 2.0
+                        }
+                    };
+                    let state_gain = reference.gain(g, node, target);
+                    assert!(
+                        (engine_gain - state_gain).abs() < 1e-12,
+                        "{quality:?} node {node} -> {target}: engine {engine_gain} state {state_gain}"
+                    );
+                    let mut moved = p.clone();
+                    moved.assign(node, target);
+                    let exact = modularity::quality(g, &moved, quality) - before;
+                    assert!(
+                        (engine_gain - exact).abs() < 1e-9,
+                        "{quality:?} node {node} -> {target}: engine {engine_gain} exact {exact}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn generalized_refinement_never_decreases_its_quality() {
+        let pg = generators::planted_partition(&generators::PlantedPartitionConfig {
+            num_nodes: 60,
+            num_communities: 3,
+            p_in: 0.3,
+            p_out: 0.03,
+            seed: 11,
+        })
+        .unwrap();
+        for quality in [
+            QualityFunction::modularity(0.5),
+            QualityFunction::modularity(2.0),
+            QualityFunction::cpm(0.05),
+        ] {
+            let config = RefineConfig { quality, ..RefineConfig::default() };
+            for start in [Partition::singletons(60), pg.ground_truth.clone()] {
+                let before = modularity::quality(&pg.graph, &start, quality);
+                let out = refine_partition(&pg.graph, &start, &config).unwrap();
+                let after = modularity::quality(&pg.graph, &out.partition, quality);
+                assert!(after >= before - 1e-9, "{quality:?}: before={before} after={after}");
+                assert!(
+                    (after - before - out.total_gain).abs() < 1e-6,
+                    "{quality:?}: gain accounting off: delta={} total_gain={}",
+                    after - before,
+                    out.total_gain
+                );
+            }
+        }
+    }
+
+    #[test]
     fn one_pass_best_move_matches_the_per_candidate_scan() {
         // The one-pass NeighborScan must reproduce the decisions of the
         // original per-candidate formulation (first-seen candidate order,
@@ -516,7 +653,8 @@ mod tests {
                 }
                 seen.push(c);
                 let g = state.gain(graph, node, c);
-                if g > best.map_or(0.0, |(_, bg)| bg) && g > 1e-12 {
+                let tolerance = state.quality_function().move_tolerance(state.two_m());
+                if g > best.map_or(0.0, |(_, bg)| bg) && g > tolerance {
                     best = Some((c, g));
                 }
             }

@@ -7,8 +7,9 @@
 //!   sparse row (CSR) form, built through [`GraphBuilder`].
 //! * [`Partition`] — an assignment of nodes to communities with renumbering and
 //!   aggregation helpers.
-//! * [`modularity`] — Newman–Girvan modularity, modularity matrices and
-//!   single-move modularity gains.
+//! * [`modularity`] — quality functions (Newman–Girvan modularity with a
+//!   resolution parameter, the constant Potts model), quality matrices and
+//!   single-move gains; see [`QualityFunction`].
 //! * [`metrics`] — partition-quality metrics (NMI, ARI, coverage, conductance).
 //! * [`generators`] — deterministic synthetic graph generators (Erdős–Rényi,
 //!   planted partition / SBM, LFR-like power-law, ring of cliques, Zachary's
@@ -57,4 +58,5 @@ pub use builder::GraphBuilder;
 pub use dynamic::{DynamicGraph, EdgeEvent};
 pub use error::GraphError;
 pub use graph::{Graph, NeighborIter, NodeId};
+pub use modularity::QualityFunction;
 pub use partition::Partition;

@@ -22,7 +22,7 @@
 //!   original run did.
 
 use crate::StreamError;
-use qhdcd_graph::{io, DynamicGraph, EdgeEvent, GraphError};
+use qhdcd_graph::{io, DynamicGraph, EdgeEvent, GraphError, QualityFunction};
 
 /// An append-only record of every event batch the service has applied, in
 /// application order, with batch boundaries preserved.
@@ -148,6 +148,10 @@ pub struct ServiceCheckpoint {
     pub batches: u64,
     /// Detector full re-detect counter.
     pub full_redetects: u64,
+    /// The quality function whose aggregates the checkpoint freezes. Replay
+    /// must run under the same quality function for bit-identity; v1
+    /// checkpoints (which predate the field) restore as γ=1 modularity.
+    pub quality: QualityFunction,
     /// Accumulated drift since the last full solve (raw bits semantics).
     pub drift: f64,
     /// Community label per node.
@@ -190,6 +194,13 @@ impl ServiceCheckpoint {
         out.push_str(&format!("events_applied {}\n", self.events_applied));
         out.push_str(&format!("batches {}\n", self.batches));
         out.push_str(&format!("full_redetects {}\n", self.full_redetects));
+        let kind = match self.quality {
+            QualityFunction::Modularity { .. } => "modularity",
+            QualityFunction::Cpm { .. } => "cpm",
+        };
+        // The resolution is a raw bit pattern like every other float: a
+        // recovered service must price gains with the *exact* γ of the run.
+        out.push_str(&format!("quality {kind} {}\n", bits(self.quality.resolution())));
         out.push_str(&format!("drift {}\n", bits(self.drift)));
         out.push_str(&format!(
             "labels {}\n",
@@ -202,7 +213,7 @@ impl ServiceCheckpoint {
         // The checksum guards the body against *silent* corruption: a flipped
         // hex digit in a raw-bit float still parses, just to a different
         // value, which would otherwise restore a subtly wrong state.
-        format!("qhdcd-service v1\nchecksum {:016x}\n{out}", fnv1a(out.as_bytes()))
+        format!("qhdcd-service v2\nchecksum {:016x}\n{out}", fnv1a(out.as_bytes()))
     }
 
     /// Parses a checkpoint from [`ServiceCheckpoint::to_text`] output.
@@ -226,7 +237,7 @@ impl ServiceCheckpoint {
             Ok((lineno, rest.trim().to_string()))
         };
         let (lineno, version) = expect("qhdcd-service")?;
-        if version != "v1" {
+        if version != "v1" && version != "v2" {
             return Err(err(lineno + 1, format!("unsupported checkpoint version `{version}`")));
         }
         // Everything after the checksum line is the checksummed body.
@@ -250,6 +261,36 @@ impl ServiceCheckpoint {
         let batches = parse_u64(lineno, &body)?;
         let (lineno, body) = expect("full_redetects")?;
         let full_redetects = parse_u64(lineno, &body)?;
+        // v1 predates the quality line and always maintained γ=1 modularity.
+        let quality = if version == "v2" {
+            let (lineno, body) = expect("quality")?;
+            let mut tokens = body.split_whitespace();
+            let kind = tokens.next().unwrap_or("");
+            let resolution = match tokens.next() {
+                Some(tok) => parse_bits(lineno, tok)?,
+                None => {
+                    return Err(err(
+                        lineno + 1,
+                        format!("missing resolution bits in quality line `{body}`"),
+                    ))
+                }
+            };
+            if tokens.next().is_some() {
+                return Err(err(
+                    lineno + 1,
+                    format!("unexpected tokens after quality line `{body}`"),
+                ));
+            }
+            match kind {
+                "modularity" => QualityFunction::Modularity { resolution },
+                "cpm" => QualityFunction::Cpm { resolution },
+                other => {
+                    return Err(err(lineno + 1, format!("unknown quality function `{other}`")))
+                }
+            }
+        } else {
+            QualityFunction::default()
+        };
         let (lineno, body) = expect("drift")?;
         let drift = parse_bits(lineno, &body)?;
         let (lineno, body) = expect("labels")?;
@@ -300,6 +341,7 @@ impl ServiceCheckpoint {
             events_applied,
             batches,
             full_redetects,
+            quality,
             drift,
             labels,
             sigma_tot,
@@ -377,6 +419,7 @@ mod tests {
             events_applied: 16,
             batches: 9,
             full_redetects: 2,
+            quality: QualityFunction::cpm(0.75),
             drift: 0.1 + 0.2,
             labels: vec![0, 0, 1],
             sigma_tot: vec![1.0 + 1e-16, 0.7],
@@ -385,6 +428,7 @@ mod tests {
         };
         let restored = ServiceCheckpoint::from_text(&checkpoint.to_text()).unwrap();
         assert_eq!(restored, checkpoint);
+        assert_eq!(restored.quality, QualityFunction::cpm(0.75));
         assert_eq!(restored.drift.to_bits(), checkpoint.drift.to_bits());
         assert_eq!(
             restored.graph.total_edge_weight().to_bits(),
@@ -401,6 +445,7 @@ mod tests {
             events_applied: 1,
             batches: 1,
             full_redetects: 0,
+            quality: QualityFunction::default(),
             drift: 1.0,
             labels: vec![0, 1],
             sigma_tot: vec![1.0, 1.0],
@@ -415,7 +460,7 @@ mod tests {
             Err(StreamError::Checkpoint { line: 0, .. })
         ));
         // Wrong version: line 1.
-        let bad = text.replace("qhdcd-service v1", "qhdcd-service v9");
+        let bad = text.replace("qhdcd-service v2", "qhdcd-service v9");
         assert!(matches!(
             ServiceCheckpoint::from_text(&bad),
             Err(StreamError::Checkpoint { line: 1, .. })
@@ -426,28 +471,73 @@ mod tests {
             ServiceCheckpoint::from_text(&bad),
             Err(StreamError::Checkpoint { line: 2, .. })
         ));
-        // Corrupt drift bits: line 7.
-        let bad = text.replace("drift ", "drift zz");
+        // A corrupt quality line: line 7.
+        let bad = text.replace("quality modularity", "quality banana");
         assert!(matches!(
             ServiceCheckpoint::from_text(&bad),
             Err(StreamError::Checkpoint { line: 7, .. })
         ));
-        // A bad label: line 8.
-        let bad = text.replace("labels 0 1", "labels 0 x");
+        // A quality line with no resolution bits: also line 7 (γ=1 is
+        // 3ff0000000000000).
+        let bad = text.replace("quality modularity 3ff0000000000000", "quality modularity");
+        assert!(matches!(
+            ServiceCheckpoint::from_text(&bad),
+            Err(StreamError::Checkpoint { line: 7, .. })
+        ));
+        // Corrupt drift bits: line 8.
+        let bad = text.replace("drift ", "drift zz");
         assert!(matches!(
             ServiceCheckpoint::from_text(&bad),
             Err(StreamError::Checkpoint { line: 8, .. })
         ));
+        // A bad label: line 9.
+        let bad = text.replace("labels 0 1", "labels 0 x");
+        assert!(matches!(
+            ServiceCheckpoint::from_text(&bad),
+            Err(StreamError::Checkpoint { line: 9, .. })
+        ));
         // Graph-section errors carry document line numbers: the `graph`
-        // marker is line 11, the embedded header is line 12.
+        // marker is line 12, the embedded header is line 13.
         let bad = text.replace("dyngraph v1", "dyngraph v9");
         match ServiceCheckpoint::from_text(&bad) {
             Err(StreamError::Checkpoint { line, reason }) => {
-                assert_eq!(line, 12, "reason: {reason}");
+                assert_eq!(line, 13, "reason: {reason}");
                 assert!(reason.contains("in graph section"));
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn v1_checkpoints_restore_as_unit_resolution_modularity() {
+        // A v1 document has no quality line; rebuilding one from a v2 body
+        // (quality line stripped, checksum recomputed) must parse and default
+        // to γ=1 modularity.
+        let mut graph = DynamicGraph::new(2);
+        graph.insert_edge(0, 1, 1.0).unwrap();
+        let checkpoint = ServiceCheckpoint {
+            epoch: 4,
+            events_applied: 2,
+            batches: 4,
+            full_redetects: 1,
+            quality: QualityFunction::default(),
+            drift: 0.5,
+            labels: vec![0, 1],
+            sigma_tot: vec![1.0, 1.0],
+            sigma_in: vec![0.0, 0.0],
+            graph,
+        };
+        let v2 = checkpoint.to_text();
+        let body: String = v2
+            .lines()
+            .skip(2)
+            .filter(|line| !line.starts_with("quality "))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        let v1 = format!("qhdcd-service v1\nchecksum {:016x}\n{body}", fnv1a(body.as_bytes()));
+        let restored = ServiceCheckpoint::from_text(&v1).unwrap();
+        assert_eq!(restored, checkpoint);
+        assert_eq!(restored.quality, QualityFunction::default());
     }
 
     #[test]
@@ -459,6 +549,7 @@ mod tests {
             events_applied: 1,
             batches: 1,
             full_redetects: 0,
+            quality: QualityFunction::default(),
             drift: 1.0,
             labels: vec![0, 1],
             sigma_tot: vec![1.0, 1.0],
@@ -494,6 +585,7 @@ mod tests {
             events_applied: 4,
             batches: 3,
             full_redetects: 1,
+            quality: QualityFunction::cpm(2.0),
             drift: 0.25,
             labels: vec![0, 0, 1],
             sigma_tot: vec![2.0, 1.5],

@@ -2,24 +2,27 @@
 //!
 //! See the crate docs for the architecture (event model → incremental
 //! bookkeeping → localized refinement → epoch fallback) and the determinism
-//! contract. The modularity bookkeeping mirrors the community-aggregated form
-//! used by `qhdcd_graph::modularity::modularity`:
+//! contract. The quality bookkeeping mirrors the community-aggregated form
+//! used by `qhdcd_graph::modularity::quality` — for resolution-γ modularity:
 //!
 //! ```text
-//! Q = Σ_c [ Σin_c / (2m)  −  (Σtot_c / (2m))² ]
+//! Q = Σ_c [ Σin_c / (2m)  −  γ (Σtot_c / (2m))² ]
 //! ```
 //!
 //! where `Σin_c` sums `A_ij` over ordered in-community pairs (a self-loop of
-//! weight `w` contributes `A_ii = 2w`) and `Σtot_c` sums weighted degrees.
+//! weight `w` contributes `A_ii = 2w`) and `Σtot_c` sums weighted degrees;
+//! for CPM the second aggregate is the community node count `n_c` and
+//! `Q = Σ_c [ Σin_c / 2 − γ n_c (n_c − 1) / 2 ]`. The aggregate is uniformly
+//! a sum of [`qhdcd_graph::QualityFunction::node_factor`] over members.
 //! Both aggregates are patched in O(1) per edge event and per reassign move,
-//! so the maintained modularity never requires a graph traversal. Equality
+//! so the maintained quality never requires a graph traversal. Equality
 //! with the from-scratch recomputation (to 1e-9) is enforced by tests after
 //! every batch.
 
 use crate::StreamError;
 use qhdcd_core::refine::RefineConfig;
 use qhdcd_core::CommunityDetector;
-use qhdcd_graph::{modularity, DynamicGraph, EdgeEvent, NodeId, Partition};
+use qhdcd_graph::{modularity, DynamicGraph, EdgeEvent, NodeId, Partition, QualityFunction};
 use std::collections::BTreeSet;
 use std::time::{Duration, Instant};
 
@@ -69,6 +72,22 @@ impl StreamConfig {
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.detector = self.detector.with_seed(seed);
         self
+    }
+
+    /// Returns a copy maintaining the given quality function, applied to both
+    /// the localized refinement and the full re-detect fallback so the two
+    /// repair paths optimise the same objective. The maintained
+    /// [`StreamingDetector::modularity`] value then reports this quality.
+    pub fn with_quality(mut self, quality: QualityFunction) -> Self {
+        self.refine.quality = quality;
+        self.detector = self.detector.with_quality(quality);
+        self
+    }
+
+    /// The quality function this configuration maintains (the one the
+    /// localized refinement prices gains under).
+    pub fn quality(&self) -> QualityFunction {
+        self.refine.quality
     }
 
     /// Validates the configuration.
@@ -160,7 +179,8 @@ pub struct StreamingDetector {
     /// Current community label per node (labels are community slots, not
     /// necessarily contiguous after moves empty a community).
     labels: Vec<usize>,
-    /// Per-community degree sums `Σtot_c`.
+    /// Per-community aggregates: degree sums `Σtot_c` under modularity, node
+    /// counts `n_c` under CPM (sums of `QualityFunction::node_factor`).
     sigma_tot: Vec<f64>,
     /// Per-community internal weights `Σin_c` (ordered-pair convention).
     sigma_in: Vec<f64>,
@@ -234,6 +254,11 @@ impl StreamingDetector {
         &self.graph
     }
 
+    /// The configuration this detector runs under.
+    pub fn config(&self) -> &StreamConfig {
+        &self.config
+    }
+
     /// Number of nodes currently tracked.
     pub fn num_nodes(&self) -> usize {
         self.graph.num_nodes()
@@ -246,18 +271,35 @@ impl StreamingDetector {
             .renumbered()
     }
 
-    /// The maintained modularity, computed in O(k) from the incrementally
-    /// patched aggregates (never from a graph traversal).
+    /// The maintained quality (modularity by default, see
+    /// [`StreamConfig::with_quality`]), computed in O(k) from the
+    /// incrementally patched aggregates (never from a graph traversal).
     pub fn modularity(&self) -> f64 {
         let two_m = 2.0 * self.graph.total_edge_weight();
         if two_m <= 0.0 {
             return 0.0;
         }
         let mut q = 0.0;
-        for c in 0..self.sigma_tot.len() {
-            q += self.sigma_in[c] / two_m - (self.sigma_tot[c] / two_m).powi(2);
+        match self.quality_fn() {
+            QualityFunction::Modularity { resolution } => {
+                for c in 0..self.sigma_tot.len() {
+                    q +=
+                        self.sigma_in[c] / two_m - resolution * (self.sigma_tot[c] / two_m).powi(2);
+                }
+            }
+            QualityFunction::Cpm { resolution } => {
+                for c in 0..self.sigma_tot.len() {
+                    let n_c = self.sigma_tot[c];
+                    q += self.sigma_in[c] / 2.0 - resolution * (n_c * (n_c - 1.0) / 2.0);
+                }
+            }
         }
         q
+    }
+
+    /// The quality function being maintained.
+    fn quality_fn(&self) -> QualityFunction {
+        self.config.refine.quality
     }
 
     /// Accumulated absolute weight change since the last full solve.
@@ -281,7 +323,9 @@ impl StreamingDetector {
         let id = self.graph.add_node();
         let community = self.sigma_tot.len();
         self.labels.push(community);
-        self.sigma_tot.push(0.0);
+        // The aggregate of a fresh singleton community: degree 0 under
+        // modularity, node count 1 under CPM.
+        self.sigma_tot.push(self.quality_fn().node_factor(0.0));
         self.sigma_in.push(0.0);
         id
     }
@@ -304,6 +348,11 @@ impl StreamingDetector {
         // --- Phase 1: apply events, patching aggregates in O(1) per event
         // (O(deg) for a node deletion, which is one event per incident edge).
         let mut touched: BTreeSet<NodeId> = BTreeSet::new();
+        // Under modularity `Σtot` tracks weighted degrees and must be patched
+        // per event; under CPM it tracks node counts, which edge events never
+        // change (a removed node survives as a tombstone in the label vector
+        // and the snapshot, so it keeps counting).
+        let degree_aggregates = self.quality_fn().aggregate_tracks_degrees();
         for (index, event) in events.iter().enumerate() {
             if let EdgeEvent::RemoveNode { u } = *event {
                 // A deletion strips every incident edge at once; patch the
@@ -316,12 +365,16 @@ impl StreamingDetector {
                 let cu = self.labels[u];
                 for &(v, w) in &removed {
                     if v == u {
-                        self.sigma_tot[cu] -= 2.0 * w;
+                        if degree_aggregates {
+                            self.sigma_tot[cu] -= 2.0 * w;
+                        }
                         self.sigma_in[cu] -= 2.0 * w;
                     } else {
                         let cv = self.labels[v];
-                        self.sigma_tot[cu] -= w;
-                        self.sigma_tot[cv] -= w;
+                        if degree_aggregates {
+                            self.sigma_tot[cu] -= w;
+                            self.sigma_tot[cv] -= w;
+                        }
                         if cu == cv {
                             self.sigma_in[cu] -= 2.0 * w;
                         }
@@ -339,11 +392,15 @@ impl StreamingDetector {
             let (u, v) = event.endpoints();
             let (cu, cv) = (self.labels[u], self.labels[v]);
             if u == v {
-                self.sigma_tot[cu] += 2.0 * delta;
+                if degree_aggregates {
+                    self.sigma_tot[cu] += 2.0 * delta;
+                }
                 self.sigma_in[cu] += 2.0 * delta;
             } else {
-                self.sigma_tot[cu] += delta;
-                self.sigma_tot[cv] += delta;
+                if degree_aggregates {
+                    self.sigma_tot[cu] += delta;
+                    self.sigma_tot[cv] += delta;
+                }
                 if cu == cv {
                     self.sigma_in[cu] += 2.0 * delta;
                 }
@@ -410,8 +467,9 @@ impl StreamingDetector {
     /// Localized reassign refinement over `frontier`, mirroring
     /// `qhdcd_core::refine::refine_frontier` move for move (ascending node
     /// order, candidate communities in ascending neighbour order, strict
-    /// improvement, 1e-12 floor) while patching `Σtot`/`Σin` per move instead
-    /// of rebuilding any state. Returns `(moves, passes)`.
+    /// improvement, the shared quality-scaled move tolerance) while patching
+    /// `Σtot`/`Σin` per move instead of rebuilding any state. Returns
+    /// `(moves, passes)`.
     fn refine_localized(&mut self, frontier: &BTreeSet<NodeId>) -> (usize, usize) {
         if self.graph.total_edge_weight() <= 0.0 {
             return (0, 0);
@@ -448,7 +506,8 @@ impl StreamingDetector {
     /// Deterministic one-pass best-move scan — the *same*
     /// [`modularity::NeighborScan`] implementation `refine_frontier` runs
     /// (first-seen candidate order, per-community accumulation in neighbour
-    /// order, `louvain_gain` arithmetic, strict-improvement tie-break), fed
+    /// order, the configured quality function's gain arithmetic,
+    /// strict-improvement tie-break), fed
     /// the detector's incrementally maintained `Σtot` aggregates instead of a
     /// `ModularityState`. Sharing the implementation is what keeps the
     /// streaming decisions bit-identical to the static twin (the invariant
@@ -456,13 +515,14 @@ impl StreamingDetector {
     /// node instead of the previous O(deg²) per-candidate re-scans.
     fn best_move(&mut self, node: NodeId) -> Option<(usize, f64)> {
         let two_m = 2.0 * self.graph.total_edge_weight();
-        self.scan.best_move(
+        self.scan.best_move_with_quality(
             node,
             self.graph.neighbors(node),
             &self.labels,
             self.graph.degree(node),
             two_m,
             &self.sigma_tot,
+            self.config.refine.quality,
         )
     }
 
@@ -488,8 +548,9 @@ impl StreamingDetector {
                 k_target += w;
             }
         }
-        self.sigma_tot[cur] -= d_i;
-        self.sigma_tot[target] += d_i;
+        let factor = self.quality_fn().node_factor(d_i);
+        self.sigma_tot[cur] -= factor;
+        self.sigma_tot[target] += factor;
         // Ordered-pair convention: each in-community edge counts from both
         // endpoints; the self-loop (A_ii = 2w) travels with the node.
         self.sigma_in[cur] -= 2.0 * k_cur + 2.0 * self_loop;
@@ -574,9 +635,10 @@ impl StreamingDetector {
         let k = self.labels.iter().copied().max().unwrap_or(0) + 1;
         self.sigma_tot = vec![0.0; k];
         self.sigma_in = vec![0.0; k];
+        let quality = self.quality_fn();
         for u in 0..self.graph.num_nodes() {
             let cu = self.labels[u];
-            self.sigma_tot[cu] += self.graph.degree(u);
+            self.sigma_tot[cu] += quality.node_factor(self.graph.degree(u));
             for (v, w) in self.graph.neighbors(u) {
                 if self.labels[v] == cu {
                     self.sigma_in[cu] += if u == v { 2.0 * w } else { w };
@@ -943,6 +1005,80 @@ mod tests {
             ..StreamConfig::default()
         };
         assert_eq!(run(fixed), run(adaptive));
+    }
+
+    #[test]
+    fn generalized_aggregates_track_every_event_kind() {
+        // Maintained quality must match the from-scratch recomputation after
+        // every batch, for γ≠1 modularity and for CPM (whose aggregate is a
+        // node count that edge events never change).
+        for quality in
+            [modularity::QualityFunction::modularity(0.5), modularity::QualityFunction::cpm(0.25)]
+        {
+            let graph = DynamicGraph::from_graph(&generators::karate_club());
+            let config = StreamConfig {
+                frontier_fraction: 1.0,
+                drift_threshold: 1e9,
+                ..StreamConfig::default()
+            }
+            .with_quality(quality);
+            let mut detector = StreamingDetector::from_partition(
+                graph,
+                generators::karate_club_communities(),
+                config,
+            )
+            .unwrap();
+            let check = |d: &StreamingDetector| {
+                let maintained = d.modularity();
+                let recomputed =
+                    modularity::quality(&d.graph().snapshot(), &d.partition(), quality);
+                assert!(
+                    (maintained - recomputed).abs() < 1e-9,
+                    "{quality:?}: maintained={maintained} recomputed={recomputed}"
+                );
+            };
+            check(&detector);
+            let batches: Vec<Vec<EdgeEvent>> = vec![
+                vec![EdgeEvent::Add { u: 0, v: 33, weight: 2.0 }],
+                vec![EdgeEvent::Update { u: 0, v: 33, weight: 0.25 }],
+                vec![EdgeEvent::Remove { u: 0, v: 33 }],
+                vec![EdgeEvent::Add { u: 5, v: 5, weight: 1.5 }], // self-loop
+                vec![EdgeEvent::RemoveNode { u: 20 }],            // tombstone still counts
+                vec![
+                    EdgeEvent::Add { u: 2, v: 20, weight: 1.0 },
+                    EdgeEvent::Remove { u: 0, v: 1 },
+                    EdgeEvent::Update { u: 5, v: 5, weight: 0.5 },
+                ],
+            ];
+            for batch in &batches {
+                detector.apply_events(batch).unwrap();
+                check(&detector);
+            }
+            let id = detector.add_node();
+            detector.apply_events(&[EdgeEvent::Add { u: id, v: 0, weight: 1.0 }]).unwrap();
+            check(&detector);
+        }
+    }
+
+    #[test]
+    fn cpm_full_redetect_keeps_aggregates_consistent() {
+        let pg = generators::ring_of_cliques(6, 5).unwrap();
+        let quality = modularity::QualityFunction::cpm(0.5);
+        let graph = DynamicGraph::from_graph(&pg.graph);
+        let config = StreamConfig { drift_threshold: 0.05, ..StreamConfig::default() }
+            .with_seed(3)
+            .with_quality(quality);
+        let mut detector =
+            StreamingDetector::from_partition(graph, pg.ground_truth.clone(), config).unwrap();
+        let stats = detector.apply_events(&[EdgeEvent::Add { u: 0, v: 1, weight: 10.0 }]).unwrap();
+        assert!(stats.full_redetect);
+        let recomputed =
+            modularity::quality(&detector.graph().snapshot(), &detector.partition(), quality);
+        assert!(
+            (detector.modularity() - recomputed).abs() < 1e-9,
+            "maintained={} recomputed={recomputed}",
+            detector.modularity()
+        );
     }
 
     #[test]

@@ -780,6 +780,7 @@ impl StreamingService {
             events_applied: self.journal.len(),
             batches,
             full_redetects,
+            quality: self.detector.config().quality(),
             drift,
             labels: labels.to_vec(),
             sigma_tot: sigma_tot.to_vec(),
@@ -890,6 +891,20 @@ impl StreamingService {
                     "checkpoint offset {} is not a batch boundary of the {}-event journal",
                     checkpoint.events_applied,
                     journal.len()
+                ),
+            });
+        }
+        // Replaying under a different quality function than the one whose
+        // aggregates the checkpoint froze would silently misprice every gain
+        // (and under CPM even read node counts as degree sums) — reject up
+        // front instead of restoring a subtly wrong state.
+        if checkpoint.quality != config.stream.quality() {
+            return Err(StreamError::Checkpoint {
+                line: 0,
+                reason: format!(
+                    "checkpoint was cut under {:?} but the recovery config maintains {:?}",
+                    checkpoint.quality,
+                    config.stream.quality()
                 ),
             });
         }

@@ -82,7 +82,9 @@ impl PartitionSnapshot {
         self.community_sizes.get(community).copied()
     }
 
-    /// The maintained modularity at this epoch.
+    /// The maintained value of the configured quality function at this epoch
+    /// (γ=1 modularity unless the service was configured with
+    /// `StreamConfig::with_quality`).
     pub fn modularity(&self) -> f64 {
         self.modularity
     }

@@ -57,7 +57,9 @@ pub use qhdcd_stream as stream;
 /// The most commonly used types, for glob import.
 pub mod prelude {
     pub use crate::core::{CdError, CommunityDetector, DetectionResult, Method};
-    pub use crate::graph::{DynamicGraph, EdgeEvent, Graph, GraphBuilder, Partition};
+    pub use crate::graph::{
+        DynamicGraph, EdgeEvent, Graph, GraphBuilder, Partition, QualityFunction,
+    };
     pub use crate::qhd::QhdSolver;
     pub use crate::qubo::{QuboBuilder, QuboModel, QuboSolver, SolveStatus};
     pub use crate::solvers::{BranchAndBound, SimulatedAnnealing};

@@ -64,6 +64,51 @@ proptest! {
         prop_assert!((q - q_dense).abs() < 1e-9, "sparse={q} dense={q_dense}");
     }
 
+    /// For every quality function (modularity and CPM) across a spread of
+    /// resolutions, the incremental gain priced by `ModularityState::best_move`
+    /// equals the from-scratch quality difference of actually applying the
+    /// move.
+    #[test]
+    fn best_move_gain_matches_quality_difference(
+        (n, edges) in arbitrary_graph(),
+        labels in proptest::collection::vec(0usize..4, 3..12),
+        node_pick in 0usize..12,
+    ) {
+        use qhdcd::graph::modularity::QualityFunction;
+        let graph = build_graph(n, &edges);
+        let labels: Vec<usize> = (0..n).map(|i| labels[i % labels.len()]).collect();
+        let node = node_pick % n;
+        for quality in [
+            QualityFunction::modularity(0.25),
+            QualityFunction::modularity(1.0),
+            QualityFunction::modularity(4.0),
+            QualityFunction::cpm(0.25),
+            QualityFunction::cpm(1.0),
+            QualityFunction::cpm(4.0),
+        ] {
+            let partition = Partition::from_labels(labels.clone()).expect("non-empty");
+            let mut state = modularity::ModularityState::with_quality(&graph, &partition, quality);
+            let before = modularity::quality(
+                &graph,
+                &Partition::from_labels(state.labels().to_vec()).expect("non-empty"),
+                quality,
+            );
+            if let Some((target, gain)) = state.best_move(&graph, node) {
+                state.apply_move(&graph, node, target);
+                let after = modularity::quality(
+                    &graph,
+                    &Partition::from_labels(state.labels().to_vec()).expect("non-empty"),
+                    quality,
+                );
+                prop_assert!(
+                    ((after - before) - gain).abs() <= 1e-12,
+                    "quality={quality:?} priced={gain} realized={}",
+                    after - before,
+                );
+            }
+        }
+    }
+
     /// The handshake lemma holds for every built graph.
     #[test]
     fn degrees_sum_to_twice_edge_weight((n, edges) in arbitrary_graph()) {

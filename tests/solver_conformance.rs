@@ -270,6 +270,55 @@ fn wide_conformance_sweep() {
     }
 }
 
+/// Nightly sweep over generalized quality functions: the one-hot encoding
+/// under γ≠1 modularity and CPM must keep the full solver contract, and the
+/// exhaustive minimizer must decode to the best partition of the configured
+/// quality (the affine energy ↔ quality correspondence, checked against a
+/// brute-force label scan). Run with `cargo test -- --ignored`.
+#[test]
+#[ignore = "slow conformance sweep; run in the nightly CI job"]
+fn wide_conformance_sweep_under_generalized_quality() {
+    use qhdcd::graph::modularity::QualityFunction;
+    let graph = qhdcd::graph::GraphBuilder::from_unweighted_edges(
+        6,
+        [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
+    )
+    .unwrap();
+    for quality in [
+        QualityFunction::modularity(0.5),
+        QualityFunction::modularity(2.0),
+        QualityFunction::cpm(0.5),
+        QualityFunction::cpm(1.0),
+    ] {
+        let config = FormulationConfig { quality, ..FormulationConfig::with_communities(2) };
+        let qubo = build_qubo(&graph, &config).unwrap();
+        let model = qubo.model().clone();
+        let optimum = exhaustive_optimum(&model);
+        for seed in 0..2u64 {
+            for (name, solver) in solver_families(seed) {
+                let report = solver.solve(&model).unwrap_or_else(|e| panic!("{name}: {e}"));
+                assert_conforms(&format!("{name} under {quality:?}"), &model, &report, optimum);
+            }
+        }
+        // The exhaustive minimizer decodes to the best 2-slot partition of the
+        // configured quality function.
+        let best = ExhaustiveSearch.solve(&model).unwrap();
+        let decoded =
+            qhdcd::core::formulation::decoded_quality(&qubo, &graph, &best.solution).unwrap();
+        let mut brute_best = f64::NEG_INFINITY;
+        for mask in 0..(1u32 << 6) {
+            let labels: Vec<usize> = (0..6).map(|i| ((mask >> i) & 1) as usize).collect();
+            let partition = qhdcd::graph::Partition::from_labels(labels).unwrap();
+            brute_best =
+                brute_best.max(qhdcd::graph::modularity::quality(&graph, &partition, quality));
+        }
+        assert!(
+            (decoded - brute_best).abs() < 1e-9,
+            "{quality:?}: decoded optimum {decoded} vs brute-force best {brute_best}"
+        );
+    }
+}
+
 /// Nightly-style determinism sweep over a bigger schedule.
 #[test]
 #[ignore = "slow determinism sweep; run in the nightly CI job"]

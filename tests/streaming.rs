@@ -135,6 +135,8 @@ proptest! {
 /// The streaming detector's localized refinement must agree with
 /// `core::refine::refine_frontier` run on a snapshot with the same start
 /// partition and frontier: identical partitions on integer-weight graphs.
+/// Checked for every quality function (γ=1 and γ≠1 modularity, CPM) — the
+/// twin contract holds regardless of the gain arithmetic in use.
 #[test]
 fn localized_refinement_conforms_to_refine_frontier() {
     let pg = generators::planted_partition(&generators::PlantedPartitionConfig {
@@ -145,62 +147,70 @@ fn localized_refinement_conforms_to_refine_frontier() {
         seed: 17,
     })
     .unwrap();
-    for step in 0..6u64 {
-        // Perturb a fresh detector with a deterministic batch of unit edges.
-        let mut detector = StreamingDetector::from_partition(
-            DynamicGraph::from_graph(&pg.graph),
-            pg.ground_truth.clone(),
-            StreamConfig {
-                frontier_fraction: 1.0, // force the localized path
-                drift_threshold: 1e9,
-                ..StreamConfig::default()
-            },
-        )
-        .unwrap();
-        let events: Vec<EdgeEvent> = (0..4)
-            .map(|i| {
-                let u = ((step * 13 + i * 7) % 80) as usize;
-                let v = ((step * 31 + i * 11 + 1) % 80) as usize;
-                (u, v)
-            })
-            .filter(|&(u, v)| u != v && !pg.graph.has_edge(u, v))
-            .map(|(u, v)| EdgeEvent::Add { u, v, weight: 1.0 })
-            .collect();
-        if events.is_empty() {
-            continue;
-        }
-        let stats = detector.apply_events(&events).unwrap();
-        assert!(!stats.full_redetect);
-
-        // Reproduce the same state with the static-graph API: apply the events
-        // to a copy, compute the same frontier, call refine_frontier.
-        let mut reference_graph = DynamicGraph::from_graph(&pg.graph);
-        let mut touched = BTreeSet::new();
-        for event in &events {
-            reference_graph.apply(event).unwrap();
-            let (u, v) = event.endpoints();
-            touched.insert(u);
-            touched.insert(v);
-        }
-        let mut frontier = touched.clone();
-        for &u in &touched {
-            for (v, _) in reference_graph.neighbors(u) {
-                frontier.insert(v);
+    for quality in [
+        modularity::QualityFunction::default(),
+        modularity::QualityFunction::modularity(0.5),
+        modularity::QualityFunction::modularity(2.0),
+        modularity::QualityFunction::cpm(0.5),
+    ] {
+        for step in 0..6u64 {
+            // Perturb a fresh detector with a deterministic batch of unit edges.
+            let mut detector = StreamingDetector::from_partition(
+                DynamicGraph::from_graph(&pg.graph),
+                pg.ground_truth.clone(),
+                StreamConfig {
+                    frontier_fraction: 1.0, // force the localized path
+                    drift_threshold: 1e9,
+                    ..StreamConfig::default()
+                }
+                .with_quality(quality),
+            )
+            .unwrap();
+            let events: Vec<EdgeEvent> = (0..4)
+                .map(|i| {
+                    let u = ((step * 13 + i * 7) % 80) as usize;
+                    let v = ((step * 31 + i * 11 + 1) % 80) as usize;
+                    (u, v)
+                })
+                .filter(|&(u, v)| u != v && !pg.graph.has_edge(u, v))
+                .map(|(u, v)| EdgeEvent::Add { u, v, weight: 1.0 })
+                .collect();
+            if events.is_empty() {
+                continue;
             }
+            let stats = detector.apply_events(&events).unwrap();
+            assert!(!stats.full_redetect);
+
+            // Reproduce the same state with the static-graph API: apply the events
+            // to a copy, compute the same frontier, call refine_frontier.
+            let mut reference_graph = DynamicGraph::from_graph(&pg.graph);
+            let mut touched = BTreeSet::new();
+            for event in &events {
+                reference_graph.apply(event).unwrap();
+                let (u, v) = event.endpoints();
+                touched.insert(u);
+                touched.insert(v);
+            }
+            let mut frontier = touched.clone();
+            for &u in &touched {
+                for (v, _) in reference_graph.neighbors(u) {
+                    frontier.insert(v);
+                }
+            }
+            let frontier: Vec<usize> = frontier.into_iter().collect();
+            let reference = refine_frontier(
+                &reference_graph.snapshot(),
+                &pg.ground_truth,
+                &frontier,
+                &RefineConfig { quality, ..RefineConfig::default() },
+            )
+            .unwrap();
+            assert_eq!(
+                detector.partition(),
+                reference.partition,
+                "quality {quality:?}, step {step}: streaming and static frontier refinement diverged"
+            );
         }
-        let frontier: Vec<usize> = frontier.into_iter().collect();
-        let reference = refine_frontier(
-            &reference_graph.snapshot(),
-            &pg.ground_truth,
-            &frontier,
-            &RefineConfig::default(),
-        )
-        .unwrap();
-        assert_eq!(
-            detector.partition(),
-            reference.partition,
-            "step {step}: streaming and static frontier refinement diverged"
-        );
     }
 }
 
@@ -306,5 +316,74 @@ fn wide_streaming_sweep_keeps_invariants() {
         assert_eq!(q_a, q_b, "seed {seed}");
         assert_eq!(p_a, p_b, "seed {seed}");
         assert_eq!(f_a, f_b, "seed {seed}");
+    }
+}
+
+/// Same churn sweep under generalized quality functions (γ≠1 modularity and
+/// CPM): the maintained value must track a from-scratch recomputation of the
+/// configured quality function after every batch, and runs must stay
+/// bit-deterministic. Nightly only (`--ignored`).
+#[test]
+#[ignore = "wide sweep; run with --ignored (nightly CI job)"]
+fn wide_streaming_sweep_keeps_invariants_under_generalized_quality() {
+    let run = |seed: u64, quality: modularity::QualityFunction| {
+        let pg = generators::planted_partition(&generators::PlantedPartitionConfig {
+            num_nodes: 1500,
+            num_communities: 10,
+            p_in: 0.03,
+            p_out: 0.001,
+            seed,
+        })
+        .unwrap();
+        let mut detector = StreamingDetector::new(
+            DynamicGraph::from_graph(&pg.graph),
+            StreamConfig::default().with_seed(seed).with_quality(quality),
+        )
+        .unwrap();
+        let n = detector.num_nodes();
+        let mut added: Vec<(usize, usize)> = Vec::new();
+        let mut state = seed;
+        let mut next = |bound: usize| {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            ((z ^ (z >> 31)) % bound as u64) as usize
+        };
+        for _batch in 0..40 {
+            let mut events = Vec::new();
+            for _ in 0..25 {
+                let (u, v) = (next(n), next(n));
+                if u != v && !detector.graph().has_edge(u, v) {
+                    events.push(EdgeEvent::Add { u, v, weight: 1.0 });
+                    added.push((u, v));
+                }
+            }
+            for _ in 0..12 {
+                if let Some((u, v)) = added.pop() {
+                    events.push(EdgeEvent::Remove { u, v });
+                }
+            }
+            let stats = detector.apply_events(&events).unwrap();
+            let recomputed =
+                modularity::quality(&detector.graph().snapshot(), &detector.partition(), quality);
+            assert!(
+                (stats.modularity - recomputed).abs() < 1e-9,
+                "quality {quality:?}: maintained={} recomputed={recomputed}",
+                stats.modularity
+            );
+        }
+        (detector.modularity().to_bits(), detector.partition(), detector.full_redetects())
+    };
+    for quality in
+        [modularity::QualityFunction::modularity(2.0), modularity::QualityFunction::cpm(0.5)]
+    {
+        for seed in [1u64, 2] {
+            let (q_a, p_a, f_a) = run(seed, quality);
+            let (q_b, p_b, f_b) = run(seed, quality);
+            assert_eq!(q_a, q_b, "quality {quality:?} seed {seed}");
+            assert_eq!(p_a, p_b, "quality {quality:?} seed {seed}");
+            assert_eq!(f_a, f_b, "quality {quality:?} seed {seed}");
+        }
     }
 }
