@@ -16,7 +16,10 @@
 //!   allocations** inside it;
 //! * **end-to-end `evolve`** — the full trajectory including initial packet
 //!   generation, mean-field coupling and measurement (costs shared by both
-//!   paths), reported for context.
+//!   paths), reported for context;
+//! * **initial packet generation** — per-variable `gaussian_state` +
+//!   `set_variable` against the fused `Grid::gaussian_state_batch` fill now
+//!   used by `evolve`, pinned bit-identical before timing.
 //!
 //! Both paths are pinned to bit-identical outcomes before anything is timed,
 //! so the ratios are pure engine measurements. Set `QHDCD_MEANFIELD_SMOKE=1`
@@ -310,6 +313,44 @@ fn bench_meanfield_throughput(c: &mut Criterion) {
     let e2e_batch = time(measure(|| evolve(&model, &cfg), warm, window, 10));
     let gate_speedup = engine[0].3;
 
+    // Initial packet generation: the fused plane-major fill against the
+    // per-variable gaussian_state + set_variable path it replaced inside
+    // `evolve`. Bit-identity is asserted before anything is timed.
+    let mut init = Vec::new();
+    for resolution in [32usize, 64] {
+        let grid = Grid::new(resolution).expect("valid resolution");
+        let centers: Vec<f64> = (0..n).map(|i| 0.25 + 0.5 * (i as f64 / n as f64)).collect();
+        let widths: Vec<f64> = (0..n).map(|i| 0.15 + 0.2 * ((i % 7) as f64 / 7.0)).collect();
+        let mut fused = WaveBatch::zeros(n, resolution);
+        grid.gaussian_state_batch(&mut fused, &centers, &widths);
+        for i in (0..n).step_by(n / 16 + 1) {
+            assert_eq!(
+                fused.variable(i),
+                grid.gaussian_state(centers[i], widths[i]),
+                "fused packet {i} diverged from the per-variable path"
+            );
+        }
+        let mut per_variable = WaveBatch::zeros(n, resolution);
+        let reference = time(measure(
+            || {
+                for i in 0..n {
+                    let psi = grid.gaussian_state(centers[i], widths[i]);
+                    per_variable.set_variable(i, &psi);
+                }
+            },
+            warm,
+            window,
+            10,
+        ));
+        let batch_ms = time(measure(
+            || grid.gaussian_state_batch(&mut fused, &centers, &widths),
+            warm,
+            window,
+            10,
+        ));
+        init.push((resolution, reference, batch_ms, reference / batch_ms));
+    }
+
     println!("BENCH_JSON_BEGIN");
     println!("{{");
     println!("  \"bench\": \"meanfield_throughput\",");
@@ -329,6 +370,11 @@ fn bench_meanfield_throughput(c: &mut Criterion) {
         "  \"end_to_end_evolve_resolution_32\": {{ \"reference_ms\": {e2e_reference:.3}, \"batch_ms\": {e2e_batch:.3}, \"speedup\": {:.2} }},",
         e2e_reference / e2e_batch
     );
+    for (resolution, reference, batch_ms, speedup) in &init {
+        println!(
+            "  \"initial_packet_generation_resolution_{resolution}\": {{ \"reference_ms\": {reference:.3}, \"batch_ms\": {batch_ms:.3}, \"speedup\": {speedup:.2} }},"
+        );
+    }
     println!("  \"per_step_loop_allocations\": {allocations},");
     println!(
         "  \"gate\": {{ \"required_engine_speedup_at_resolution_32\": {:.1}, \"passed\": {} }}",

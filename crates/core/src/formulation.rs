@@ -278,12 +278,25 @@ pub fn build_qubo(graph: &Graph, config: &FormulationConfig) -> Result<CdQubo, C
                 }
             }
             QualityFunction::Cpm { resolution } => {
-                // +γ per same-community ordered pair of distinct nodes
-                // (2γ per unordered pair; the diagonal is exempt).
+                // +γ w_i w_j per same-community ordered pair of distinct nodes
+                // (2γ w_i w_j per unordered pair) plus the diagonal carry
+                // γ w_i (w_i − 1): with super-node counts as node weights the
+                // null term is exact on coarse graphs too (the counts-as-one
+                // form is recovered bit-identically at unit weights, where the
+                // diagonal vanishes).
                 for c in 0..k {
                     for i in 0..n {
+                        let w_i = graph.node_weight(i);
+                        let diag = w_i * (w_i - 1.0);
+                        if diag != 0.0 {
+                            builder.add_linear(idx(i, c), w1 * resolution * diag)?;
+                        }
                         for j in (i + 1)..n {
-                            builder.add_quadratic(idx(i, c), idx(j, c), 2.0 * w1 * resolution)?;
+                            builder.add_quadratic(
+                                idx(i, c),
+                                idx(j, c),
+                                2.0 * w1 * resolution * (w_i * graph.node_weight(j)),
+                            )?;
                         }
                     }
                 }
@@ -305,7 +318,11 @@ pub fn build_qubo(graph: &Graph, config: &FormulationConfig) -> Result<CdQubo, C
                         0.0
                     }
                 }
-                QualityFunction::Cpm { resolution } => resolution * (n as f64 - 1.0),
+                QualityFunction::Cpm { resolution } => {
+                    // Row sum of the weighted null model:
+                    // Σ_{j≠i} γ w_i w_j + γ w_i (w_i − 1) = γ w_i (W − 1).
+                    resolution * (graph.node_weight(i) * (graph.total_node_weight() - 1.0))
+                }
             };
             let row: f64 = graph.neighbors(i).map(|(_, w)| w).sum::<f64>() + null_model;
             2.0 * w1 * row

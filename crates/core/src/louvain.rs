@@ -6,13 +6,12 @@
 //! included both as a quality baseline for the QHD pipelines and as a
 //! reference implementation of the aggregation machinery.
 //!
-//! The quality function is taken from `config.refine.quality`. Resolution-γ
-//! modularity is preserved exactly by aggregation (super-node degrees are the
-//! community degree sums). CPM is not: a super-node counts as one node on the
-//! coarse graph, so coarse-level CPM gains under-count internal pairs — a
-//! standard approximation; the final polish pass on the original graph uses
-//! exact CPM gains, and the reported quality is always evaluated on the
-//! original graph.
+//! The quality function is taken from `config.refine.quality`. Both families
+//! are preserved exactly by aggregation: super-node degrees are the community
+//! degree sums (modularity), and super-node weights carry the merged node
+//! counts, so coarse-level CPM gains price the `γ n (n − 1)/2` null term
+//! exactly too (via [`qhdcd_graph::QualityFunction::gain_weighted`]). The
+//! reported quality is always evaluated on the original graph.
 
 use crate::refine::{refine_partition, RefineConfig};
 use crate::CdError;

@@ -60,10 +60,12 @@ impl MultilevelConfig {
 
     /// Sets the quality function on both the coarsest-level formulation and
     /// the per-level refinement, keeping the base solve and the uncoarsening
-    /// polish in lock-step. Resolution-γ modularity is preserved exactly by
-    /// coarsening; CPM gains on coarse levels under-count internal pairs (each
-    /// super-node counts as one node), the standard Leiden-style approximation
-    /// — the final pass on the original graph uses exact gains.
+    /// polish in lock-step. Both quality functions are preserved exactly by
+    /// coarsening: super-node degrees are community degree sums (modularity),
+    /// and super-node weights carry the original node counts through
+    /// aggregation, so coarse-level CPM null terms price `γ n (n − 1)/2`
+    /// exactly (the former counts-as-one approximation is gone — see
+    /// [`qhdcd_graph::QualityFunction::gain_weighted`]).
     pub fn with_quality(mut self, quality: qhdcd_graph::QualityFunction) -> Self {
         self.formulation.quality = quality;
         self.refine.quality = quality;
@@ -368,11 +370,12 @@ mod tests {
     fn cpm_multilevel_threads_the_quality_through_the_hierarchy() {
         // Force real coarsening levels so the CPM quality flows through the
         // base solve, the per-level refinement and the final exact polish.
-        // Coarse-level CPM gains are the documented approximation (a
-        // super-node counts as one node), so clique recovery is imperfect on a
-        // ring of cliques — the contract under test is that the reported
-        // quality is the exact CPM value of the returned partition on the
-        // original graph and that the structure stays close to the cliques.
+        // Coarse-level CPM gains are exact now that super-node counts ride
+        // the node weights through aggregation, so clique recovery on a ring
+        // of cliques should be essentially perfect; the contract under test
+        // is that the reported quality is the exact CPM value of the returned
+        // partition on the original graph and the structure matches the
+        // cliques.
         let pg = generators::ring_of_cliques(12, 6).unwrap();
         let quality = qhdcd_graph::QualityFunction::cpm(0.5);
         let config = MultilevelConfig {

@@ -179,7 +179,8 @@ fn refine_with_engine(
     let quality = config.quality;
     let mut sigma_tot = vec![0.0f64; k];
     for node in 0..n {
-        sigma_tot[labels[node]] += quality.node_factor(graph.degree(node));
+        sigma_tot[labels[node]] +=
+            quality.node_factor_weighted(graph.degree(node), graph.node_weight(node));
     }
     let tolerance = quality.move_tolerance(two_m);
 
@@ -197,6 +198,7 @@ fn refine_with_engine(
             visit += 1;
             let cur = labels[node];
             let d_i = graph.degree(node);
+            let w_i = graph.node_weight(node);
             let mut best: Option<(usize, f64)> = None;
             for (v, _) in graph.neighbors(node) {
                 if v == node {
@@ -228,7 +230,11 @@ fn refine_with_engine(
                         }
                     }
                     QualityFunction::Cpm { resolution } => {
-                        let delta_dense = 2.0 * resolution * (sigma_tot[c] - sigma_tot[cur] + 1.0);
+                        // Weighted CPM null delta (super-node counts carried
+                        // through coarsening): 2γ w_i (n_target − n_cur + w_i),
+                        // bit-identical to the old counts-as-one form at w = 1.
+                        let delta_dense =
+                            2.0 * resolution * (w_i * (sigma_tot[c] - sigma_tot[cur] + w_i));
                         -(delta_sparse + delta_dense) / 2.0
                     }
                 };
@@ -238,7 +244,7 @@ fn refine_with_engine(
             }
             if let Some((target, gain)) = best {
                 state.apply_reassign(idx(node, cur), idx(node, target));
-                let factor = quality.node_factor(d_i);
+                let factor = quality.node_factor_weighted(d_i, w_i);
                 sigma_tot[cur] -= factor;
                 sigma_tot[target] += factor;
                 labels[node] = target;
@@ -307,11 +313,12 @@ pub fn refine_frontier(
         let mut pass_gain = 0.0;
         let mut next = std::collections::BTreeSet::new();
         for &node in &worklist {
-            if let Some((target, gain)) = scan.best_move_with_quality(
+            if let Some((target, gain)) = scan.best_move_with_quality_weighted(
                 node,
                 graph.neighbors(node),
                 state.labels(),
                 graph.degree(node),
+                graph.node_weight(node),
                 state.two_m(),
                 state.sigma_tot(),
                 config.quality,

@@ -20,6 +20,8 @@
 //! * [`io`] — plain edge-list reading and writing, plus edge-event logs.
 //! * [`quotient`] — aggregation of a graph by a partition (super-node graphs),
 //!   the basic operation behind multilevel coarsening.
+//! * [`sharding`] — deterministic community → shard ownership derivation for
+//!   sharded streaming deployments.
 //!
 //! # Example
 //!
@@ -53,6 +55,7 @@ pub mod laplacian;
 pub mod metrics;
 pub mod modularity;
 pub mod quotient;
+pub mod sharding;
 
 pub use builder::GraphBuilder;
 pub use dynamic::{DynamicGraph, EdgeEvent};

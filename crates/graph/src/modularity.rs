@@ -90,11 +90,27 @@ impl QualityFunction {
 
     /// A node's contribution to its community's aggregate: the weighted degree
     /// under modularity (`Σtot_c`), 1 under CPM (`n_c`).
+    ///
+    /// This is [`QualityFunction::node_factor_weighted`] at unit node weight —
+    /// correct wherever every node stands for a single original node.
     #[inline]
     pub fn node_factor(&self, degree: f64) -> f64 {
+        self.node_factor_weighted(degree, 1.0)
+    }
+
+    /// A node's contribution to its community's aggregate when the node is a
+    /// super-node standing for `node_weight` original nodes (the coarse levels
+    /// of the multilevel hierarchy and the Louvain aggregation): the weighted
+    /// degree under modularity — degrees already accumulate through
+    /// aggregation — and the **carried node count** under CPM, which makes the
+    /// coarse-level null term `γ n_c (n_c − 1)/2` exact instead of the former
+    /// counts-as-one approximation. At `node_weight = 1` this is bit-identical
+    /// to [`QualityFunction::node_factor`].
+    #[inline]
+    pub fn node_factor_weighted(&self, degree: f64, node_weight: f64) -> f64 {
         match self {
             QualityFunction::Modularity { .. } => degree,
-            QualityFunction::Cpm { .. } => 1.0,
+            QualityFunction::Cpm { .. } => node_weight,
         }
     }
 
@@ -161,6 +177,34 @@ impl QualityFunction {
         agg_cur: f64,
         agg_target: f64,
     ) -> f64 {
+        self.gain_weighted(two_m, d_i, 1.0, k_i_cur, k_i_target, agg_cur, agg_target)
+    }
+
+    /// [`QualityFunction::gain`] for a super-node standing for `node_weight`
+    /// original nodes. Modularity ignores the node weight (degrees carry all
+    /// the information); for CPM the null-term change of moving `w` carried
+    /// nodes from a community of `n_cur` to one of `n_target` is exactly
+    ///
+    /// ```text
+    /// ΔQ = (k_{i,target} − k_{i,cur\{i\}}) − γ w (n_target − (n_cur − w))
+    /// ```
+    ///
+    /// (expand `n(n−1)/2` before and after the move to verify), which makes
+    /// coarse-level CPM refinement price moves exactly instead of under the
+    /// former counts-as-one approximation. At `node_weight = 1` both branches
+    /// are bit-identical to [`QualityFunction::gain`].
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    pub fn gain_weighted(
+        &self,
+        two_m: f64,
+        d_i: f64,
+        node_weight: f64,
+        k_i_cur: f64,
+        k_i_target: f64,
+        agg_cur: f64,
+        agg_target: f64,
+    ) -> f64 {
         match *self {
             QualityFunction::Modularity { resolution } => {
                 let m = two_m / 2.0;
@@ -168,7 +212,8 @@ impl QualityFunction {
                     - resolution * (d_i * (agg_target - (agg_cur - d_i)) / (2.0 * m * m))
             }
             QualityFunction::Cpm { resolution } => {
-                (k_i_target - k_i_cur) - resolution * (agg_target - (agg_cur - 1.0))
+                (k_i_target - k_i_cur)
+                    - resolution * (node_weight * (agg_target - (agg_cur - node_weight)))
             }
         }
     }
@@ -200,7 +245,7 @@ pub fn quality(graph: &Graph, partition: &Partition, quality_fn: QualityFunction
     let mut agg = vec![0.0f64; k];
     for u in 0..graph.num_nodes() {
         let cu = renum.community_of(u);
-        agg[cu] += quality_fn.node_factor(graph.degree(u));
+        agg[cu] += quality_fn.node_factor_weighted(graph.degree(u), graph.node_weight(u));
         for (v, w) in graph.neighbors(u) {
             if renum.community_of(v) == cu {
                 // Each undirected edge (u, v) with u != v is visited twice (once from
@@ -278,13 +323,20 @@ pub fn quality_dense(graph: &Graph, partition: &Partition, quality_fn: QualityFu
             q / two_m
         }
         QualityFunction::Cpm { resolution } => {
+            // With super-node weights `w_i` (carried node counts), the exact
+            // null term of a community is γ N (N − 1)/2 with N = Σ w_i: split
+            // over node pairs that is γ w_i w_j per off-diagonal ordered pair
+            // plus γ w_i (w_i − 1) per diagonal entry. At unit weights this
+            // reduces bit-identically to γ per off-diagonal pair.
             for i in 0..n {
+                let w_i = graph.node_weight(i);
                 for j in 0..n {
                     if partition.community_of(i) != partition.community_of(j) {
                         continue;
                     }
                     let a_ij = adjacency_entry(graph, i, j);
-                    q += a_ij - if i != j { resolution } else { 0.0 };
+                    let null = if i != j { w_i * graph.node_weight(j) } else { w_i * (w_i - 1.0) };
+                    q += a_ij - resolution * null;
                 }
             }
             q / 2.0
@@ -406,6 +458,27 @@ impl NeighborScan {
         agg: &[f64],
         quality_fn: QualityFunction,
     ) -> Option<(usize, f64)> {
+        self.best_move_with_quality_weighted(
+            node, neighbors, labels, d_i, 1.0, two_m, agg, quality_fn,
+        )
+    }
+
+    /// [`NeighborScan::best_move_with_quality`] for a super-node carrying
+    /// `node_weight` original nodes (coarse multilevel levels); gains are
+    /// priced through [`QualityFunction::gain_weighted`]. At unit node weight
+    /// this is bit-identical to the unweighted scan.
+    #[allow(clippy::too_many_arguments)]
+    pub fn best_move_with_quality_weighted(
+        &mut self,
+        node: usize,
+        neighbors: impl Iterator<Item = (usize, f64)>,
+        labels: &[usize],
+        d_i: f64,
+        node_weight: f64,
+        two_m: f64,
+        agg: &[f64],
+        quality_fn: QualityFunction,
+    ) -> Option<(usize, f64)> {
         if two_m <= 0.0 {
             return None;
         }
@@ -436,7 +509,15 @@ impl NeighborScan {
         let tolerance = quality_fn.move_tolerance(two_m);
         let mut best: Option<(usize, f64)> = None;
         for &c in &self.candidates {
-            let g = quality_fn.gain(two_m, d_i, k_i_cur, self.weight[c], agg_cur, agg[c]);
+            let g = quality_fn.gain_weighted(
+                two_m,
+                d_i,
+                node_weight,
+                k_i_cur,
+                self.weight[c],
+                agg_cur,
+                agg[c],
+            );
             if g > best.map_or(0.0, |(_, bg)| bg) && g > tolerance {
                 best = Some((c, g));
             }
@@ -456,7 +537,9 @@ pub fn adjacency_entry(graph: &Graph, i: usize, j: usize) -> f64 {
 }
 
 /// Dense quality matrix `B`, row-major: `B_ij = A_ij − γ d_i d_j / (2m)` for
-/// modularity (Eq. 2 of the paper, generalized), `B_ij = A_ij − γ [i ≠ j]`
+/// modularity (Eq. 2 of the paper, generalized), `B_ij = A_ij − γ w_i w_j`
+/// (`i ≠ j`, with `B_ii = A_ii − γ w_i (w_i − 1)` on the diagonal, `w` the
+/// carried node counts — γ per node pair exactly, even on coarse graphs)
 /// for CPM. Maximizing `Σ_c Σ_{ij} B_ij x_ic x_jc` over one-hot assignments
 /// maximizes the corresponding quality function, which is what the QUBO
 /// formulation builds on for small graphs.
@@ -481,9 +564,15 @@ pub fn quality_matrix(graph: &Graph, quality_fn: QualityFunction) -> Vec<Vec<f64
             }
         }
         QualityFunction::Cpm { resolution } => {
+            // Weighted CPM null term (see `quality_dense`): γ w_i w_j off the
+            // diagonal, γ w_i (w_i − 1) on it, so `Σ_c Σ_{ij} B_ij x_ic x_jc`
+            // still equals `2 Q` when nodes carry super-node counts. At unit
+            // weights this is bit-identical to the unweighted matrix.
             for (i, row) in b.iter_mut().enumerate() {
+                let w_i = graph.node_weight(i);
                 for (j, entry) in row.iter_mut().enumerate() {
-                    *entry = adjacency_entry(graph, i, j) - if i != j { resolution } else { 0.0 };
+                    let null = if i != j { w_i * graph.node_weight(j) } else { w_i * (w_i - 1.0) };
+                    *entry = adjacency_entry(graph, i, j) - resolution * null;
                 }
             }
         }
@@ -551,7 +640,8 @@ impl ModularityState {
         let k = renum.num_communities().max(1);
         let mut sigma_tot = vec![0.0; k];
         for u in 0..graph.num_nodes() {
-            sigma_tot[renum.community_of(u)] += quality_fn.node_factor(graph.degree(u));
+            sigma_tot[renum.community_of(u)] +=
+                quality_fn.node_factor_weighted(graph.degree(u), graph.node_weight(u));
         }
         ModularityState {
             sigma_tot,
@@ -638,7 +728,14 @@ impl ModularityState {
                 k_i_target += w;
             }
         }
-        self.gain_from_weights(cur, target, d_i, k_i_cur, k_i_target)
+        self.gain_from_weights_weighted(
+            cur,
+            target,
+            d_i,
+            graph.node_weight(node),
+            k_i_cur,
+            k_i_target,
+        )
     }
 
     /// The same gain as [`ModularityState::gain`], but with the
@@ -667,12 +764,35 @@ impl ModularityState {
         k_i_cur: f64,
         k_i_target: f64,
     ) -> f64 {
+        self.gain_from_weights_weighted(cur, target, d_i, 1.0, k_i_cur, k_i_target)
+    }
+
+    /// [`ModularityState::gain_from_weights`] for a super-node carrying
+    /// `node_weight` original nodes (see [`QualityFunction::gain_weighted`]);
+    /// bit-identical to the unweighted form at `node_weight = 1`.
+    pub fn gain_from_weights_weighted(
+        &self,
+        cur: usize,
+        target: usize,
+        d_i: f64,
+        node_weight: f64,
+        k_i_cur: f64,
+        k_i_target: f64,
+    ) -> f64 {
         if cur == target || self.two_m <= 0.0 {
             return 0.0;
         }
         let sigma_cur = self.sigma_tot.get(cur).copied().unwrap_or(0.0);
         let sigma_target = self.sigma_tot.get(target).copied().unwrap_or(0.0);
-        self.quality_fn.gain(self.two_m, d_i, k_i_cur, k_i_target, sigma_cur, sigma_target)
+        self.quality_fn.gain_weighted(
+            self.two_m,
+            d_i,
+            node_weight,
+            k_i_cur,
+            k_i_target,
+            sigma_cur,
+            sigma_target,
+        )
     }
 
     /// Finds the neighbouring community with the best positive gain for `node`,
@@ -712,7 +832,8 @@ impl ModularityState {
         if target >= self.sigma_tot.len() {
             self.sigma_tot.resize(target + 1, 0.0);
         }
-        let factor = self.quality_fn.node_factor(graph.degree(node));
+        let factor =
+            self.quality_fn.node_factor_weighted(graph.degree(node), graph.node_weight(node));
         self.sigma_tot[cur] -= factor;
         self.sigma_tot[target] += factor;
         self.labels[node] = target;

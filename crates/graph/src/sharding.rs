@@ -1,0 +1,114 @@
+//! Partition-ownership helpers for sharded deployments.
+//!
+//! A sharded streaming service assigns every community to exactly one shard
+//! worker. The assignment must be a pure function of the partition so that
+//! re-deriving it after a full re-detect is deterministic: two runs that reach
+//! the same partition must land on the same ownership table, bit for bit.
+//!
+//! [`balanced_shard_assignment`] implements the canonical derivation: a greedy
+//! longest-processing-time bin packing of communities onto shards by community
+//! size, with all ties broken towards the lowest id. Ownership never affects
+//! detection results — it only decides which shard journals, checkpoints and
+//! proposes moves for a community — so the only hard requirements are
+//! determinism and a reasonable balance.
+
+/// Deterministically assigns each community to one of `shards` shards,
+/// balancing the total assigned community size.
+///
+/// Communities are visited largest first (ties towards the lower community id)
+/// and greedily placed on the least-loaded shard (ties towards the lower shard
+/// id) — the classic LPT heuristic, which guarantees a makespan within 4/3 of
+/// optimal. The result is a pure function of `community_sizes` and `shards`.
+///
+/// Every community receives an owner, including empty ones (size 0): a
+/// community emptied by reassign moves still has an aggregate slot that some
+/// shard must checkpoint.
+///
+/// # Panics
+///
+/// Panics if `shards` is zero.
+///
+/// # Example
+///
+/// ```
+/// use qhdcd_graph::sharding::balanced_shard_assignment;
+///
+/// let owners = balanced_shard_assignment(&[10, 3, 7, 3], 2);
+/// assert_eq!(owners.len(), 4);
+/// // The largest community seeds shard 0; the next largest shard 1; the two
+/// // size-3 communities then balance the loads.
+/// assert_eq!(owners, vec![0, 1, 1, 0]);
+/// ```
+pub fn balanced_shard_assignment(community_sizes: &[usize], shards: usize) -> Vec<usize> {
+    assert!(shards > 0, "shard count must be positive");
+    let mut order: Vec<usize> = (0..community_sizes.len()).collect();
+    // Largest first; equal sizes in ascending id order.
+    order.sort_by(|&a, &b| community_sizes[b].cmp(&community_sizes[a]).then_with(|| a.cmp(&b)));
+    let mut loads = vec![0usize; shards];
+    let mut owners = vec![0usize; community_sizes.len()];
+    for community in order {
+        let mut best = 0usize;
+        for shard in 1..shards {
+            if loads[shard] < loads[best] {
+                best = shard;
+            }
+        }
+        owners[community] = best;
+        loads[best] += community_sizes[community];
+    }
+    owners
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assignment_is_deterministic_and_total() {
+        let sizes = vec![5, 5, 5, 2, 9, 1, 0, 3];
+        let a = balanced_shard_assignment(&sizes, 3);
+        let b = balanced_shard_assignment(&sizes, 3);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), sizes.len());
+        assert!(a.iter().all(|&s| s < 3));
+        // Every shard gets something on this instance.
+        for shard in 0..3 {
+            assert!(a.contains(&shard), "shard {shard} owns nothing");
+        }
+    }
+
+    #[test]
+    fn single_shard_owns_everything() {
+        assert_eq!(balanced_shard_assignment(&[4, 1, 7], 1), vec![0, 0, 0]);
+        assert!(balanced_shard_assignment(&[], 2).is_empty());
+    }
+
+    #[test]
+    fn loads_are_balanced_within_the_lpt_bound() {
+        let sizes: Vec<usize> = (1..=20).collect();
+        let shards = 4;
+        let owners = balanced_shard_assignment(&sizes, shards);
+        let mut loads = vec![0usize; shards];
+        for (c, &s) in owners.iter().enumerate() {
+            loads[s] += sizes[c];
+        }
+        let total: usize = sizes.iter().sum();
+        let max = *loads.iter().max().unwrap();
+        // LPT guarantee: max load ≤ 4/3 · optimal; optimal ≥ total/shards.
+        assert!(3 * max <= 4 * total.div_ceil(shards) + 3 * *sizes.iter().max().unwrap());
+        assert!(max * shards < 2 * total, "loads wildly unbalanced: {loads:?}");
+    }
+
+    #[test]
+    fn ties_break_towards_low_ids() {
+        // Four equal communities over two shards: ids 0,1,2,3 are visited in
+        // order and alternate shards deterministically.
+        assert_eq!(balanced_shard_assignment(&[2, 2, 2, 2], 2), vec![0, 1, 0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shard count must be positive")]
+    fn zero_shards_panics() {
+        balanced_shard_assignment(&[1], 0);
+    }
+}

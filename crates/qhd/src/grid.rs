@@ -157,6 +157,66 @@ impl Grid {
         psi
     }
 
+    /// Fills every column of `batch` with a normalised Gaussian packet
+    /// (`centers[i]`, `widths[i]`) in grid-point-major sweeps, bit-identical
+    /// to scattering [`Grid::gaussian_state`] per variable but with
+    /// unit-stride inner loops across variables and no per-variable
+    /// allocation — initial packet generation is the largest non-engine cost
+    /// of a trajectory, so it gets the same SoA treatment as the step
+    /// kernels.
+    ///
+    /// Bit-identity holds because every per-point amplitude uses the exact
+    /// per-variable expression and the norm is accumulated in ascending
+    /// grid-point order, the same summation order as
+    /// [`normalize`](crate::complex::normalize) on a single packet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` does not match the grid or `centers`/`widths` do not
+    /// match the batch.
+    pub fn gaussian_state_batch(&self, batch: &mut WaveBatch, centers: &[f64], widths: &[f64]) {
+        assert_eq!(batch.resolution(), self.points.len(), "batch resolution must match grid");
+        let n = batch.num_variables();
+        assert_eq!(centers.len(), n, "centers length must match batch");
+        assert_eq!(widths.len(), n, "widths length must match batch");
+        let clamped: Vec<f64> = widths.iter().map(|&w| w.max(1e-6)).collect();
+        let (re, im) = batch.planes_mut();
+        // Unnormalised packets, one grid row at a time (unit stride across
+        // variables). The packets are real, so the imaginary plane is zeroed.
+        for (k, &x) in self.points.iter().enumerate() {
+            let row = &mut re[k * n..(k + 1) * n];
+            for ((slot, &c), &w) in row.iter_mut().zip(centers).zip(&clamped) {
+                *slot = (-((x - c) / w).powi(2) / 2.0).exp();
+            }
+            im[k * n..(k + 1) * n].fill(0.0);
+        }
+        // Per-variable norms, accumulated in ascending grid-point order.
+        let mut norm = vec![0.0f64; n];
+        for k in 0..self.points.len() {
+            for (acc, &r) in norm.iter_mut().zip(&re[k * n..(k + 1) * n]) {
+                *acc += r * r;
+            }
+        }
+        // `normalize` scales by `1.0 / sqrt(norm)` and no-ops on the zero
+        // vector; scaling by exactly 1.0 reproduces the no-op bit-for-bit.
+        let inv: Vec<f64> = norm
+            .iter()
+            .map(|&s| {
+                let r = s.sqrt();
+                if r > 0.0 {
+                    1.0 / r
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+        for k in 0..self.points.len() {
+            for (slot, &s) in re[k * n..(k + 1) * n].iter_mut().zip(&inv) {
+                *slot *= s;
+            }
+        }
+    }
+
     /// Applies the diagonal potential phase `ψ(x) ← e^{-i·dt·V(x)} ψ(x)` in place.
     ///
     /// # Panics
@@ -586,6 +646,22 @@ mod tests {
         let psi = g.gaussian_state(0.8, 0.05);
         assert!((g.expectation_position(&psi) - 0.8).abs() < 0.05);
         assert!(g.probability_upper_half(&psi) > 0.95);
+    }
+
+    #[test]
+    fn batched_gaussian_init_is_bit_identical_to_per_variable() {
+        let g = Grid::new(24).unwrap();
+        // Mixed parameters, including a sub-clamp width (exercises the 1e-6
+        // floor) and a far-off-grid center (exp underflow territory).
+        let centers = [0.25, 0.5, 0.74, 0.1, 0.9, 0.5];
+        let widths = [0.15, 0.34, 0.2, 1e-9, 0.25, 0.3];
+        let mut batch = WaveBatch::zeros(centers.len(), 24);
+        // Poison the planes first so the fill must overwrite every slot.
+        batch.set_variable(1, &vec![Complex::new(3.0, -4.0); 24]);
+        g.gaussian_state_batch(&mut batch, &centers, &widths);
+        for (i, (&c, &w)) in centers.iter().zip(&widths).enumerate() {
+            assert_eq!(batch.variable(i), g.gaussian_state(c, w), "variable {i} diverged");
+        }
     }
 
     #[test]

@@ -71,6 +71,13 @@ impl EventJournal {
         offset == 0 || self.batch_ends.binary_search(&offset).is_ok()
     }
 
+    /// The 0-based index of the journaled batch containing event offset
+    /// `offset` — the number of batches that end at or before it. Used to
+    /// attach batch context to recovery errors about misaligned offsets.
+    pub fn containing_batch(&self, offset: usize) -> usize {
+        self.batch_ends.partition_point(|&end| end <= offset)
+    }
+
     /// The journaled batches from the event offset `from` onward, preserving
     /// the original boundaries. `from` must lie on a batch boundary (it always
     /// does for offsets produced by [`EventJournal::len`] at batch rim) —
@@ -171,7 +178,7 @@ fn bits(x: f64) -> String {
 /// FNV-1a over the checkpoint body: cheap, dependency-free, and enough to
 /// catch torn writes and bit rot (the threat model is storage corruption,
 /// not an adversary forging checkpoints).
-fn fnv1a(bytes: &[u8]) -> u64 {
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
     let mut hash = 0xcbf2_9ce4_8422_2325u64;
     for &b in bytes {
         hash ^= u64::from(b);

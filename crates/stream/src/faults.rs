@@ -47,8 +47,14 @@ pub struct FaultPlan {
     /// never reads this field; it rides on the plan so a single seed
     /// describes the whole scenario.
     pub storm_bursts: Vec<usize>,
+    /// Panic inside the shard worker of shard `.1` while routing batch `.0`
+    /// of a sharded service — simulates a shard crash. The shard degrades to
+    /// read-only; the fault is consumed once it fires. Ignored by the
+    /// unsharded [`StreamingService`](crate::StreamingService).
+    pub kill_shard_at: Option<(u64, usize)>,
     validation_consumed: AtomicBool,
     truncation_consumed: AtomicBool,
+    kill_consumed: AtomicBool,
 }
 
 impl FaultPlan {
@@ -63,11 +69,13 @@ impl FaultPlan {
         let truncate_checkpoint_to = (next() & 1 == 0).then(|| (next() % 200) as usize);
         let bursts = (next() % 3) as usize;
         let storm_bursts = (0..bursts).map(|_| 1 + (next() % 64) as usize).collect();
+        let kill_shard_at = (next() & 1 == 0).then(|| (1 + next() % 6, (next() % 8) as usize));
         FaultPlan {
             panic_at_batch,
             fail_validation_at,
             truncate_checkpoint_to,
             storm_bursts,
+            kill_shard_at,
             ..FaultPlan::default()
         }
     }
@@ -90,6 +98,13 @@ impl FaultPlan {
         self
     }
 
+    /// Arms the shard-kill fault: shard `shard` panics while routing batch
+    /// `batch` (builder style).
+    pub fn with_shard_kill(mut self, batch: u64, shard: usize) -> Self {
+        self.kill_shard_at = Some((batch, shard));
+        self
+    }
+
     /// Whether the writer should panic while applying batch `batch`.
     pub fn panics_at_batch(&self, batch: u64) -> bool {
         self.panic_at_batch == Some(batch)
@@ -107,6 +122,22 @@ impl FaultPlan {
     /// forever (the epoch does not advance on dead-letter).
     pub fn consume_validation_fault(&self) {
         self.validation_consumed.store(true, Ordering::Relaxed);
+    }
+
+    /// Which shard (if any) should panic while routing batch `batch`.
+    /// Consumes the fault: exactly one kill fires, after which the sharded
+    /// service keeps the shard dead on its own.
+    pub fn kills_shard_at(&self, batch: u64) -> Option<usize> {
+        match self.kill_shard_at {
+            Some((b, shard)) if b == batch => {
+                if self.kill_consumed.swap(true, Ordering::Relaxed) {
+                    None
+                } else {
+                    Some(shard)
+                }
+            }
+            _ => None,
+        }
     }
 
     /// Byte length the next checkpoint should be torn to, if the truncation
@@ -145,6 +176,7 @@ mod tests {
             assert_eq!(a.fail_validation_at, b.fail_validation_at);
             assert_eq!(a.truncate_checkpoint_to, b.truncate_checkpoint_to);
             assert_eq!(a.storm_bursts, b.storm_bursts);
+            assert_eq!(a.kill_shard_at, b.kill_shard_at);
         }
     }
 
@@ -156,6 +188,8 @@ mod tests {
         assert!(plans.iter().any(|p| p.truncate_checkpoint_to.is_some()));
         assert!(plans.iter().any(|p| !p.storm_bursts.is_empty()));
         assert!(plans.iter().any(|p| p.panic_at_batch.is_none()));
+        assert!(plans.iter().any(|p| p.kill_shard_at.is_some()));
+        assert!(plans.iter().any(|p| p.kill_shard_at.is_none()));
     }
 
     #[test]
@@ -165,6 +199,15 @@ mod tests {
         assert!(plan.fails_validation_at(2));
         plan.consume_validation_fault();
         assert!(!plan.fails_validation_at(2));
+    }
+
+    #[test]
+    fn shard_kill_fires_once_at_its_batch() {
+        let plan = FaultPlan::default().with_shard_kill(3, 1);
+        assert_eq!(plan.kills_shard_at(2), None);
+        assert_eq!(plan.kills_shard_at(3), Some(1));
+        assert_eq!(plan.kills_shard_at(3), None);
+        assert_eq!(FaultPlan::default().kills_shard_at(1), None);
     }
 
     #[test]

@@ -112,9 +112,10 @@ struct QueueState {
 ///
 /// `depth` mirrors `events.len()` so that clients can probe backpressure
 /// without taking the lock; the mutex guards only enqueue/dequeue, never the
-/// snapshot read path.
+/// snapshot read path. Shared with the sharded service, which reuses the same
+/// queue/client machinery around its own writer.
 #[derive(Debug)]
-struct EventQueue {
+pub(crate) struct EventQueue {
     state: Mutex<QueueState>,
     depth: AtomicUsize,
     capacity: usize,
@@ -125,7 +126,7 @@ struct EventQueue {
 }
 
 impl EventQueue {
-    fn new(capacity: usize) -> Self {
+    pub(crate) fn new(capacity: usize) -> Self {
         EventQueue {
             state: Mutex::new(QueueState { events: VecDeque::new(), closed: false }),
             depth: AtomicUsize::new(0),
@@ -144,12 +145,27 @@ impl EventQueue {
     /// [`Drop`] — the latter is what turns a dead writer (panicked thread,
     /// dropped service) into prompt [`StreamError::ServiceClosed`] errors for
     /// blocked [`ServiceClient::submit`] callers instead of a deadlock.
-    fn close(&self) {
+    pub(crate) fn close(&self) {
         let mut state = self.lock();
         state.closed = true;
         drop(state);
         self.items.notify_all();
         self.space.notify_all();
+    }
+
+    /// Drains up to `max` queued events in submission order and wakes blocked
+    /// submitters when space was freed — the writer-loop dequeue shared by the
+    /// unsharded and sharded services.
+    pub(crate) fn drain_batch(&self, max: usize) -> Vec<EdgeEvent> {
+        let mut state = self.lock();
+        let take = state.events.len().min(max);
+        let batch: Vec<EdgeEvent> = state.events.drain(..take).collect();
+        self.depth.store(state.events.len(), Ordering::Release);
+        drop(state);
+        if !batch.is_empty() {
+            self.space.notify_all();
+        }
+        batch
     }
 }
 
@@ -162,6 +178,12 @@ pub struct ServiceClient {
 }
 
 impl ServiceClient {
+    /// Assembles a client from its parts (used by the sharded service, which
+    /// shares the queue/snapshot machinery).
+    pub(crate) fn from_parts(queue: Arc<EventQueue>, reader: SnapshotReader) -> Self {
+        ServiceClient { queue, reader }
+    }
+
     /// Enqueues `events` if the whole batch fits, never blocking.
     ///
     /// # Errors
@@ -548,10 +570,8 @@ impl StreamingService {
         self.journal.to_event_log()
     }
 
-    /// Validates `events` against the current graph state *as a batch*: every
-    /// event is checked against the state the preceding events would leave
-    /// behind, without mutating anything. This is what makes batch
-    /// application all-or-nothing.
+    /// Validates `events` against the current graph state *as a batch* (see
+    /// [`validate_batch`]), with the fault-injection hook applied first.
     fn validate_batch(&self, events: &[EdgeEvent]) -> Result<(), StreamError> {
         #[cfg(feature = "fault-injection")]
         if self.faults.fails_validation_at(self.epoch + 1) {
@@ -560,70 +580,83 @@ impl StreamingService {
                 source: GraphError::InvalidEdgeWeight { weight: f64::NAN },
             });
         }
-        let graph = self.detector.graph();
-        let n = graph.num_nodes();
-        let key = |u: usize, v: usize| if u <= v { (u, v) } else { (v, u) };
-        // Overlay of edge presence changes the batch would make; absent keys
-        // defer to the live graph.
-        let mut overlay: BTreeMap<(usize, usize), bool> = BTreeMap::new();
-        let present = |overlay: &BTreeMap<(usize, usize), bool>, u: usize, v: usize| {
-            overlay.get(&key(u, v)).copied().unwrap_or_else(|| graph.has_edge(u, v))
+        validate_batch(self.detector.graph(), events)
+    }
+}
+
+/// Validates `events` against `graph` *as a batch*: every event is checked
+/// against the state the preceding events would leave behind, without
+/// mutating anything. This is what makes batch application all-or-nothing;
+/// shared by [`StreamingService`] and the sharded service, which must agree
+/// on acceptance decisions event for event.
+pub(crate) fn validate_batch(
+    graph: &DynamicGraph,
+    events: &[EdgeEvent],
+) -> Result<(), StreamError> {
+    let n = graph.num_nodes();
+    let key = |u: usize, v: usize| if u <= v { (u, v) } else { (v, u) };
+    // Overlay of edge presence changes the batch would make; absent keys
+    // defer to the live graph.
+    let mut overlay: BTreeMap<(usize, usize), bool> = BTreeMap::new();
+    let present = |overlay: &BTreeMap<(usize, usize), bool>, u: usize, v: usize| {
+        overlay.get(&key(u, v)).copied().unwrap_or_else(|| graph.has_edge(u, v))
+    };
+    let fail = |index: usize, source: GraphError| StreamError::EventFailed { index, source };
+    for (index, event) in events.iter().enumerate() {
+        let check_bounds = |node: usize| -> Result<(), StreamError> {
+            if node >= n {
+                return Err(fail(index, GraphError::NodeOutOfBounds { node, num_nodes: n }));
+            }
+            Ok(())
         };
-        let fail = |index: usize, source: GraphError| StreamError::EventFailed { index, source };
-        for (index, event) in events.iter().enumerate() {
-            let check_bounds = |node: usize| -> Result<(), StreamError> {
-                if node >= n {
-                    return Err(fail(index, GraphError::NodeOutOfBounds { node, num_nodes: n }));
+        let check_weight = |weight: f64| -> Result<(), StreamError> {
+            if !weight.is_finite() || weight < 0.0 {
+                return Err(fail(index, GraphError::InvalidEdgeWeight { weight }));
+            }
+            Ok(())
+        };
+        match *event {
+            EdgeEvent::Add { u, v, weight } => {
+                check_bounds(u)?;
+                check_bounds(v)?;
+                check_weight(weight)?;
+                overlay.insert(key(u, v), true);
+            }
+            EdgeEvent::Remove { u, v } => {
+                check_bounds(u)?;
+                check_bounds(v)?;
+                if !present(&overlay, u, v) {
+                    return Err(fail(index, GraphError::EdgeNotFound { u, v }));
                 }
-                Ok(())
-            };
-            let check_weight = |weight: f64| -> Result<(), StreamError> {
-                if !weight.is_finite() || weight < 0.0 {
-                    return Err(fail(index, GraphError::InvalidEdgeWeight { weight }));
+                overlay.insert(key(u, v), false);
+            }
+            EdgeEvent::Update { u, v, weight } => {
+                check_bounds(u)?;
+                check_bounds(v)?;
+                check_weight(weight)?;
+                if !present(&overlay, u, v) {
+                    return Err(fail(index, GraphError::EdgeNotFound { u, v }));
                 }
-                Ok(())
-            };
-            match *event {
-                EdgeEvent::Add { u, v, weight } => {
-                    check_bounds(u)?;
-                    check_bounds(v)?;
-                    check_weight(weight)?;
-                    overlay.insert(key(u, v), true);
+            }
+            EdgeEvent::RemoveNode { u } => {
+                check_bounds(u)?;
+                // Every edge incident to `u` — live or added earlier in
+                // this batch — is gone after the deletion.
+                let incident: Vec<(usize, usize)> =
+                    overlay.keys().filter(|&&(a, b)| a == u || b == u).copied().collect();
+                for k in incident {
+                    overlay.insert(k, false);
                 }
-                EdgeEvent::Remove { u, v } => {
-                    check_bounds(u)?;
-                    check_bounds(v)?;
-                    if !present(&overlay, u, v) {
-                        return Err(fail(index, GraphError::EdgeNotFound { u, v }));
-                    }
+                for (v, _) in graph.neighbors(u) {
                     overlay.insert(key(u, v), false);
-                }
-                EdgeEvent::Update { u, v, weight } => {
-                    check_bounds(u)?;
-                    check_bounds(v)?;
-                    check_weight(weight)?;
-                    if !present(&overlay, u, v) {
-                        return Err(fail(index, GraphError::EdgeNotFound { u, v }));
-                    }
-                }
-                EdgeEvent::RemoveNode { u } => {
-                    check_bounds(u)?;
-                    // Every edge incident to `u` — live or added earlier in
-                    // this batch — is gone after the deletion.
-                    let incident: Vec<(usize, usize)> =
-                        overlay.keys().filter(|&&(a, b)| a == u || b == u).copied().collect();
-                    for k in incident {
-                        overlay.insert(k, false);
-                    }
-                    for (v, _) in graph.neighbors(u) {
-                        overlay.insert(key(u, v), false);
-                    }
                 }
             }
         }
-        Ok(())
     }
+    Ok(())
+}
 
+impl StreamingService {
     /// Applies one batch synchronously: validate atomically, apply, journal,
     /// publish the next epoch, and refresh the automatic checkpoint when due.
     /// This is the deterministic ingestion path — the queue-driven
@@ -694,17 +727,10 @@ impl StreamingService {
     /// dropped from the queue as a whole with no state change.
     pub fn step(&mut self) -> Result<Option<StreamStats>, StreamError> {
         loop {
-            let batch: Vec<EdgeEvent> = {
-                let mut state = self.queue.lock();
-                let take = state.events.len().min(self.config.max_batch);
-                let batch: Vec<EdgeEvent> = state.events.drain(..take).collect();
-                self.queue.depth.store(state.events.len(), Ordering::Release);
-                batch
-            };
+            let batch = self.queue.drain_batch(self.config.max_batch);
             if batch.is_empty() {
                 return Ok(None);
             }
-            self.queue.space.notify_all();
             if self.config.max_validation_attempts == 0 {
                 return self.ingest(&batch).map(Some);
             }
@@ -882,15 +908,26 @@ impl StreamingService {
         config.validate()?;
         let checkpoint = ServiceCheckpoint::from_text(checkpoint_text)?;
         let journal = EventJournal::from_event_log(journal_text)?;
-        if checkpoint.events_applied > journal.len()
-            || !journal.is_batch_boundary(checkpoint.events_applied)
-        {
+        if checkpoint.events_applied > journal.len() {
             return Err(StreamError::Checkpoint {
                 line: 3,
                 reason: format!(
-                    "checkpoint offset {} is not a batch boundary of the {}-event journal",
+                    "checkpoint offset {} is beyond the {}-event journal ({} batches journaled)",
                     checkpoint.events_applied,
-                    journal.len()
+                    journal.len(),
+                    journal.num_batches()
+                ),
+            });
+        }
+        if !journal.is_batch_boundary(checkpoint.events_applied) {
+            return Err(StreamError::Checkpoint {
+                line: 3,
+                reason: format!(
+                    "checkpoint offset {} is not a batch boundary of the {}-event journal \
+                     (it falls inside journaled batch {})",
+                    checkpoint.events_applied,
+                    journal.len(),
+                    journal.containing_batch(checkpoint.events_applied)
                 ),
             });
         }

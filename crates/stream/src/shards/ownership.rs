@@ -1,0 +1,138 @@
+//! Community → shard ownership.
+//!
+//! The table is a pure function of the maintained partition: community sizes
+//! are counted from the label vector and handed to
+//! [`qhdcd_graph::sharding::balanced_shard_assignment`], so every service with
+//! the same partition and shard count derives the same table. Ownership only
+//! steers *routing* (which shard journals an event, which worker proposes
+//! moves for a node) — never the refinement decisions themselves, which are
+//! pinned bit-identical for any shard count.
+
+use crate::StreamError;
+use qhdcd_graph::sharding::balanced_shard_assignment;
+
+/// Maps every community slot to its owning shard.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct OwnershipTable {
+    /// Owning shard per community slot.
+    owner: Vec<usize>,
+    shards: usize,
+}
+
+impl OwnershipTable {
+    /// Derives the table from a label vector: community sizes per slot (a
+    /// slot is any index `< num_slots`, matching the detector's aggregate
+    /// vectors; emptied slots count zero nodes) fed to the deterministic
+    /// balanced assignment.
+    pub(crate) fn derive(labels: &[usize], num_slots: usize, shards: usize) -> Self {
+        let mut sizes = vec![0usize; num_slots];
+        for &label in labels {
+            sizes[label] += 1;
+        }
+        OwnershipTable { owner: balanced_shard_assignment(&sizes, shards), shards }
+    }
+
+    /// Reassembles a table from per-shard owned-slot lists (the recovery
+    /// path), validating that the lists disjointly cover `0..num_slots`.
+    pub(crate) fn from_owned_lists(
+        lists: &[Vec<usize>],
+        num_slots: usize,
+    ) -> Result<Self, StreamError> {
+        let shards = lists.len();
+        let mut owner = vec![usize::MAX; num_slots];
+        for (shard, owned) in lists.iter().enumerate() {
+            for &slot in owned {
+                if slot >= num_slots {
+                    return Err(StreamError::Manifest {
+                        line: 0,
+                        reason: format!(
+                            "shard {shard} owns community {slot}, but the base checkpoint has \
+                             only {num_slots} community slots"
+                        ),
+                    });
+                }
+                if owner[slot] != usize::MAX {
+                    return Err(StreamError::Manifest {
+                        line: 0,
+                        reason: format!(
+                            "community {slot} is owned by both shard {} and shard {shard}",
+                            owner[slot]
+                        ),
+                    });
+                }
+                owner[slot] = shard;
+            }
+        }
+        if let Some(slot) = owner.iter().position(|&s| s == usize::MAX) {
+            return Err(StreamError::Manifest {
+                line: 0,
+                reason: format!("community {slot} is owned by no shard"),
+            });
+        }
+        Ok(OwnershipTable { owner, shards })
+    }
+
+    /// The shard owning community slot `slot`.
+    pub(crate) fn owner(&self, slot: usize) -> usize {
+        self.owner[slot]
+    }
+
+    /// Number of shards.
+    pub(crate) fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The community slots owned by `shard`, ascending.
+    pub(crate) fn owned(&self, shard: usize) -> Vec<usize> {
+        (0..self.owner.len()).filter(|&slot| self.owner[slot] == shard).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derive_is_deterministic_and_total() {
+        let labels = [0, 0, 0, 1, 1, 2, 2, 2, 2, 3];
+        let a = OwnershipTable::derive(&labels, 4, 2);
+        let b = OwnershipTable::derive(&labels, 4, 2);
+        assert_eq!(a, b);
+        for slot in 0..4 {
+            assert!(a.owner(slot) < 2);
+        }
+        // Sizes 3,2,4,1 → LPT: slot 2 → 0, slot 0 → 1, slot 1 → 1, slot 3 → 0.
+        assert_eq!(a.owner, vec![1, 1, 0, 0]);
+        assert_eq!(a.owned(0), vec![2, 3]);
+        assert_eq!(a.owned(1), vec![0, 1]);
+    }
+
+    #[test]
+    fn emptied_slots_are_still_owned() {
+        // Slot 1 has no members (all nodes moved out) but keeps an owner so
+        // routing stays total.
+        let table = OwnershipTable::derive(&[0, 0, 2], 3, 2);
+        assert!(table.owner(1) < 2);
+    }
+
+    #[test]
+    fn owned_lists_round_trip() {
+        let table = OwnershipTable::derive(&[0, 1, 2, 3, 3], 4, 3);
+        let lists: Vec<Vec<usize>> = (0..3).map(|s| table.owned(s)).collect();
+        let rebuilt = OwnershipTable::from_owned_lists(&lists, 4).unwrap();
+        assert_eq!(rebuilt, table);
+    }
+
+    #[test]
+    fn invalid_owned_lists_are_rejected() {
+        // Overlap.
+        let err = OwnershipTable::from_owned_lists(&[vec![0, 1], vec![1]], 2).unwrap_err();
+        assert!(err.to_string().contains("owned by both"));
+        // Gap.
+        let err = OwnershipTable::from_owned_lists(&[vec![0], vec![]], 2).unwrap_err();
+        assert!(err.to_string().contains("no shard"));
+        // Out of range.
+        let err = OwnershipTable::from_owned_lists(&[vec![0], vec![5]], 2).unwrap_err();
+        assert!(err.to_string().contains("only 2 community slots"));
+    }
+}

@@ -249,3 +249,66 @@ fn self_loop_convention_agrees_across_all_five_paths() {
         assert_eq!(q_restored.to_bits(), q_after.to_bits(), "{quality:?}: checkpoint round-trip");
     }
 }
+
+/// Exact CPM coarse-level null term: super-node counts ride the node weights
+/// through aggregation, so the CPM value of a partition evaluated on the
+/// quotient graph equals the value on the original graph, and the multilevel
+/// pipeline (which refines on coarse graphs) lands on the same decoded CPM
+/// quality as the Louvain baseline — both now optimise the exact objective at
+/// every level, where coarse levels previously under-counted internal pairs.
+#[test]
+fn coarse_level_cpm_null_term_is_exact_and_multilevel_matches_louvain() {
+    use qhdcd::core::coarsen::CoarsenConfig;
+    use qhdcd::core::multilevel::{self, MultilevelConfig};
+    use qhdcd::graph::quotient;
+
+    for (cliques, size, gamma) in [(4usize, 5usize, 0.5), (6, 5, 0.25)] {
+        let pg = generators::ring_of_cliques(cliques, size).unwrap();
+        let quality = QualityFunction::cpm(gamma);
+        let q_fine = modularity::quality(&pg.graph, &pg.ground_truth, quality);
+
+        // Aggregate the ground truth into one super-node per clique: the
+        // coarse CPM value (weighted null term) must reproduce the fine one.
+        let agg = quotient::aggregate(&pg.graph, &pg.ground_truth).unwrap();
+        let singletons = Partition::singletons(agg.graph.num_nodes());
+        let q_coarse = modularity::quality(&agg.graph, &singletons, quality);
+        assert!(
+            (q_coarse - q_fine).abs() < 1e-9,
+            "γ={gamma}: coarse CPM {q_coarse} != fine CPM {q_fine}"
+        );
+        // The dense evaluations agree with the aggregated ones on the
+        // weighted coarse graph too.
+        let q_coarse_dense = modularity::quality_dense(&agg.graph, &singletons, quality);
+        assert!((q_coarse_dense - q_coarse).abs() < 1e-9, "γ={gamma}: dense coarse CPM diverged");
+
+        // On a ring of cliques with these resolutions the cliques are the CPM
+        // optimum; with exact coarse gains both pipelines must find it and
+        // report the identical decoded quality.
+        let ml_config = MultilevelConfig {
+            num_communities: cliques,
+            coarsen: CoarsenConfig { threshold: 10, ..CoarsenConfig::default() },
+            ..MultilevelConfig::default()
+        }
+        .with_quality(quality);
+        let ml =
+            multilevel::detect(&pg.graph, &SimulatedAnnealing::default().with_seed(3), &ml_config)
+                .unwrap();
+        assert!(ml.levels >= 1, "γ={gamma}: the instance must actually coarsen");
+        let lv = CommunityDetector::new(Method::Louvain)
+            .with_quality(quality)
+            .with_seed(3)
+            .detect(&pg.graph)
+            .unwrap();
+        assert!(
+            (ml.modularity - lv.modularity).abs() < 1e-12,
+            "γ={gamma}: multilevel CPM {} != Louvain CPM {}",
+            ml.modularity,
+            lv.modularity
+        );
+        assert!(
+            (ml.modularity - q_fine).abs() < 1e-12,
+            "γ={gamma}: decoded CPM {} missed the planted optimum {q_fine}",
+            ml.modularity
+        );
+    }
+}
