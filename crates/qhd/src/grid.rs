@@ -6,22 +6,26 @@
 //! propagator (a tridiagonal solve — "only matrix operations", as the paper
 //! emphasises), the diagonal potential phase, and measurement helpers.
 //!
-//! Two families of kernels coexist:
+//! Two call shapes share **one** set of scalar kernels (in
+//! [`crate::kernels`]):
 //!
 //! * **per-variable** kernels ([`Grid::kinetic_step`],
-//!   [`Grid::apply_potential_phase`], …) operating on one AoS `&mut [Complex]`
-//!   wavefunction — the original formulation, retained as the equivalence and
-//!   benchmark reference;
+//!   [`Grid::apply_linear_potential_phase`], …) operating on one AoS
+//!   `&mut [Complex]` wavefunction — thin `n = 1` wrappers over the batched
+//!   scalar reference, always taking the scalar path regardless of the
+//!   selected SIMD backend;
 //! * **batched** kernels ([`Grid::kinetic_step_batch`],
 //!   [`Grid::apply_potential_phase_batch`], …) operating on a whole
-//!   [`WaveBatch`] of split-plane wavefunctions at once. The Crank–Nicolson
-//!   system is *identical for every variable within a step* (it depends only
-//!   on the kinetic coefficient, `dt` and the grid spacing), so the batched
-//!   path factors it **once per step** into [`ThomasFactors`] and then runs a
+//!   [`WaveBatch`] of split-plane wavefunctions at once, dispatched through
+//!   [`crate::kernels`] to the active backend. The Crank–Nicolson system is
+//!   *identical for every variable within a step* (it depends only on the
+//!   kinetic coefficient, `dt` and the grid spacing), so the batched path
+//!   factors it **once per step** into [`ThomasFactors`] and then runs a
 //!   single allocation-free forward/backward sweep over the whole batch.
 
 use crate::batch::{MeanFieldWorkspace, WaveBatch};
 use crate::complex::{normalize, Complex};
+use crate::kernels;
 use qhdcd_qubo::QuboError;
 
 /// The per-step Crank–Nicolson factorization, shared by every variable in a
@@ -40,17 +44,17 @@ use qhdcd_qubo::QuboError;
 /// step the factorization allocates nothing.
 #[derive(Debug, Clone, Default)]
 pub struct ThomasFactors {
-    resolution: usize,
+    pub(crate) resolution: usize,
     /// `dt/2 · diag`: the matrices have fixed structure `A = I + i·d·I + i·a·E`,
     /// `B = I − i·d·I − i·a·E` (with `E` the off-diagonal stencil), so only the
     /// two real scalars need to be kept.
-    d: f64,
+    pub(crate) d: f64,
     /// `dt/2 · off` (the off-diagonals are `±i·a`).
-    a: f64,
-    c_re: Vec<f64>,
-    c_im: Vec<f64>,
-    inv_re: Vec<f64>,
-    inv_im: Vec<f64>,
+    pub(crate) a: f64,
+    pub(crate) c_re: Vec<f64>,
+    pub(crate) c_im: Vec<f64>,
+    pub(crate) inv_re: Vec<f64>,
+    pub(crate) inv_im: Vec<f64>,
 }
 
 impl ThomasFactors {
@@ -217,16 +221,37 @@ impl Grid {
         }
     }
 
-    /// Applies the diagonal potential phase `ψ(x) ← e^{-i·dt·V(x)} ψ(x)` in place.
+    /// Applies the linear-potential phase `ψ(x) ← e^{-i·dt·slope·x} ψ(x)` in
+    /// place — the `n = 1` form of [`Grid::apply_potential_phase_batch`],
+    /// running the *same* scalar phase-rotation recurrence (one `sin`/`cos`
+    /// for the whole grid, never the SIMD path). The mean-field potential is
+    /// always linear in `x`, so this is the only potential shape the engine
+    /// needs.
     ///
     /// # Panics
     ///
-    /// Panics if `potential` has a different length than the grid.
-    pub fn apply_potential_phase(&self, psi: &mut [Complex], potential: &[f64], dt: f64) {
-        assert_eq!(potential.len(), self.points.len(), "potential length must match grid");
-        for (p, &v) in psi.iter_mut().zip(potential) {
-            *p = *p * Complex::from_polar_unit(-dt * v);
-        }
+    /// Panics if `psi` has a different length than the grid.
+    pub fn apply_linear_potential_phase(&self, psi: &mut [Complex], slope: f64, dt: f64) {
+        let res = self.points.len();
+        assert_eq!(psi.len(), res, "state length must match grid");
+        let (mut re, mut im) = split_planes(psi);
+        // The same per-variable preparation as prepare_potential_phase_batch.
+        let (sin, cos) = (-dt * slope * self.spacing).sin_cos();
+        let (u_re, u_im) = ([cos], [sin]);
+        let (mut cur_re, mut cur_im) = ([0.0], [0.0]);
+        kernels::scalar::apply_prepared_phase(
+            &mut re,
+            &mut im,
+            &u_re,
+            &u_im,
+            &mut cur_re,
+            &mut cur_im,
+            1,
+            res,
+            0,
+            1,
+        );
+        merge_planes(psi, &re, &im);
     }
 
     /// Advances `ψ` by one Crank–Nicolson step of the kinetic Hamiltonian
@@ -234,71 +259,40 @@ impl Grid {
     ///
     /// Crank–Nicolson solves `(I + i·dt/2·H_k) ψ⁺ = (I − i·dt/2·H_k) ψ`, which is
     /// a single tridiagonal solve per step — unconditionally stable and exactly
-    /// norm-preserving up to floating-point error.
+    /// norm-preserving up to floating-point error. The `n = 1` form of
+    /// [`Grid::kinetic_step_batch`]: it factors the system
+    /// ([`ThomasFactors`]) and runs the same scalar Thomas sweep (never the
+    /// SIMD path).
     ///
     /// # Panics
     ///
     /// Panics if `psi` has a different length than the grid.
     pub fn kinetic_step(&self, psi: &mut [Complex], coefficient: f64, dt: f64) {
-        let n = self.points.len();
-        assert_eq!(psi.len(), n, "state length must match grid");
-        let h2 = self.spacing * self.spacing;
-        // H_k tridiagonal entries: diag = c/h², off = −c/(2h²).
-        let diag = coefficient / h2;
-        let off = -coefficient / (2.0 * h2);
-        let half = Complex::new(0.0, dt / 2.0);
-        // A = I + i dt/2 H_k (to invert), B = I − i dt/2 H_k (to apply).
-        let a_diag = Complex::ONE + half.scale(diag);
-        let a_off = half.scale(off);
-        let b_diag = Complex::ONE - half.scale(diag);
-        let b_off = -half.scale(off);
-
-        // rhs = B ψ.
-        let mut rhs = vec![Complex::ZERO; n];
-        for i in 0..n {
-            let mut v = b_diag * psi[i];
-            if i > 0 {
-                v += b_off * psi[i - 1];
-            }
-            if i + 1 < n {
-                v += b_off * psi[i + 1];
-            }
-            rhs[i] = v;
-        }
-
-        // Thomas algorithm for the constant-coefficient tridiagonal system A ψ⁺ = rhs.
-        let mut c_prime = vec![Complex::ZERO; n];
-        let mut d_prime = vec![Complex::ZERO; n];
-        c_prime[0] = a_off / a_diag;
-        d_prime[0] = rhs[0] / a_diag;
-        for i in 1..n {
-            let denom = a_diag - a_off * c_prime[i - 1];
-            c_prime[i] = a_off / denom;
-            d_prime[i] = (rhs[i] - a_off * d_prime[i - 1]) / denom;
-        }
-        psi[n - 1] = d_prime[n - 1];
-        for i in (0..n - 1).rev() {
-            psi[i] = d_prime[i] - c_prime[i] * psi[i + 1];
-        }
+        let res = self.points.len();
+        assert_eq!(psi.len(), res, "state length must match grid");
+        let mut factors = ThomasFactors::new();
+        factors.factor(self, coefficient, dt);
+        let (mut re, mut im) = split_planes(psi);
+        let mut d_re = vec![0.0; res];
+        let mut d_im = vec![0.0; res];
+        kernels::scalar::thomas_sweep(&mut re, &mut im, &mut d_re, &mut d_im, &factors, 1, 0, 1);
+        merge_planes(psi, &re, &im);
     }
 
     /// Expectation value `⟨x⟩ = Σ |ψ(x)|² x / Σ |ψ(x)|²`. Returns 0.5 for the
-    /// zero state.
+    /// zero state. The `n = 1` form of [`Grid::expectation_position_batch`]
+    /// (same scalar reduction, same summation order).
     ///
     /// # Panics
     ///
     /// Panics if `psi` has a different length than the grid.
     pub fn expectation_position(&self, psi: &[Complex]) -> f64 {
         assert_eq!(psi.len(), self.points.len(), "state length must match grid");
-        let mut num = 0.0;
-        let mut den = 0.0;
-        for (z, &x) in psi.iter().zip(&self.points) {
-            let p = z.norm_sqr();
-            num += p * x;
-            den += p;
-        }
-        if den > 0.0 {
-            num / den
+        let (re, im) = split_planes(psi);
+        let (mut num, mut den) = ([0.0], [0.0]);
+        kernels::scalar::expectation_rows(&re, &im, &self.points, &mut num, &mut den, 1, 0, 1);
+        if den[0] > 0.0 {
+            num[0] / den[0]
         } else {
             0.5
         }
@@ -380,26 +374,65 @@ impl Grid {
         if n == 0 {
             return;
         }
-        let u_re = &ws.u_re[..n];
-        let u_im = &ws.u_im[..n];
-        let cur_re = &mut ws.cur_re[..n];
-        let cur_im = &mut ws.cur_im[..n];
-        // Row 0 sits at x = 0 where the phase is exactly 1; start the running
-        // power at u so row 1 is the first one rotated.
-        cur_re.copy_from_slice(u_re);
-        cur_im.copy_from_slice(u_im);
         let (re, im) = batch.planes_mut();
-        for k in 1..res {
-            let row_re = &mut re[k * n..(k + 1) * n];
-            let row_im = &mut im[k * n..(k + 1) * n];
-            for i in 0..n {
-                let (zr, zi) = (row_re[i], row_im[i]);
-                let (cr, ci) = (cur_re[i], cur_im[i]);
-                row_re[i] = zr * cr - zi * ci;
-                row_im[i] = zr * ci + zi * cr;
-                cur_re[i] = cr * u_re[i] - ci * u_im[i];
-                cur_im[i] = cr * u_im[i] + ci * u_re[i];
-            }
+        kernels::apply_prepared_phase(
+            re,
+            im,
+            &ws.u_re[..n],
+            &ws.u_im[..n],
+            &mut ws.cur_re[..n],
+            &mut ws.cur_im[..n],
+            n,
+            res,
+        );
+    }
+
+    /// Fused trailing half-phase + expectation refresh: applies the prepared
+    /// potential phase (like [`Grid::apply_prepared_potential_phase_batch`])
+    /// and accumulates `⟨x⟩` of every wavefunction into `out` in the *same*
+    /// traversal — one read pass over both planes per step instead of two.
+    ///
+    /// Bit-identical to calling the two kernels separately: the probability
+    /// of each row is taken from the exact post-rotation amplitudes and the
+    /// reduction keeps its ascending grid order (row 0, whose phase is
+    /// exactly 1, is accumulated unrotated — precisely what the separate pass
+    /// reads back).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` does not match the grid, `out` does not match the
+    /// batch, or `ws` is too small.
+    pub fn apply_prepared_phase_expectation_batch(
+        &self,
+        batch: &mut WaveBatch,
+        out: &mut [f64],
+        ws: &mut MeanFieldWorkspace,
+    ) {
+        let res = self.points.len();
+        assert_eq!(batch.resolution(), res, "batch resolution must match grid");
+        assert!(ws.fits(batch), "workspace too small for batch");
+        let n = batch.num_variables();
+        assert_eq!(out.len(), n, "output length must match batch");
+        if n == 0 {
+            return;
+        }
+        {
+            let (re, im) = batch.planes_mut();
+            kernels::apply_prepared_phase_expectation(
+                re,
+                im,
+                &ws.u_re[..n],
+                &ws.u_im[..n],
+                &mut ws.cur_re[..n],
+                &mut ws.cur_im[..n],
+                &self.points,
+                &mut ws.num[..n],
+                &mut ws.den[..n],
+                n,
+            );
+        }
+        for (o, (&nm, &dn)) in out.iter_mut().zip(ws.num[..n].iter().zip(&ws.den[..n])) {
+            *o = if dn > 0.0 { nm / dn } else { 0.5 };
         }
     }
 
@@ -429,91 +462,13 @@ impl Grid {
         if n == 0 {
             return;
         }
-        // The Crank–Nicolson coefficients have fixed structure: the diagonals
-        // are 1 ± i·d and the off-diagonals ±i·a with *real* d, a (see
-        // ThomasFactors::factor). Multiplying by a purely imaginary scalar is
-        // a swap-and-negate, so the specialised forms below do the same
-        // complex arithmetic with ~40 % fewer multiplications than the
-        // general-coefficient products:
-        //   b_diag·z          = (z.re + d·z.im,  z.im − d·z.re)
-        //   b_off·s = −i·a·s  = (a·s.im,        −a·s.re)
-        //   a_off·w =  i·a·w  = (−a·w.im,        a·w.re)
-        let (d, a) = (factors.d, factors.a);
+        // See kernels::scalar::thomas_sweep for the specialised
+        // fixed-structure arithmetic (the diagonals are 1 ± i·d and the
+        // off-diagonals ±i·a with real d, a, so the rhs is fused into the
+        // forward sweep with ~40 % fewer multiplications than
+        // general-coefficient products).
         let (re, im) = batch.planes_mut();
-        let d_re = &mut ws.d_re[..res * n];
-        let d_im = &mut ws.d_im[..res * n];
-
-        // Forward sweep with the rhs fused in: at row k the original ψ rows
-        // k−1, k, k+1 are still intact (ψ is only overwritten during the back
-        // substitution), so rhs_k = b_diag·ψ_k + b_off·(ψ_{k−1} + ψ_{k+1}) is
-        // computed on the fly.
-        {
-            // Row 0 (no ψ_{−1}).
-            let (inv_r, inv_i) = (factors.inv_re[0], factors.inv_im[0]);
-            for i in 0..n {
-                let (cr, ci) = (re[i], im[i]);
-                let (xr, xi) = (re[n + i], im[n + i]);
-                let rr = cr + d * ci + a * xi;
-                let ri = ci - d * cr - a * xr;
-                d_re[i] = rr * inv_r - ri * inv_i;
-                d_im[i] = rr * inv_i + ri * inv_r;
-            }
-        }
-        for k in 1..res {
-            let (inv_r, inv_i) = (factors.inv_re[k], factors.inv_im[k]);
-            let interior = k + 1 < res;
-            let prev_re = &re[(k - 1) * n..k * n];
-            let prev_im = &im[(k - 1) * n..k * n];
-            let cur_re = &re[k * n..(k + 1) * n];
-            let cur_im = &im[k * n..(k + 1) * n];
-            let (dh_re, dt_re) = d_re.split_at_mut(k * n);
-            let (dh_im, dt_im) = d_im.split_at_mut(k * n);
-            let dp_re = &dh_re[(k - 1) * n..];
-            let dp_im = &dh_im[(k - 1) * n..];
-            let dc_re = &mut dt_re[..n];
-            let dc_im = &mut dt_im[..n];
-            if interior {
-                let next_re = &re[(k + 1) * n..(k + 2) * n];
-                let next_im = &im[(k + 1) * n..(k + 2) * n];
-                for i in 0..n {
-                    let sr = prev_re[i] + next_re[i];
-                    let si = prev_im[i] + next_im[i];
-                    // t = rhs − a_off·d′_{k−1} with rhs = b_diag·ψ_k + b_off·s.
-                    let tr = cur_re[i] + d * cur_im[i] + a * si + a * dp_im[i];
-                    let ti = cur_im[i] - d * cur_re[i] - a * sr - a * dp_re[i];
-                    dc_re[i] = tr * inv_r - ti * inv_i;
-                    dc_im[i] = tr * inv_i + ti * inv_r;
-                }
-            } else {
-                // Last row (no ψ_{res}).
-                for i in 0..n {
-                    let tr = cur_re[i] + d * cur_im[i] + a * prev_im[i] + a * dp_im[i];
-                    let ti = cur_im[i] - d * cur_re[i] - a * prev_re[i] - a * dp_re[i];
-                    dc_re[i] = tr * inv_r - ti * inv_i;
-                    dc_im[i] = tr * inv_i + ti * inv_r;
-                }
-            }
-        }
-
-        // Back substitution: ψ_{res−1} = d′_{res−1}, ψ_k = d′_k − c′_k ψ_{k+1}.
-        let last = (res - 1) * n;
-        re[last..].copy_from_slice(&d_re[last..]);
-        im[last..].copy_from_slice(&d_im[last..]);
-        for k in (0..res - 1).rev() {
-            let (c_r, c_i) = (factors.c_re[k], factors.c_im[k]);
-            let dr = &d_re[k * n..(k + 1) * n];
-            let di = &d_im[k * n..(k + 1) * n];
-            let (head_re, tail_re) = re.split_at_mut((k + 1) * n);
-            let (head_im, tail_im) = im.split_at_mut((k + 1) * n);
-            let psi_re = &mut head_re[k * n..];
-            let psi_im = &mut head_im[k * n..];
-            let next_re = &tail_re[..n];
-            let next_im = &tail_im[..n];
-            for i in 0..n {
-                psi_re[i] = dr[i] - (c_r * next_re[i] - c_i * next_im[i]);
-                psi_im[i] = di[i] - (c_r * next_im[i] + c_i * next_re[i]);
-            }
-        }
+        kernels::thomas_sweep(re, im, &mut ws.d_re[..res * n], &mut ws.d_im[..res * n], factors, n);
     }
 
     /// Batched expectation values: writes `⟨x⟩` of every wavefunction in
@@ -535,22 +490,19 @@ impl Grid {
         assert_eq!(batch.resolution(), self.points.len(), "batch resolution must match grid");
         assert_eq!(out.len(), n, "output length must match batch");
         assert!(ws.fits(batch), "workspace too small for batch");
-        let num = &mut ws.num[..n];
-        let den = &mut ws.den[..n];
-        num.fill(0.0);
-        den.fill(0.0);
-        let (re, im) = (batch.re(), batch.im());
-        for (k, &x) in self.points.iter().enumerate() {
-            let row_re = &re[k * n..(k + 1) * n];
-            let row_im = &im[k * n..(k + 1) * n];
-            for i in 0..n {
-                let p = row_re[i] * row_re[i] + row_im[i] * row_im[i];
-                num[i] += p * x;
-                den[i] += p;
-            }
+        if n == 0 {
+            return;
         }
-        for i in 0..n {
-            out[i] = if den[i] > 0.0 { num[i] / den[i] } else { 0.5 };
+        kernels::expectation_rows(
+            batch.re(),
+            batch.im(),
+            &self.points,
+            &mut ws.num[..n],
+            &mut ws.den[..n],
+            n,
+        );
+        for (o, (&nm, &dn)) in out.iter_mut().zip(ws.num[..n].iter().zip(&ws.den[..n])) {
+            *o = if dn > 0.0 { nm / dn } else { 0.5 };
         }
     }
 
@@ -572,53 +524,53 @@ impl Grid {
         assert_eq!(batch.resolution(), self.points.len(), "batch resolution must match grid");
         assert_eq!(out.len(), n, "output length must match batch");
         assert!(ws.fits(batch), "workspace too small for batch");
-        let upper = &mut ws.num[..n];
-        let total = &mut ws.den[..n];
-        upper.fill(0.0);
-        total.fill(0.0);
-        let (re, im) = (batch.re(), batch.im());
-        for (k, &x) in self.points.iter().enumerate() {
-            let row_re = &re[k * n..(k + 1) * n];
-            let row_im = &im[k * n..(k + 1) * n];
-            if x > 0.5 {
-                for i in 0..n {
-                    let p = row_re[i] * row_re[i] + row_im[i] * row_im[i];
-                    total[i] += p;
-                    upper[i] += p;
-                }
-            } else {
-                for i in 0..n {
-                    total[i] += row_re[i] * row_re[i] + row_im[i] * row_im[i];
-                }
-            }
+        if n == 0 {
+            return;
         }
-        for i in 0..n {
-            out[i] = if total[i] > 0.0 { upper[i] / total[i] } else { 0.5 };
+        kernels::probability_rows(
+            batch.re(),
+            batch.im(),
+            &self.points,
+            &mut ws.num[..n],
+            &mut ws.den[..n],
+            n,
+        );
+        for (o, (&nm, &dn)) in out.iter_mut().zip(ws.num[..n].iter().zip(&ws.den[..n])) {
+            *o = if dn > 0.0 { nm / dn } else { 0.5 };
         }
     }
 
     /// Probability mass on the upper half of the interval, `P(x > ½)`, used to
-    /// sample a binary value from the wavefunction. Returns 0.5 for the zero state.
+    /// sample a binary value from the wavefunction. Returns 0.5 for the zero
+    /// state. The `n = 1` form of [`Grid::probability_upper_half_batch`]
+    /// (same scalar reduction, same summation order).
     ///
     /// # Panics
     ///
     /// Panics if `psi` has a different length than the grid.
     pub fn probability_upper_half(&self, psi: &[Complex]) -> f64 {
         assert_eq!(psi.len(), self.points.len(), "state length must match grid");
-        let mut upper = 0.0;
-        let mut total = 0.0;
-        for (z, &x) in psi.iter().zip(&self.points) {
-            let p = z.norm_sqr();
-            total += p;
-            if x > 0.5 {
-                upper += p;
-            }
-        }
-        if total > 0.0 {
-            upper / total
+        let (re, im) = split_planes(psi);
+        let (mut upper, mut total) = ([0.0], [0.0]);
+        kernels::scalar::probability_rows(&re, &im, &self.points, &mut upper, &mut total, 1, 0, 1);
+        if total[0] > 0.0 {
+            upper[0] / total[0]
         } else {
             0.5
         }
+    }
+}
+
+/// Splits an AoS wavefunction into separate re/im planes for the split-plane
+/// kernels (the `n = 1` wrappers above).
+fn split_planes(psi: &[Complex]) -> (Vec<f64>, Vec<f64>) {
+    (psi.iter().map(|z| z.re).collect(), psi.iter().map(|z| z.im).collect())
+}
+
+/// Gathers split re/im planes back into an AoS wavefunction.
+fn merge_planes(psi: &mut [Complex], re: &[f64], im: &[f64]) {
+    for ((z, &r), &i) in psi.iter_mut().zip(re).zip(im) {
+        *z = Complex::new(r, i);
     }
 }
 
@@ -679,8 +631,7 @@ mod tests {
         let g = Grid::new(16).unwrap();
         let mut psi = g.gaussian_state(0.4, 0.2);
         let before: Vec<f64> = psi.iter().map(|z| z.norm_sqr()).collect();
-        let potential: Vec<f64> = g.points().iter().map(|&x| 3.0 * x).collect();
-        g.apply_potential_phase(&mut psi, &potential, 0.3);
+        g.apply_linear_potential_phase(&mut psi, 3.0, 0.3);
         let after: Vec<f64> = psi.iter().map(|z| z.norm_sqr()).collect();
         for (b, a) in before.iter().zip(&after) {
             assert!((b - a).abs() < 1e-12);
@@ -743,8 +694,51 @@ mod tests {
         worst
     }
 
+    /// Verbatim copy of the seed's general-coefficient, division-based Thomas
+    /// kinetic step — the naive per-point formulation the engine's
+    /// reciprocal-pivot fused-rhs sweep reassociated away from. Kept local so
+    /// the 1e-12 pin below stays independent of the production kernels.
+    fn naive_kinetic_step(g: &Grid, psi: &mut [Complex], coefficient: f64, dt: f64) {
+        let n = g.resolution();
+        let h2 = g.spacing() * g.spacing();
+        let diag = coefficient / h2;
+        let off = -coefficient / (2.0 * h2);
+        let half = Complex::new(0.0, dt / 2.0);
+        let a_diag = Complex::ONE + half.scale(diag);
+        let a_off = half.scale(off);
+        let b_diag = Complex::ONE - half.scale(diag);
+        let b_off = -half.scale(off);
+        let mut rhs = vec![Complex::ZERO; n];
+        for i in 0..n {
+            let mut v = b_diag * psi[i];
+            if i > 0 {
+                v += b_off * psi[i - 1];
+            }
+            if i + 1 < n {
+                v += b_off * psi[i + 1];
+            }
+            rhs[i] = v;
+        }
+        let mut c_prime = vec![Complex::ZERO; n];
+        let mut d_prime = vec![Complex::ZERO; n];
+        c_prime[0] = a_off / a_diag;
+        d_prime[0] = rhs[0] / a_diag;
+        for i in 1..n {
+            let denom = a_diag - a_off * c_prime[i - 1];
+            c_prime[i] = a_off / denom;
+            d_prime[i] = (rhs[i] - a_off * d_prime[i - 1]) / denom;
+        }
+        psi[n - 1] = d_prime[n - 1];
+        for i in (0..n - 1).rev() {
+            psi[i] = d_prime[i] - c_prime[i] * psi[i + 1];
+        }
+    }
+
     #[test]
-    fn kinetic_step_batch_matches_per_variable_reference() {
+    fn kinetic_step_batch_matches_naive_division_thomas() {
+        // Pins the documented reassociations of the production sweep — the
+        // precomputed reciprocal pivots and the rhs fused into the forward
+        // sweep — against the naive division-based elimination at 1e-12.
         let g = Grid::new(32).unwrap();
         let (mut batch, mut aos) = packet_batch(&g, 7);
         let mut ws = MeanFieldWorkspace::for_batch(&batch);
@@ -754,7 +748,7 @@ mod tests {
             factors.factor(&g, coeff, 0.01);
             g.kinetic_step_batch(&mut batch, &factors, &mut ws);
             for psi in &mut aos {
-                g.kinetic_step(psi, coeff, 0.01);
+                naive_kinetic_step(&g, psi, coeff, 0.01);
             }
         }
         assert!(
@@ -768,7 +762,24 @@ mod tests {
     }
 
     #[test]
-    fn potential_phase_batch_matches_per_variable_reference() {
+    fn kinetic_step_is_bit_identical_to_the_batched_kernel() {
+        // The per-variable wrapper IS the batched scalar kernel at n = 1.
+        let g = Grid::new(32).unwrap();
+        let (mut batch, mut aos) = packet_batch(&g, 3);
+        let mut ws = MeanFieldWorkspace::for_batch(&batch);
+        let mut factors = ThomasFactors::new();
+        factors.factor(&g, 1.25, 0.01);
+        g.kinetic_step_batch(&mut batch, &factors, &mut ws);
+        for (i, psi) in aos.iter_mut().enumerate() {
+            g.kinetic_step(psi, 1.25, 0.01);
+            assert_eq!(&batch.variable(i), psi, "variable {i}");
+        }
+    }
+
+    #[test]
+    fn potential_phase_batch_matches_per_point_sin_cos() {
+        // Pins the documented O(res·ε) reassociation of the rotation
+        // recurrence against the naive per-point sin/cos phase at 1e-12.
         let g = Grid::new(48).unwrap();
         let (mut batch, mut aos) = packet_batch(&g, 5);
         let mut ws = MeanFieldWorkspace::for_batch(&batch);
@@ -776,8 +787,9 @@ mod tests {
         for _ in 0..20 {
             g.apply_potential_phase_batch(&mut batch, &slopes, 0.05, &mut ws);
             for (psi, &slope) in aos.iter_mut().zip(&slopes) {
-                let potential: Vec<f64> = g.points().iter().map(|&x| slope * x).collect();
-                g.apply_potential_phase(psi, &potential, 0.05);
+                for (z, &x) in psi.iter_mut().zip(g.points()) {
+                    *z = *z * Complex::from_polar_unit(-0.05 * slope * x);
+                }
             }
         }
         assert!(
@@ -785,6 +797,36 @@ mod tests {
             "divergence {}",
             max_divergence(&batch, &aos)
         );
+    }
+
+    #[test]
+    fn fused_phase_expectation_is_bit_identical_to_separate_kernels() {
+        let g = Grid::new(33).unwrap();
+        let (mut fused, _) = packet_batch(&g, 6);
+        let mut separate = fused.clone();
+        let mut ws_f = MeanFieldWorkspace::for_batch(&fused);
+        let mut ws_s = MeanFieldWorkspace::for_batch(&separate);
+        let slopes = [0.4, -1.1, 2.2, 0.0, -3.3, 0.9];
+        let mut out_f = vec![0.0; 6];
+        let mut out_s = vec![0.0; 6];
+        for _ in 0..10 {
+            g.prepare_potential_phase_batch(&fused, &slopes, 0.05, &mut ws_f);
+            g.apply_prepared_phase_expectation_batch(&mut fused, &mut out_f, &mut ws_f);
+            g.prepare_potential_phase_batch(&separate, &slopes, 0.05, &mut ws_s);
+            g.apply_prepared_potential_phase_batch(&mut separate, &mut ws_s);
+            g.expectation_position_batch(&separate, &mut out_s, &mut ws_s);
+            assert_eq!(fused, separate, "planes diverged");
+            for i in 0..6 {
+                assert_eq!(out_f[i].to_bits(), out_s[i].to_bits(), "expectation {i}");
+            }
+        }
+        // Zero states report the neutral 0.5 through the fused path too.
+        let mut zero = WaveBatch::zeros(2, 33);
+        let mut ws_z = MeanFieldWorkspace::for_batch(&zero);
+        let mut out_z = vec![0.0; 2];
+        g.prepare_potential_phase_batch(&zero, &[1.0, -1.0], 0.05, &mut ws_z);
+        g.apply_prepared_phase_expectation_batch(&mut zero, &mut out_z, &mut ws_z);
+        assert_eq!(out_z, vec![0.5, 0.5]);
     }
 
     #[test]

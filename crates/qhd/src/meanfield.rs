@@ -32,11 +32,11 @@
 //! threads ([`MeanFieldConfig::threads`]) with bit-identical results for every
 //! thread count (see the determinism contract in [`crate::batch`]).
 //!
-//! [`evolve_reference`] retains the original per-variable AoS formulation
-//! (one [`Grid::kinetic_step`] call per variable per step). It exists as the
-//! equivalence and benchmark reference for the batch engine — see
-//! `tests/solver_equivalence.rs` and the `meanfield_throughput` bench — and is
-//! not otherwise used by the solver.
+//! [`evolve_reference`] retains the per-variable AoS formulation (one
+//! [`Grid::kinetic_step`] call per variable per step, always on the scalar
+//! kernels). It exists as the equivalence reference for the batch engine —
+//! see `tests/solver_equivalence.rs` — and is not otherwise used by the
+//! solver.
 
 use crate::batch::{MeanFieldWorkspace, WaveBatch};
 use crate::complex::Complex;
@@ -346,24 +346,29 @@ fn sweep_block(
     expectations: &mut [f64],
 ) {
     // Both half phases share the same slopes and dt, so the sin/cos rotations
-    // are computed once and applied twice.
+    // are computed once and applied twice; the trailing half phase and the
+    // expectation refresh are one fused traversal (one read pass over both
+    // planes fewer per step, bit-identical to the separate kernels).
     grid.prepare_potential_phase_batch(block, slopes, dt / 2.0, ws);
     grid.apply_prepared_potential_phase_batch(block, ws);
     grid.kinetic_step_batch(block, factors, ws);
-    grid.apply_prepared_potential_phase_batch(block, ws);
-    grid.expectation_position_batch(block, expectations, ws);
+    grid.apply_prepared_phase_expectation_batch(block, expectations, ws);
 }
 
-/// Runs one mean-field QHD trajectory on the original **per-variable AoS
-/// path**: one `Vec<Complex>` wavefunction per variable, one
-/// [`Grid::kinetic_step`] call (with its own Thomas elimination and scratch
+/// Runs one mean-field QHD trajectory on the **per-variable AoS path**: one
+/// `Vec<Complex>` wavefunction per variable, one [`Grid::kinetic_step`] /
+/// [`Grid::apply_linear_potential_phase`] call (each an `n = 1` wrapper over
+/// the scalar reference kernels, with per-call split/merge and scratch
 /// allocations) per variable per step.
 ///
-/// Retained as the equivalence and benchmark reference for the batched engine
-/// — the `meanfield_throughput` bench gates [`evolve`]'s speedup against this
-/// implementation, and `tests/solver_equivalence.rs` pins the two paths to
-/// bit-identical outcomes. Both paths share [`measure_shots`], so any
-/// divergence isolates to the propagation kernels.
+/// Retained as the equivalence reference for the batched engine:
+/// `tests/solver_equivalence.rs` pins the two paths to bit-identical
+/// outcomes, and because the wrappers always take the *scalar* kernel path,
+/// the pin also covers the SIMD backends whenever one is active for
+/// [`evolve`]. Both paths share [`measure_shots`], so any divergence isolates
+/// to the propagation kernels. (The `meanfield_throughput` bench times its
+/// own verbatim copy of the seed's naive per-point kernels instead, so its
+/// speedup gate is not affected by this dedup.)
 ///
 /// # Errors
 ///
@@ -396,7 +401,6 @@ pub fn evolve_reference(
         states.chunks_exact(resolution).map(|psi| grid.expectation_position(psi)).collect();
 
     let dt = config.schedule.total_time() / config.steps as f64;
-    let mut potential = vec![0.0f64; resolution];
     let mut fields = vec![0.0f64; n];
     for step in 0..config.steps {
         let t = step as f64 * dt;
@@ -408,15 +412,14 @@ pub fn evolve_reference(
             fields[j] += w * expectations[i];
         }
         for (psi, &field) in states.chunks_exact_mut(resolution).zip(&fields) {
-            // Effective linear potential for this variable given the mean field.
-            let field = field / scale;
-            for (slot, &x) in potential.iter_mut().zip(grid.points()) {
-                *slot = potential_coeff * field * x;
-            }
+            // Effective linear-potential slope for this variable given the
+            // mean field — the same expression as the batched sweep, so both
+            // paths stay bit-identical.
+            let slope = potential_coeff * (field / scale);
             // Strang split: half potential, full kinetic, half potential.
-            grid.apply_potential_phase(psi, &potential, dt / 2.0);
+            grid.apply_linear_potential_phase(psi, slope, dt / 2.0);
             grid.kinetic_step(psi, kinetic_coeff, dt);
-            grid.apply_potential_phase(psi, &potential, dt / 2.0);
+            grid.apply_linear_potential_phase(psi, slope, dt / 2.0);
         }
         // Refresh the mean fields after sweeping all variables.
         for (e, psi) in expectations.iter_mut().zip(states.chunks_exact(resolution)) {

@@ -1,0 +1,201 @@
+//! Bit-level conformance of the explicit SIMD kernel backends against the
+//! scalar reference (`--features simd` builds only).
+//!
+//! The scalar kernels in `qhdcd_qhd::kernels::scalar` are the source of
+//! truth; the AVX2/NEON backends must reproduce them **bit for bit** — the
+//! SIMD schedules perform the same arithmetic in the same order per variable
+//! (no FMA contraction, scalar remainder tails), so the contract here is
+//! `to_bits()` equality, not an epsilon.
+//!
+//! Backend selection is a process-global switch, so every test in this file
+//! serializes on one mutex and restores the scalar backend before releasing
+//! it. On hosts without a detectable SIMD backend the tests log a note and
+//! pass vacuously (the honest skip — there is nothing to conform).
+
+#![cfg(feature = "simd")]
+
+use proptest::prelude::*;
+use qhdcd::qhd::batch::{MeanFieldWorkspace, WaveBatch};
+use qhdcd::qhd::grid::{Grid, ThomasFactors};
+use qhdcd::qhd::kernels::{active_backend, detected_simd, select_backend};
+use qhdcd::qhd::KernelBackend;
+use std::sync::Mutex;
+
+/// Serializes backend flips across tests (selection is process-global).
+static BACKEND_LOCK: Mutex<()> = Mutex::new(());
+
+/// Runs `f` twice from identical inputs — once under the scalar backend, once
+/// under the detected SIMD backend — and returns both results. Returns `None`
+/// (after logging) when no SIMD backend is detectable on this host.
+fn with_both_backends<T>(mut f: impl FnMut() -> T) -> Option<(T, T)> {
+    let Some(simd) = detected_simd() else {
+        eprintln!("no SIMD backend detected on this host; conformance is vacuous");
+        return None;
+    };
+    assert!(select_backend(KernelBackend::Scalar));
+    let scalar = f();
+    assert!(select_backend(simd), "detected backend must be selectable");
+    assert_eq!(active_backend(), simd);
+    let vector = f();
+    assert!(select_backend(KernelBackend::Scalar));
+    Some((scalar, vector))
+}
+
+fn assert_batch_bits(a: &WaveBatch, b: &WaveBatch, what: &str) {
+    for (x, y) in a.re().iter().zip(b.re()).chain(a.im().iter().zip(b.im())) {
+        assert_eq!(x.to_bits(), y.to_bits(), "{what}: planes diverged");
+    }
+}
+
+fn assert_vec_bits(a: &[f64], b: &[f64], what: &str) {
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(x.to_bits(), y.to_bits(), "{what}: outputs diverged");
+    }
+}
+
+/// A deterministic non-trivial batch: per-variable Gaussian packets whose
+/// centers/widths are derived from `seed`.
+fn packet_batch(grid: &Grid, n: usize, seed: u64) -> WaveBatch {
+    let mut batch = WaveBatch::zeros(n, grid.resolution());
+    for i in 0..n {
+        let t = ((seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 17) % 1000) as f64 / 1000.0;
+        let center = 0.15 + 0.7 * ((i as f64 / n.max(1) as f64) + t) % 0.7;
+        let width = 0.08 + 0.2 * ((i + seed as usize) % 5) as f64 / 5.0;
+        let psi = grid.gaussian_state(center, width);
+        batch.set_variable(i, &psi);
+    }
+    batch
+}
+
+/// One Strang-split pass over the batch with per-variable slopes, returning
+/// the final planes plus every per-variable reduction output.
+fn strang_outputs(
+    grid: &Grid,
+    mut batch: WaveBatch,
+    slopes: &[f64],
+    coeff: f64,
+    dt: f64,
+    steps: usize,
+) -> (WaveBatch, Vec<f64>, Vec<f64>, Vec<f64>) {
+    let n = batch.num_variables();
+    let mut ws = MeanFieldWorkspace::for_batch(&batch);
+    let mut factors = ThomasFactors::new();
+    factors.factor(grid, coeff, dt);
+    let mut fused = vec![0.0f64; n];
+    for _ in 0..steps {
+        grid.prepare_potential_phase_batch(&batch, slopes, dt / 2.0, &mut ws);
+        grid.apply_prepared_potential_phase_batch(&mut batch, &mut ws);
+        grid.kinetic_step_batch(&mut batch, &factors, &mut ws);
+        grid.apply_prepared_phase_expectation_batch(&mut batch, &mut fused, &mut ws);
+    }
+    let mut expectations = vec![0.0f64; n];
+    let mut probabilities = vec![0.0f64; n];
+    grid.expectation_position_batch(&batch, &mut expectations, &mut ws);
+    grid.probability_upper_half_batch(&batch, &mut probabilities, &mut ws);
+    (batch, fused, expectations, probabilities)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The full kernel surface — prepared phase, fused phase+expectation,
+    /// Thomas kinetic solve, expectation and probability reductions — is
+    /// bit-identical between scalar and SIMD across resolutions that exercise
+    /// every remainder-lane shape (17 and 33 are odd, 32 and 64 divide the
+    /// AVX2 and NEON lane widths) and batch widths below, at and above one
+    /// vector register.
+    #[test]
+    fn kernels_are_bit_identical_across_shapes(
+        res_idx in 0usize..4,
+        n_idx in 0usize..3,
+        seed in 0u64..1_000,
+        coeff in 0.2f64..3.0,
+        slope_scale in -2.0f64..2.0,
+        steps in 1usize..4,
+    ) {
+        let resolution = [17usize, 32, 33, 64][res_idx];
+        let n = [1usize, 3, 8][n_idx];
+        let _guard = BACKEND_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let grid = Grid::new(resolution).expect("valid resolution");
+        let slopes: Vec<f64> =
+            (0..n).map(|i| slope_scale * (0.3 + i as f64 / n as f64)).collect();
+        let outcome = with_both_backends(|| {
+            strang_outputs(&grid, packet_batch(&grid, n, seed), &slopes, coeff, 0.1, steps)
+        });
+        if let Some((scalar, simd)) = outcome {
+            assert_batch_bits(&scalar.0, &simd.0, "strang planes");
+            assert_vec_bits(&scalar.1, &simd.1, "fused expectations");
+            assert_vec_bits(&scalar.2, &simd.2, "expectations");
+            assert_vec_bits(&scalar.3, &simd.3, "probabilities");
+        }
+    }
+}
+
+/// The fused trailing-phase + expectation kernel matches the separate
+/// apply-then-reduce kernels bit for bit under the SIMD backend too (the
+/// scalar pin lives in `grid.rs`; this closes the square).
+#[test]
+fn fused_kernel_matches_separate_kernels_under_simd() {
+    let _guard = BACKEND_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let Some(simd) = detected_simd() else {
+        eprintln!("no SIMD backend detected on this host; conformance is vacuous");
+        return;
+    };
+    assert!(select_backend(simd));
+    for (resolution, n) in [(17usize, 5usize), (32, 8), (33, 4), (64, 9)] {
+        let grid = Grid::new(resolution).expect("valid resolution");
+        let base = packet_batch(&grid, n, 41);
+        let slopes: Vec<f64> = (0..n).map(|i| 0.4 - 0.9 * (i as f64 / n as f64)).collect();
+        let mut ws = MeanFieldWorkspace::for_batch(&base);
+
+        let mut fused = base.clone();
+        let mut e_fused = vec![0.0f64; n];
+        grid.prepare_potential_phase_batch(&fused, &slopes, 0.07, &mut ws);
+        grid.apply_prepared_phase_expectation_batch(&mut fused, &mut e_fused, &mut ws);
+
+        let mut separate = base;
+        let mut e_separate = vec![0.0f64; n];
+        grid.prepare_potential_phase_batch(&separate, &slopes, 0.07, &mut ws);
+        grid.apply_prepared_potential_phase_batch(&mut separate, &mut ws);
+        grid.expectation_position_batch(&separate, &mut e_separate, &mut ws);
+
+        assert_batch_bits(&fused, &separate, "fused vs separate planes");
+        assert_vec_bits(&e_fused, &e_separate, "fused vs separate expectations");
+    }
+    assert!(select_backend(KernelBackend::Scalar));
+}
+
+/// Scalar remainder tails really are the reference code: a batch whose width
+/// is one past a full vector register must agree bit for bit with running the
+/// same columns split into two narrower batches.
+#[test]
+fn remainder_tail_matches_column_split() {
+    let _guard = BACKEND_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let Some(simd) = detected_simd() else {
+        eprintln!("no SIMD backend detected on this host; conformance is vacuous");
+        return;
+    };
+    assert!(select_backend(simd));
+    let grid = Grid::new(32).expect("valid resolution");
+    let n = 5; // one past AVX2's 4 lanes, odd past NEON's 2
+    let slopes: Vec<f64> = (0..n).map(|i| 0.3 + 0.2 * i as f64).collect();
+    let (wide, fused, expectations, probabilities) =
+        strang_outputs(&grid, packet_batch(&grid, n, 7), &slopes, 1.1, 0.08, 2);
+    for i in 0..n {
+        // Rebuild column i as its own n=1 batch and propagate it alone: the
+        // kernels are column-independent, so each narrow run must land on the
+        // exact same bits as its column of the wide run.
+        let mut narrow = WaveBatch::zeros(1, 32);
+        narrow.set_variable(0, &packet_batch(&grid, n, 7).variable(i));
+        let (nb, nf, ne, np) = strang_outputs(&grid, narrow, &slopes[i..i + 1], 1.1, 0.08, 2);
+        for k in 0..32 {
+            assert_eq!(wide.re()[k * n + i].to_bits(), nb.re()[k].to_bits());
+            assert_eq!(wide.im()[k * n + i].to_bits(), nb.im()[k].to_bits());
+        }
+        assert_eq!(fused[i].to_bits(), nf[0].to_bits());
+        assert_eq!(expectations[i].to_bits(), ne[0].to_bits());
+        assert_eq!(probabilities[i].to_bits(), np[0].to_bits());
+    }
+    assert!(select_backend(KernelBackend::Scalar));
+}

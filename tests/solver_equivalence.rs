@@ -383,7 +383,6 @@ mod meanfield_batch {
         let mut factors = ThomasFactors::new();
         let dt = 0.05;
         let mut slopes = vec![0.0f64; n];
-        let mut potential = vec![0.0f64; 32];
         for step in 0..60 {
             let coeff = 1.5 / (1.0 + step as f64 * dt);
             for (i, s) in slopes.iter_mut().enumerate() {
@@ -394,12 +393,9 @@ mod meanfield_batch {
             grid.kinetic_step_batch(&mut batch, &factors, &mut ws);
             grid.apply_potential_phase_batch(&mut batch, &slopes, dt / 2.0, &mut ws);
             for (psi, &slope) in aos.iter_mut().zip(&slopes) {
-                for (slot, &x) in potential.iter_mut().zip(grid.points()) {
-                    *slot = slope * x;
-                }
-                grid.apply_potential_phase(psi, &potential, dt / 2.0);
+                grid.apply_linear_potential_phase(psi, slope, dt / 2.0);
                 grid.kinetic_step(psi, coeff, dt);
-                grid.apply_potential_phase(psi, &potential, dt / 2.0);
+                grid.apply_linear_potential_phase(psi, slope, dt / 2.0);
             }
         }
         let mut worst = 0.0f64;
@@ -425,6 +421,50 @@ mod meanfield_batch {
             for i in 0..150 {
                 assert_eq!(run.expectations[i].to_bits(), runs[0].expectations[i].to_bits());
                 assert_eq!(run.probabilities[i].to_bits(), runs[0].probabilities[i].to_bits());
+            }
+        }
+    }
+
+    /// Full-trajectory backend pin: `evolve` under the detected SIMD backend
+    /// walks bit-for-bit the same trajectory as under the scalar backend, at
+    /// every sharding width. The per-kernel pins live in
+    /// `tests/simd_conformance.rs`; this closes the loop end to end.
+    #[cfg(feature = "simd")]
+    #[test]
+    fn evolve_is_bit_identical_across_kernel_backends_and_threads() {
+        use qhdcd::qhd::kernels::{detected_simd, select_backend};
+        use qhdcd::qhd::KernelBackend;
+
+        let Some(simd) = detected_simd() else {
+            eprintln!("no SIMD backend detected on this host; conformance is vacuous");
+            return;
+        };
+        let model = instance(130, 0.05, 23);
+        let base = MeanFieldConfig { seed: 77, steps: 50, shots: 8, ..MeanFieldConfig::default() };
+        for threads in [1usize, 2, 8] {
+            let cfg = MeanFieldConfig { threads, ..base.clone() };
+            assert!(select_backend(KernelBackend::Scalar));
+            let scalar = evolve(&model, &cfg).unwrap();
+            assert!(select_backend(simd));
+            let vector = evolve(&model, &cfg).unwrap();
+            assert!(select_backend(KernelBackend::Scalar));
+            assert_eq!(scalar.best_solution, vector.best_solution, "threads={threads}");
+            assert_eq!(
+                scalar.best_energy.to_bits(),
+                vector.best_energy.to_bits(),
+                "threads={threads}"
+            );
+            for i in 0..130 {
+                assert_eq!(
+                    scalar.expectations[i].to_bits(),
+                    vector.expectations[i].to_bits(),
+                    "threads={threads} expectation {i}"
+                );
+                assert_eq!(
+                    scalar.probabilities[i].to_bits(),
+                    vector.probabilities[i].to_bits(),
+                    "threads={threads} probability {i}"
+                );
             }
         }
     }
